@@ -1,0 +1,65 @@
+"""Figure 2 — Percent of bytes accessed vs file size, by run pattern.
+
+Regenerates the cumulative byte curves per access-pattern category and
+checks the paper's contrast: the vast majority of CAMPUS bytes come
+from files over 1 MB (mailboxes); EECS is spread across a broad mix
+with a large share from smaller files.
+"""
+
+from repro.analysis.reorder import reorder_window_sort
+from repro.analysis.runs import RunBuilder
+from repro.analysis.size_patterns import bytes_by_file_size, large_file_byte_share
+from repro.report import format_series
+from benchmarks.conftest import ANALYSIS_END, ANALYSIS_START
+
+WINDOW = {"CAMPUS": 0.010, "EECS": 0.005}
+
+
+def _curves(week):
+    ops = reorder_window_sort(
+        week.data_ops(ANALYSIS_START, ANALYSIS_END), WINDOW[week.name]
+    )
+    runs = RunBuilder().feed_all(ops).finish()
+    return bytes_by_file_size(runs)
+
+
+def test_figure2(campus_week, eecs_week, benchmark):
+    campus = benchmark.pedantic(_curves, args=(campus_week,), rounds=1, iterations=1)
+    eecs = _curves(eecs_week)
+
+    for name, curves in (("CAMPUS", campus), ("EECS", eecs)):
+        print()
+        print(
+            format_series(
+                "file_size",
+                list(curves.buckets),
+                curves.series(),
+                title=f"Figure 2 ({name}): cumulative % of bytes vs file size",
+                x_format=_human,
+            )
+        )
+        shares = curves.final_shares()
+        print(
+            f"{name} final shares: entire {shares['entire']:.0f}%, "
+            f"sequential {shares['sequential']:.0f}%, "
+            f"random {shares['random']:.0f}%"
+        )
+        print(
+            f"{name} bytes from files > 1MB: "
+            f"{large_file_byte_share(curves):.0f}%"
+        )
+
+    # paper: CAMPUS bytes overwhelmingly from large (mailbox) files
+    assert large_file_byte_share(campus) > 80.0
+    # EECS has a much larger small-file byte share than CAMPUS
+    assert large_file_byte_share(eecs) < large_file_byte_share(campus)
+    # both curves are cumulative and end at 100%
+    for curves in (campus, eecs):
+        assert abs(curves.total[-1] - 100.0) < 1e-6
+        assert abs(sum(curves.final_shares().values()) - 100.0) < 1e-6
+
+
+def _human(nbytes: int) -> str:
+    if nbytes >= 1_000_000:
+        return f"{nbytes / 1_000_000:.0f}M"
+    return f"{nbytes / 1000:.0f}k"

@@ -1,0 +1,58 @@
+"""Figure 3 — Cumulative distribution of block lifetimes.
+
+Regenerates the lifetime CDFs for the weekday passes and checks the
+paper's contrast: most EECS blocks die young (>50% within a second),
+while CAMPUS blocks mostly live 10+ minutes.
+"""
+
+from repro.report import ascii_plot, format_series
+from benchmarks.bench_table4 import weekday_reports
+
+#: Figure 3's x-axis: 1 s, 30 s, 5 min, 1 hour, 1 day (log-spaced fill-in).
+POINTS = [1.0, 5.0, 30.0, 120.0, 300.0, 900.0, 3600.0, 4 * 3600.0, 86400.0]
+LABELS = ["1s", "5s", "30s", "2min", "5min", "15min", "1hr", "4hr", "1day"]
+
+
+def _cdf(week):
+    reports = weekday_reports(week)
+    lifetimes = sorted(t for r in reports for t in r.lifetimes)
+    total = len(lifetimes)
+    series = []
+    import bisect
+
+    for point in POINTS:
+        idx = bisect.bisect_right(lifetimes, point)
+        series.append(100.0 * idx / total if total else 0.0)
+    return series
+
+
+def test_figure3(campus_week, eecs_week, benchmark):
+    campus = benchmark.pedantic(_cdf, args=(campus_week,), rounds=1, iterations=1)
+    eecs = _cdf(eecs_week)
+
+    print()
+    print(
+        format_series(
+            "lifetime",
+            LABELS,
+            {"CAMPUS_cum%": campus, "EECS_cum%": eecs},
+            title="Figure 3: cumulative histogram of block lifetimes",
+        )
+    )
+    print()
+    print(ascii_plot(campus, label="CAMPUS CDF", height=8))
+    print()
+    print(ascii_plot(eecs, label="EECS CDF", height=8))
+
+    at = dict(zip(LABELS, range(len(LABELS))))
+    # paper: EECS — over half the blocks die in less than a second-ish;
+    # CAMPUS — few die within a second
+    assert eecs[at["1s"]] > 30.0
+    assert campus[at["1s"]] < 15.0
+    # paper: CAMPUS median in the ~10-60 minute range
+    assert campus[at["5min"]] < 50.0 <= campus[at["4hr"]]
+    # EECS CDF sits above CAMPUS everywhere early (blocks die younger)
+    for i in range(at["15min"] + 1):
+        assert eecs[i] >= campus[i]
+    # both reach 100% at one day (all counted deaths are <= margin)
+    assert campus[-1] == 100.0 and eecs[-1] == 100.0

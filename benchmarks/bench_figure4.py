@@ -1,0 +1,63 @@
+"""Figure 4 — Hourly operation counts and hourly R/W ratios, one week.
+
+Regenerates both panels and checks the cyclical shape: weekday peaks,
+overnight troughs, quiet weekends, and off-peak R/W ratio spikes.
+"""
+
+import math
+
+from repro.analysis.activity import ActivityAnalyzer
+from repro.report import ascii_plot
+from repro.simcore.clock import is_peak_hour
+from benchmarks.conftest import ANALYSIS_END, ANALYSIS_START, DAY
+
+
+def _series(week):
+    analyzer = ActivityAnalyzer().observe_all(week.ops)
+    return analyzer.hourly_series(ANALYSIS_START, ANALYSIS_END)
+
+
+def test_figure4(campus_week, eecs_week, benchmark):
+    campus = benchmark.pedantic(_series, args=(campus_week,), rounds=1, iterations=1)
+    eecs = _series(eecs_week)
+
+    print()
+    for name, buckets in (("CAMPUS", campus), ("EECS", eecs)):
+        ops = [float(b.ops) for b in buckets]
+        ratios = [
+            b.rw_op_ratio if math.isfinite(b.rw_op_ratio) else 0.0
+            for b in buckets
+        ]
+        print(ascii_plot(ops, label=f"{name} hourly op counts (Sun..Sat)", height=8))
+        print()
+        print(ascii_plot(ratios, label=f"{name} hourly R/W op ratio", height=6))
+        print()
+
+    def mean_ops(buckets, predicate):
+        vals = [b.ops for b in buckets if predicate(b.start)]
+        return sum(vals) / max(len(vals), 1)
+
+    for buckets in (campus, eecs):
+        peak = mean_ops(buckets, is_peak_hour)
+        night = mean_ops(
+            buckets, lambda t: 1 <= (t % DAY) // 3600 < 5
+        )
+        weekend = mean_ops(
+            buckets, lambda t: int(t // DAY) % 7 in (0, 6)
+        )
+        # the weekday business-hours peak dominates nights and weekends
+        assert peak > 2.5 * night
+        assert peak > 1.5 * weekend
+
+    # paper: the CAMPUS R/W ratio is consistent in peak hours but
+    # spikes off-peak, when a few reads skew it
+    campus_peak_ratios = [
+        b.rw_op_ratio for b in campus
+        if is_peak_hour(b.start) and math.isfinite(b.rw_op_ratio) and b.ops > 0
+    ]
+    campus_off_ratios = [
+        b.rw_op_ratio for b in campus
+        if not is_peak_hour(b.start) and math.isfinite(b.rw_op_ratio) and b.ops > 0
+    ]
+    assert campus_peak_ratios and campus_off_ratios
+    assert max(campus_off_ratios) > max(campus_peak_ratios)

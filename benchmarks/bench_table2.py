@@ -1,0 +1,75 @@
+"""Table 2 — Summary of average daily activity.
+
+Regenerates the per-day activity summary for both simulated systems
+and prints them alongside the paper's own rows and the prior-study
+rows it quoted (INS/RES/NT/Sprite).  Absolute volumes are scale-
+dependent; the reproduced *shape* is the pair of read/write ratios and
+the CAMPUS-busier-than-EECS ordering.
+"""
+
+from repro.analysis.summary import PRIOR_STUDY_ROWS, summarize_trace
+from repro.report import format_table
+from benchmarks.conftest import ANALYSIS_END, ANALYSIS_START
+
+
+def test_table2(campus_week, eecs_week, benchmark):
+    campus = benchmark.pedantic(
+        summarize_trace,
+        args=(campus_week.ops, ANALYSIS_START, ANALYSIS_END),
+        rounds=1,
+        iterations=1,
+    )
+    eecs = summarize_trace(eecs_week.ops, ANALYSIS_START, ANALYSIS_END)
+
+    rows = []
+    for label, s in (("CAMPUS (simulated)", campus), ("EECS (simulated)", eecs)):
+        rows.append(
+            [
+                label,
+                f"{s.ops_per_day:,.0f}",
+                f"{s.gb_read_per_day:.3f}",
+                f"{s.read_ops_per_day:,.0f}",
+                f"{s.gb_written_per_day:.3f}",
+                f"{s.write_ops_per_day:,.0f}",
+                f"{s.rw_byte_ratio:.2f}",
+                f"{s.rw_op_ratio:.2f}",
+            ]
+        )
+    for label, ref in PRIOR_STUDY_ROWS.items():
+        rows.append(
+            [
+                label,
+                f"{ref['ops_millions'] * 1e6:,.0f}",
+                f"{ref['gb_read']:.2f}",
+                f"{ref['read_ops_millions'] * 1e6:,.0f}",
+                f"{ref['gb_written']:.2f}",
+                f"{ref['write_ops_millions'] * 1e6:,.0f}",
+                f"{ref['rw_byte_ratio']:.2f}",
+                f"{ref['rw_op_ratio']:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "System",
+                "Ops/day",
+                "GB read",
+                "Read ops",
+                "GB written",
+                "Write ops",
+                "R/W bytes",
+                "R/W ops",
+            ],
+            rows,
+            title="Table 2: Average daily activity",
+        )
+    )
+
+    # shape assertions against the paper's week-subset row
+    assert campus.total_ops > 2 * eecs.total_ops  # CAMPUS much busier
+    assert 1.8 < campus.rw_byte_ratio < 4.0  # paper 2.68
+    assert 1.8 < campus.rw_op_ratio < 4.5  # paper 3.01
+    assert eecs.rw_byte_ratio < 1.0  # paper 0.56
+    assert eecs.rw_op_ratio < 1.0  # paper 0.69
+    assert campus.gb_read_per_day > 4 * eecs.gb_read_per_day

@@ -1,0 +1,126 @@
+"""Table 4 — Daily block life statistics.
+
+Five weekday 24-hour create-based passes (9am starts, 24-hour end
+margins), exactly the paper's protocol, averaged across the week.
+"""
+
+from repro.analysis.lifetimes import (
+    BIRTH_EXTENSION,
+    BIRTH_WRITE,
+    DEATH_DELETE,
+    DEATH_OVERWRITE,
+    DEATH_TRUNCATE,
+    BlockLifetimeAnalyzer,
+)
+from repro.report import format_table
+from benchmarks.conftest import DAY
+
+PAPER = {
+    "CAMPUS": {
+        "birth_write": 99.9, "birth_ext": 0.1,
+        "death_over": 99.1, "death_trunc": 0.6, "death_del": 0.3,
+        "surplus": (2.1, 5.9),
+    },
+    "EECS": {
+        "birth_write": 75.5, "birth_ext": 24.5,
+        "death_over": 42.4, "death_trunc": 5.8, "death_del": 51.8,
+        "surplus": (3.5, 9.5),
+    },
+}
+
+
+def weekday_reports(week):
+    """One create-based pass per weekday (Mon-Fri 9am starts)."""
+    reports = []
+    for weekday in range(1, 6):  # Monday..Friday (day 0 is Sunday)
+        start = weekday * DAY + 9 * 3600.0
+        analyzer = BlockLifetimeAnalyzer(start, start + DAY, start + 2 * DAY)
+        analyzer.observe_all(week.ops)
+        reports.append(analyzer.report())
+    return reports
+
+
+def aggregate(reports):
+    births = sum(r.total_births for r in reports)
+    deaths = sum(r.total_deaths for r in reports)
+
+    def birth_pct(cause):
+        return 100.0 * sum(r.births_by_cause.get(cause, 0) for r in reports) / max(births, 1)
+
+    def death_pct(cause):
+        return 100.0 * sum(r.deaths_by_cause.get(cause, 0) for r in reports) / max(deaths, 1)
+
+    surplus = [100.0 * r.end_surplus_fraction for r in reports]
+    return {
+        "births": births,
+        "deaths": deaths,
+        "write": birth_pct(BIRTH_WRITE),
+        "ext": birth_pct(BIRTH_EXTENSION),
+        "over": death_pct(DEATH_OVERWRITE),
+        "trunc": death_pct(DEATH_TRUNCATE),
+        "del": death_pct(DEATH_DELETE),
+        "surplus_min": min(surplus),
+        "surplus_max": max(surplus),
+    }
+
+
+def test_table4(campus_week, eecs_week, benchmark):
+    campus = aggregate(
+        benchmark.pedantic(weekday_reports, args=(campus_week,), rounds=1, iterations=1)
+    )
+    eecs = aggregate(weekday_reports(eecs_week))
+
+    rows = [
+        ["Total births", campus["births"], eecs["births"], "28.4M / 9.8M (full scale)"],
+        [
+            "  due to writes (%)",
+            f"{campus['write']:.1f}", f"{eecs['write']:.1f}",
+            f"{PAPER['CAMPUS']['birth_write']} / {PAPER['EECS']['birth_write']}",
+        ],
+        [
+            "  due to extension (%)",
+            f"{campus['ext']:.1f}", f"{eecs['ext']:.1f}",
+            f"{PAPER['CAMPUS']['birth_ext']} / {PAPER['EECS']['birth_ext']}",
+        ],
+        ["Total deaths", campus["deaths"], eecs["deaths"], "27.5M / 9.2M (full scale)"],
+        [
+            "  due to overwrites (%)",
+            f"{campus['over']:.1f}", f"{eecs['over']:.1f}",
+            f"{PAPER['CAMPUS']['death_over']} / {PAPER['EECS']['death_over']}",
+        ],
+        [
+            "  due to truncates (%)",
+            f"{campus['trunc']:.1f}", f"{eecs['trunc']:.1f}",
+            f"{PAPER['CAMPUS']['death_trunc']} / {PAPER['EECS']['death_trunc']}",
+        ],
+        [
+            "  due to file deletion (%)",
+            f"{campus['del']:.1f}", f"{eecs['del']:.1f}",
+            f"{PAPER['CAMPUS']['death_del']} / {PAPER['EECS']['death_del']}",
+        ],
+        [
+            "Daily end surplus range (%)",
+            f"{campus['surplus_min']:.1f}-{campus['surplus_max']:.1f}",
+            f"{eecs['surplus_min']:.1f}-{eecs['surplus_max']:.1f}",
+            "2.1-5.9 / 3.5-9.5",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["Statistic", "CAMPUS", "EECS", "Paper (CAMPUS/EECS)"],
+            rows,
+            title="Table 4: Daily block life statistics (5 weekday passes)",
+        )
+    )
+
+    # CAMPUS: births and deaths almost all writes/overwrites
+    assert campus["write"] > 90.0
+    assert campus["over"] > 85.0
+    assert campus["del"] < 10.0
+    # EECS: a real extension share, and a death mix with many deletes
+    assert eecs["ext"] > 10.0
+    assert eecs["del"] > 25.0
+    assert eecs["over"] > 25.0
+    # EECS extension share far exceeds CAMPUS's
+    assert eecs["ext"] > 5 * campus["ext"]

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The CAMPUS email study: Section 6.1.2 and 6.3 in miniature.
+
+Simulates several days of the email workload and reproduces the
+paper's CAMPUS-specific findings:
+
+* the four file categories and their unique-file shares in peak hours;
+* lock files: share of created-and-deleted files, and their lifetimes;
+* composer temporaries: size and lifetime percentiles;
+* mailbox dominance of moved bytes;
+* filename-based prediction of size/lifetime/pattern vs a name-blind
+  baseline.
+
+Run:  python examples/campus_email_study.py
+"""
+
+from repro.analysis.names import NameCategoryAnalyzer
+from repro.analysis.pairing import pair_all
+from repro.report import format_table
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+from repro.workloads.namespaces import (
+    CATEGORY_COMPOSER,
+    CATEGORY_DOT,
+    CATEGORY_LOCK,
+    CATEGORY_MAILBOX,
+)
+
+
+def main() -> None:
+    days = 3
+    system = TracedSystem(seed=21, quota_bytes=50 * 1024 * 1024)
+    workload = CampusEmailWorkload(CampusParams(users=12))
+    workload.attach(system)
+    print(f"simulating {days} days of CAMPUS email ...")
+    system.run(days * SECONDS_PER_DAY)
+
+    ops, _ = pair_all(system.records())
+    names = NameCategoryAnalyzer().observe_all(ops)
+
+    # unique-file shares during one peak hour (Monday 11am-noon)
+    peak = [
+        o for o in ops
+        if SECONDS_PER_DAY + 11 * 3600 <= o.time < SECONDS_PER_DAY + 12 * 3600
+    ]
+    shares = names.accessed_shares(peak)
+    print()
+    print(
+        format_table(
+            ["Category", "Share of unique files (peak hour)", "Paper"],
+            [
+                ["lock files", f"{shares.get(CATEGORY_LOCK, 0):.0%}", "~50%"],
+                ["mailboxes", f"{shares.get(CATEGORY_MAILBOX, 0):.0%}", "~20%"],
+                ["dot files", f"{shares.get(CATEGORY_DOT, 0):.0%}", "(rest)"],
+                ["composer temps", f"{shares.get(CATEGORY_COMPOSER, 0):.0%}", "(rest)"],
+            ],
+            title="Unique files referenced, by name category",
+        )
+    )
+
+    dead = names.created_and_deleted()
+    lock_share = names.category_share(CATEGORY_LOCK, dead)
+    lock_p999 = names.lifetime_percentile(CATEGORY_LOCK, 0.999)
+    composer_p98_size = names.size_percentile(CATEGORY_COMPOSER, 0.98)
+    composer_p999_size = names.size_percentile(CATEGORY_COMPOSER, 0.999)
+    print()
+    print(
+        format_table(
+            ["Finding", "Measured", "Paper"],
+            [
+                ["locks among created+deleted files", f"{lock_share:.0%}", "96%"],
+                [
+                    "99.9th pct lock lifetime (s)",
+                    f"{lock_p999:.2f}" if lock_p999 else "-",
+                    "< 0.40",
+                ],
+                [
+                    "98th pct composer size (bytes)",
+                    composer_p98_size or "-",
+                    "< 8K",
+                ],
+                [
+                    "99.9th pct composer size (bytes)",
+                    composer_p999_size or "-",
+                    "< 40K",
+                ],
+            ],
+            title="Created-and-deleted file categories (Section 6.3)",
+        )
+    )
+
+    print()
+    rows = []
+    for attribute in ("size", "lifetime", "pattern"):
+        result = names.predict(attribute)
+        rows.append(
+            [
+                attribute,
+                f"{result.name_based_accuracy:.0%}",
+                f"{result.baseline_accuracy:.0%}",
+                f"+{result.lift:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["Attribute", "Name-based accuracy", "Name-blind baseline", "Lift"],
+            rows,
+            title="Predicting file attributes from the filename",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison of the two workloads — Table 1, live.
+
+Simulates both systems for the same period and prints the full
+characterization next to each other, plus the forward-looking
+projections (NVRAM write absorption and NFSv4 delegation savings)
+that quantify the paper's design recommendations.
+
+Run:  python examples/compare_systems.py
+"""
+
+from repro.analysis import (
+    characterize,
+    delegation_savings,
+    pair_all,
+    writeback_savings,
+)
+from repro.report import format_table
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.workloads import (
+    CampusEmailWorkload,
+    CampusParams,
+    EecsParams,
+    EecsResearchWorkload,
+    TracedSystem,
+)
+
+DAY = SECONDS_PER_DAY
+DAYS = 3
+
+
+def simulate(name, workload, seed, quota=None):
+    print(f"simulating {DAYS} days of {name} ...")
+    system = TracedSystem(seed=seed, quota_bytes=quota)
+    workload.attach(system)
+    system.run(DAYS * DAY)
+    ops, _ = pair_all(system.records())
+    return ops
+
+
+def main() -> None:
+    campus_ops = simulate(
+        "CAMPUS", CampusEmailWorkload(CampusParams(users=10)),
+        seed=101, quota=50 * 1024 * 1024,
+    )
+    eecs_ops = simulate(
+        "EECS", EecsResearchWorkload(EecsParams(users=6)), seed=202
+    )
+
+    peak = (DAY + 11 * 3600, DAY + 12 * 3600)
+    campus = characterize(
+        campus_ops, 0.0, DAYS * DAY,
+        peak_ops=[o for o in campus_ops if peak[0] <= o.time < peak[1]],
+    )
+    eecs = characterize(
+        eecs_ops, 0.0, DAYS * DAY,
+        peak_ops=[o for o in eecs_ops if peak[0] <= o.time < peak[1]],
+    )
+
+    def life(c):
+        if c.median_block_lifetime is None:
+            return "-"
+        m = c.median_block_lifetime
+        return f"{m:.2f}s" if m < 60 else f"{m / 60:.0f}min"
+
+    print()
+    print(
+        format_table(
+            ["Characteristic", "CAMPUS", "EECS"],
+            [
+                ["dominant call type", campus.dominant_call_type(),
+                 eecs.dominant_call_type()],
+                ["metadata fraction", f"{campus.metadata_fraction:.0%}",
+                 f"{eecs.metadata_fraction:.0%}"],
+                ["read/write balance", campus.read_write_balance(),
+                 eecs.read_write_balance()],
+                ["mailbox byte share", f"{campus.mailbox_byte_share:.0%}",
+                 f"{eecs.mailbox_byte_share:.0%}"],
+                ["lock files (unique, peak hr)", f"{campus.lock_file_share:.0%}",
+                 f"{eecs.lock_file_share:.0%}"],
+                ["median block lifetime", life(campus), life(eecs)],
+                ["blocks dead < 1s",
+                 f"{campus.fraction_blocks_dead_within_1s:.0%}",
+                 f"{eecs.fraction_blocks_dead_within_1s:.0%}"],
+                ["dominant death cause", campus.dominant_death_cause(),
+                 eecs.dominant_death_cause()],
+            ],
+            title="Table 1, regenerated live",
+        )
+    )
+
+    campus_nvram = writeback_savings(campus_ops, 0.0, DAYS * DAY)
+    eecs_nvram = writeback_savings(eecs_ops, 0.0, DAYS * DAY)
+    campus_deleg = delegation_savings(campus_ops)
+    eecs_deleg = delegation_savings(eecs_ops)
+    print()
+    print(
+        format_table(
+            ["Projection", "CAMPUS", "EECS"],
+            [
+                ["writes absorbed by 30s NVRAM buffer",
+                 f"{campus_nvram.at(30.0):.0%}", f"{eecs_nvram.at(30.0):.0%}"],
+                ["writes absorbed by 1h NVRAM buffer",
+                 f"{campus_nvram.at(3600.0):.0%}", f"{eecs_nvram.at(3600.0):.0%}"],
+                ["ops eliminable by NFSv4 delegations",
+                 f"{campus_deleg.eliminable_fraction:.0%}",
+                 f"{eecs_deleg.eliminable_fraction:.0%}"],
+            ],
+            title="Design projections (paper Sections 6.1 / 6.1.1 / 7)",
+        )
+    )
+    print(
+        "\nconclusions, as in the paper: email (CAMPUS) wants block/"
+        "message-grained caching and\nNVRAM sized to the checkpoint "
+        "cycle; research (EECS) wants delegations and delayed\nwrites "
+        "-- most of its traffic is cache confirmation and short-lived "
+        "blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Tuning server read-ahead against reordered requests (Section 6.4).
+
+The paper modified the FreeBSD 4.4 NFS server to drive read-ahead from
+its sequentiality metric instead of the conventional strict rule, and
+measured >5% end-to-end improvement on large sequential transfers when
+~10% of requests arrive reordered.
+
+This example sweeps the reordering rate and compares the two
+heuristics on the disk-time model, reporting transfer speedup.
+
+Run:  python examples/readahead_tuning.py
+"""
+
+import random
+
+from repro.report import format_table
+from repro.server import (
+    DiskModel,
+    ReadAheadEngine,
+    SequentialityMetricHeuristic,
+    StrictSequentialHeuristic,
+)
+
+
+def reordered_stream(n: int, swap_fraction: float, rng: random.Random) -> list[int]:
+    """A sequential block stream with ~swap_fraction adjacent swaps."""
+    blocks = list(range(n))
+    i = 0
+    while i < n - 1:
+        if rng.random() < swap_fraction:
+            blocks[i], blocks[i + 1] = blocks[i + 1], blocks[i]
+            i += 2
+        else:
+            i += 1
+    return blocks
+
+
+def main() -> None:
+    n_blocks = 4000  # a ~32 MB sequential transfer
+    rows = []
+    for swap_pct in (0, 2, 5, 10, 15, 20):
+        rng = random.Random(1000 + swap_pct)
+        stream = reordered_stream(n_blocks, swap_pct / 100.0, rng)
+        strict = ReadAheadEngine(DiskModel(), StrictSequentialHeuristic())
+        smart = ReadAheadEngine(DiskModel(), SequentialityMetricHeuristic())
+        t_strict = strict.serve(list(stream), file_blocks=n_blocks).disk_time
+        t_smart = smart.serve(list(stream), file_blocks=n_blocks).disk_time
+        speedup = (t_strict - t_smart) / t_strict * 100.0
+        rows.append(
+            [
+                f"{swap_pct}%",
+                f"{t_strict * 1000:.1f}",
+                f"{t_smart * 1000:.1f}",
+                f"{speedup:+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Reordered requests",
+                "Strict heuristic (ms)",
+                "Sequentiality metric (ms)",
+                "Speedup",
+            ],
+            rows,
+            title="Large sequential transfer under reordering (Section 6.4)",
+        )
+    )
+    print(
+        "\npaper: with ~10% reordering the metric-driven heuristic improved"
+        "\nend-to-end transfer speed by more than 5%."
+    )
+
+
+if __name__ == "__main__":
+    main()

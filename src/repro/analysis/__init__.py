@@ -1,0 +1,78 @@
+"""The trace analysis toolkit — the paper's analytical contribution.
+
+Every module consumes :class:`~repro.trace.record.TraceRecord` streams
+(from :mod:`repro.trace`), so the analyses run identically on synthetic
+traces from :mod:`repro.workloads` and on any real trace converted to
+the format.
+
+Pipeline building blocks:
+
+* :mod:`pairing` — match calls to replies (and count what the mirror
+  port lost, Section 4.1.4).
+* :mod:`hierarchy` — reconstruct the active file-system tree from
+  lookup traffic (Section 4.1.1).
+* :mod:`reorder` — the reorder-window sort and swapped-access
+  measurement (Section 4.2, Figure 1).
+* :mod:`runs` — run detection and entire/sequential/random
+  classification (Section 4.2, Table 3).
+* :mod:`size_patterns` — bytes-accessed-by-file-size curves (Figure 2).
+* :mod:`lifetimes` — create-based block lifetime accounting
+  (Section 5.2, Table 4, Figure 3).
+* :mod:`activity` — hourly load and peak-hour variance (Section 6.2,
+  Figure 4, Table 5).
+* :mod:`sequentiality` — the block sequentiality metric (Section 6.4,
+  Figure 5).
+* :mod:`names` — filename-category attribute prediction (Section 6.3).
+* :mod:`summary` — daily activity summaries (Table 2).
+* :mod:`characterize` — the qualitative system comparison (Table 1).
+"""
+
+from repro.analysis.pairing import PairedOp, pair_records, pair_all, PairingStats
+from repro.analysis.hierarchy import HierarchyReconstructor
+from repro.analysis.reorder import reorder_window_sort, swapped_fraction
+from repro.analysis.runs import Run, RunBuilder, classify_runs
+from repro.analysis.lifetimes import BlockLifetimeAnalyzer
+from repro.analysis.activity import ActivityAnalyzer, best_peak_window
+from repro.analysis.sequentiality import sequentiality_metric
+from repro.analysis.size_patterns import bytes_by_file_size
+from repro.analysis.summary import summarize_trace, TraceSummary
+from repro.analysis.names import NameCategoryAnalyzer
+from repro.analysis.characterize import Characterization, characterize
+from repro.analysis.loss import estimate_loss
+from repro.analysis.writeback import writeback_savings
+from repro.analysis.delegation import delegation_savings
+from repro.analysis.workingset import cumulative_working_set, working_set_series
+from repro.analysis.cache_model import block_cache_counterfactual
+from repro.analysis.sessions import infer_sessions
+from repro.analysis.patterns import survey_random_runs
+
+__all__ = [
+    "PairedOp",
+    "pair_records",
+    "pair_all",
+    "PairingStats",
+    "HierarchyReconstructor",
+    "reorder_window_sort",
+    "swapped_fraction",
+    "Run",
+    "RunBuilder",
+    "classify_runs",
+    "BlockLifetimeAnalyzer",
+    "ActivityAnalyzer",
+    "best_peak_window",
+    "sequentiality_metric",
+    "bytes_by_file_size",
+    "summarize_trace",
+    "TraceSummary",
+    "NameCategoryAnalyzer",
+    "Characterization",
+    "characterize",
+    "estimate_loss",
+    "writeback_savings",
+    "delegation_savings",
+    "working_set_series",
+    "cumulative_working_set",
+    "block_cache_counterfactual",
+    "infer_sessions",
+    "survey_random_runs",
+]

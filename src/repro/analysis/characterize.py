@@ -1,0 +1,129 @@
+"""Whole-system characterization (Table 1).
+
+Table 1 is a qualitative side-by-side of CAMPUS and EECS; each row is
+backed by a measurable quantity.  :func:`characterize` computes all of
+them from one op stream so the benchmark can print the table with the
+measured values substantiating each claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.activity import ActivityAnalyzer
+from repro.analysis.lifetimes import (
+    DEATH_DELETE,
+    DEATH_OVERWRITE,
+    DEATH_TRUNCATE,
+    BlockLifetimeAnalyzer,
+)
+from repro.analysis.names import NameCategoryAnalyzer
+from repro.analysis.pairing import PairedOp
+from repro.analysis.summary import TraceSummary, summarize_trace
+from repro.workloads.namespaces import (
+    CATEGORY_LOCK,
+    CATEGORY_MAILBOX,
+    classify_name,
+)
+
+
+@dataclass
+class Characterization:
+    """Measured values behind each Table 1 row for one system."""
+
+    summary: TraceSummary
+    metadata_fraction: float
+    rw_byte_ratio: float
+    rw_op_ratio: float
+    peak_variance_reduction: float
+    mailbox_file_share: float  # of unique files accessed in peak hours
+    lock_file_share: float
+    mailbox_byte_share: float  # of data bytes moved
+    median_block_lifetime: float | None
+    fraction_blocks_dead_within_1s: float
+    death_overwrite_fraction: float
+    death_delete_fraction: float
+    death_truncate_fraction: float
+
+    def dominant_call_type(self) -> str:
+        """Table 1 row: 'Most NFS calls are for data/metadata'."""
+        return "metadata" if self.metadata_fraction > 0.5 else "data"
+
+    def read_write_balance(self) -> str:
+        """Table 1 row: who outnumbers whom, by what factor."""
+        if self.summary.read_ops == 0 and self.summary.write_ops == 0:
+            return "no data traffic"
+        if self.summary.read_ops == 0:
+            return "writes outnumber reads entirely"
+        if self.rw_op_ratio >= 1.0:
+            return f"reads outnumber writes by {self.rw_op_ratio:.1f}"
+        return f"writes outnumber reads by {1.0 / self.rw_op_ratio:.1f}"
+
+    def dominant_death_cause(self) -> str:
+        """Table 1 row: why blocks die."""
+        causes = {
+            "overwriting": self.death_overwrite_fraction,
+            "deletion": self.death_delete_fraction,
+            "truncation": self.death_truncate_fraction,
+        }
+        return max(causes, key=causes.get)
+
+
+def characterize(
+    ops: list[PairedOp],
+    start: float,
+    end: float,
+    *,
+    peak_ops: list[PairedOp] | None = None,
+    lifetime_phase_end: float | None = None,
+) -> Characterization:
+    """Run every Table 1 measurement over one op window.
+
+    Args:
+        ops: paired ops for the full window [start, end).
+        peak_ops: ops restricted to peak hours, for the unique-file
+            shares; defaults to all ops.
+        lifetime_phase_end: end of the block-lifetime end margin;
+            defaults to ``end`` (phase 1 is the first half, phase 2
+            the second).
+    """
+    summary = summarize_trace(ops, start, end)
+    activity = ActivityAnalyzer().observe_all(ops)
+    table5 = activity.table5(start, end)
+    mid = start + (end - start) / 2
+    phase2_end = lifetime_phase_end if lifetime_phase_end is not None else end
+    lifetime = BlockLifetimeAnalyzer(start, mid, phase2_end).observe_all(ops)
+    life_report = lifetime.report()
+    names = NameCategoryAnalyzer().observe_all(ops)
+    shares = names.accessed_shares(peak_ops if peak_ops is not None else ops)
+    mailbox_bytes = _mailbox_byte_share(ops, names)
+    return Characterization(
+        summary=summary,
+        metadata_fraction=summary.metadata_fraction,
+        rw_byte_ratio=summary.rw_byte_ratio,
+        rw_op_ratio=summary.rw_op_ratio,
+        peak_variance_reduction=table5.variance_reduction("total_ops"),
+        mailbox_file_share=shares.get(CATEGORY_MAILBOX, 0.0),
+        lock_file_share=shares.get(CATEGORY_LOCK, 0.0),
+        mailbox_byte_share=mailbox_bytes,
+        median_block_lifetime=life_report.median_lifetime(),
+        fraction_blocks_dead_within_1s=life_report.fraction_dead_within(1.0),
+        death_overwrite_fraction=life_report.death_fraction(DEATH_OVERWRITE),
+        death_delete_fraction=life_report.death_fraction(DEATH_DELETE),
+        death_truncate_fraction=life_report.death_fraction(DEATH_TRUNCATE),
+    )
+
+
+def _mailbox_byte_share(ops: list[PairedOp], names: NameCategoryAnalyzer) -> float:
+    """Share of read+written bytes moving through mailbox files."""
+    mailbox = total = 0
+    for op in ops:
+        if not op.ok() or not (op.is_read() or op.is_write()):
+            continue
+        nbytes = op.count or 0
+        total += nbytes
+        known = names.hierarchy.lookup(op.fh) if op.fh else None
+        if known is not None and known.name is not None:
+            if classify_name(known.name) == CATEGORY_MAILBOX:
+                mailbox += nbytes
+    return mailbox / total if total else 0.0

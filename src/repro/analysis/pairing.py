@@ -1,0 +1,173 @@
+"""Call/reply pairing.
+
+A passive tracer sees calls and replies as separate packets; analyses
+want one object per operation.  Pairing also surfaces the capture-loss
+phenomenon of Section 4.1.4: a reply whose call was dropped cannot be
+decoded (it is counted, not used), and a call with no reply within the
+timeout was either dropped on the mirror or never answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.nfs.messages import NfsStatus
+from repro.nfs.procedures import NfsProc
+from repro.trace.record import TraceRecord
+
+#: A reply arriving this long after its call is assumed lost (the
+#: paper's nfsiod delays top out at 1 s; retransmission adds a little).
+DEFAULT_REPLY_TIMEOUT = 8.0
+
+
+@dataclass(slots=True)
+class PairedOp:
+    """One matched NFS operation.
+
+    ``time`` is the call's wire time (what run/lifetime analyses key
+    on); ``reply_time`` the reply's.  ``count`` is the *actual* byte
+    count: for reads, the reply's short-read-aware count; for writes,
+    the call's.  ``post_size``/``post_mtime`` come from the reply's
+    post-op attributes.
+    """
+
+    time: float
+    reply_time: float
+    proc: NfsProc
+    client: str
+    xid: int
+    status: NfsStatus
+    version: int = 3
+    uid: int | None = None
+    fh: str | None = None
+    name: str | None = None
+    target_fh: str | None = None
+    target_name: str | None = None
+    offset: int | None = None
+    count: int | None = None
+    size: int | None = None
+    eof: bool | None = None
+    reply_fh: str | None = None
+    post_size: int | None = None
+    post_mtime: float | None = None
+    post_ftype: str | None = None
+
+    def ok(self) -> bool:
+        """True when the operation succeeded."""
+        return self.status is NfsStatus.OK
+
+    def is_read(self) -> bool:
+        """True for READ operations."""
+        return self.proc is NfsProc.READ
+
+    def is_write(self) -> bool:
+        """True for WRITE operations."""
+        return self.proc is NfsProc.WRITE
+
+
+@dataclass
+class PairingStats:
+    """What pairing saw — including what it could not pair."""
+
+    calls: int = 0
+    replies: int = 0
+    paired: int = 0
+    orphan_replies: int = 0  # reply seen, call packet lost
+    unanswered_calls: int = 0  # call seen, reply packet lost
+    errors: int = 0  # paired ops with non-OK status
+
+    @property
+    def estimated_loss_rate(self) -> float:
+        """Estimated fraction of packets the capture lost.
+
+        Each orphan reply implies one lost call packet; each
+        unanswered call implies one lost reply.  (Section 4.1.4's
+        estimator.)
+        """
+        observed = self.calls + self.replies
+        lost = self.orphan_replies + self.unanswered_calls
+        if observed + lost == 0:
+            return 0.0
+        return lost / (observed + lost)
+
+
+def pair_records(
+    records: Iterable[TraceRecord],
+    *,
+    reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    stats: PairingStats | None = None,
+) -> Iterator[PairedOp]:
+    """Pair a wire-time-ordered record stream into operations.
+
+    Yields ops in *call* wire-time order (close enough given the small
+    reply latency).  Pass a :class:`PairingStats` to collect loss
+    accounting.
+    """
+    if stats is None:
+        stats = PairingStats()
+    outstanding: dict[tuple[str, int], TraceRecord] = {}
+    last_time = 0.0
+    for record in records:
+        last_time = max(last_time, record.time)
+        if record.is_call():
+            stats.calls += 1
+            key = record.key()
+            if key in outstanding:
+                # duplicate xid before reply: retransmission; keep newest
+                stats.unanswered_calls += 1
+            outstanding[key] = record
+        else:
+            stats.replies += 1
+            call = outstanding.pop(record.key(), None)
+            if call is None:
+                stats.orphan_replies += 1
+                continue
+            op = _merge(call, record)
+            stats.paired += 1
+            if not op.ok():
+                stats.errors += 1
+            yield op
+        # expire stale outstanding calls occasionally
+        if stats.calls % 4096 == 0 and outstanding:
+            horizon = last_time - reply_timeout
+            stale = [k for k, c in outstanding.items() if c.time < horizon]
+            for key in stale:
+                del outstanding[key]
+                stats.unanswered_calls += 1
+    stats.unanswered_calls += len(outstanding)
+
+
+def pair_all(records: Iterable[TraceRecord]) -> tuple[list[PairedOp], PairingStats]:
+    """Convenience: pair everything into a list, returning stats too."""
+    stats = PairingStats()
+    ops = list(pair_records(records, stats=stats))
+    return ops, stats
+
+
+def _merge(call: TraceRecord, reply: TraceRecord) -> PairedOp:
+    count = call.count
+    if call.proc is NfsProc.READ and reply.count is not None:
+        count = reply.count  # short reads: believe the reply
+    return PairedOp(
+        time=call.time,
+        reply_time=reply.time,
+        proc=call.proc,
+        client=call.client,
+        xid=call.xid,
+        status=reply.status if reply.status is not None else NfsStatus.OK,
+        version=call.version,
+        uid=call.uid,
+        fh=call.fh,
+        name=call.name,
+        target_fh=call.target_fh,
+        target_name=call.target_name,
+        offset=call.offset,
+        count=count,
+        size=call.size,
+        eof=reply.eof,
+        reply_fh=reply.fh,
+        post_size=reply.attr_size,
+        post_mtime=reply.attr_mtime,
+        post_ftype=reply.attr_ftype,
+    )

@@ -1,0 +1,277 @@
+"""Run detection and access-pattern classification (Section 4.2).
+
+NFS has no open/close, so the paper defines a *run* per file as:
+
+1. associate each read/write with the file's access list;
+2. start a new run when the previous access referenced end-of-file, or
+   when the previous access is older than 30 seconds.
+
+A run is **sequential** when every access begins where the previous
+one left off, with offsets and counts rounded up to 8 KB blocks; the
+*processed* mode additionally tolerates seeks of fewer than 10 blocks
+(Table 3's rightmost columns).  A sequential run covering byte 0
+through EOF is **entire**; anything non-sequential is **random**.
+Singleton runs are entire if they cover the whole file, else
+sequential.  Runs are also typed read / write / read-write.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.pairing import PairedOp
+from repro.fs.blockmap import BLOCK_SIZE
+
+#: Gap after which a run is considered closed (paper: "e.g., older
+#: than 30 seconds").
+DEFAULT_IDLE_GAP = 30.0
+
+#: Processed-mode seek tolerance: "seeks of less than 10 8k blocks".
+DEFAULT_JUMP_BLOCKS = 10
+
+
+class RunKind(enum.Enum):
+    """Operation mix of a run."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read-write"
+
+
+class RunPattern(enum.Enum):
+    """Access pattern of a run."""
+
+    ENTIRE = "entire"
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(slots=True)
+class Access:
+    """One read or write inside a run."""
+
+    time: float
+    offset: int
+    count: int
+    is_read: bool
+    file_size: int  # post-op size, the best EOF estimate at this access
+    hit_eof: bool
+
+
+@dataclass
+class Run:
+    """A completed run on one file."""
+
+    fh: str
+    accesses: list[Access] = field(default_factory=list)
+
+    @property
+    def bytes_accessed(self) -> int:
+        """Total bytes moved by the run."""
+        return sum(a.count for a in self.accesses)
+
+    @property
+    def file_size(self) -> int:
+        """Largest file size observed during the run."""
+        return max((a.file_size for a in self.accesses), default=0)
+
+    @property
+    def start_time(self) -> float:
+        return self.accesses[0].time if self.accesses else 0.0
+
+    def kind(self) -> RunKind:
+        """read / write / read-write."""
+        reads = any(a.is_read for a in self.accesses)
+        writes = any(not a.is_read for a in self.accesses)
+        if reads and writes:
+            return RunKind.READ_WRITE
+        return RunKind.READ if reads else RunKind.WRITE
+
+    def is_sequential(self, *, jump_blocks: int = 1) -> bool:
+        """Whether every access is (nearly) where the last left off.
+
+        ``jump_blocks=1`` is the strict 8 KB-rounded rule; larger
+        values allow the processed mode's small seeks.
+        """
+        for prev, cur in zip(self.accesses, self.accesses[1:]):
+            expected = _round_up(prev.offset + prev.count)
+            actual = _round_up(cur.offset)
+            if abs(actual - expected) >= jump_blocks * BLOCK_SIZE:
+                return False
+        return True
+
+    def covers_entire_file(self) -> bool:
+        """Starts at byte 0 and reaches EOF."""
+        if not self.accesses:
+            return False
+        starts_at_zero = self.accesses[0].offset == 0
+        reaches_eof = any(
+            a.hit_eof or (a.offset + a.count >= a.file_size > 0)
+            for a in self.accesses
+        )
+        return starts_at_zero and reaches_eof
+
+    def pattern(self, *, jump_blocks: int = 1) -> RunPattern:
+        """entire / sequential / random, per the paper's taxonomy."""
+        if len(self.accesses) == 1:
+            return (
+                RunPattern.ENTIRE
+                if self.covers_entire_file()
+                else RunPattern.SEQUENTIAL
+            )
+        if self.is_sequential(jump_blocks=jump_blocks):
+            if self.covers_entire_file():
+                return RunPattern.ENTIRE
+            return RunPattern.SEQUENTIAL
+        return RunPattern.RANDOM
+
+
+def _round_up(nbytes: int) -> int:
+    return -(-nbytes // BLOCK_SIZE) * BLOCK_SIZE
+
+
+class RunBuilder:
+    """Splits a stream of data ops into runs (the Section 4.2 rules)."""
+
+    def __init__(self, *, idle_gap: float = DEFAULT_IDLE_GAP) -> None:
+        self.idle_gap = idle_gap
+        self._open: dict[str, Run] = {}
+        self._done: list[Run] = []
+        #: last known file size per fh, persisted across runs, so we
+        #: can tell an EOF-referencing write from an extending one
+        self._last_size: dict[str, int] = {}
+
+    def feed(self, op: PairedOp) -> None:
+        """Consume one paired op (non-data and failed ops ignored)."""
+        if not (op.is_read() or op.is_write()) or not op.ok():
+            return
+        if op.fh is None or op.offset is None or op.count is None:
+            return
+        if op.count == 0:
+            return
+        file_size = op.post_size if op.post_size is not None else 0
+        if op.is_read():
+            hit_eof = bool(op.eof) or (
+                file_size > 0 and op.offset + op.count >= file_size
+            )
+        else:
+            # A write "references EOF" when it finishes at the file's
+            # end WITHOUT growing it (e.g. the final chunk of an
+            # in-place rewrite).  A write that extends the file moves
+            # EOF with it — closing runs there would make every
+            # sequential new-file write a chain of singletons.
+            prev_size = self._last_size.get(op.fh)
+            grew = prev_size is None or file_size > prev_size
+            hit_eof = (
+                not grew and file_size > 0 and op.offset + op.count >= file_size
+            )
+        self._last_size[op.fh] = max(file_size, self._last_size.get(op.fh, 0))
+        access = Access(
+            time=op.time,
+            offset=op.offset,
+            count=op.count,
+            is_read=op.is_read(),
+            file_size=file_size,
+            hit_eof=hit_eof,
+        )
+        run = self._open.get(op.fh)
+        if run is not None and run.accesses:
+            last = run.accesses[-1]
+            if last.hit_eof or access.time - last.time > self.idle_gap:
+                self._close(op.fh)
+                run = None
+        if run is None:
+            run = Run(fh=op.fh)
+            self._open[op.fh] = run
+        run.accesses.append(access)
+
+    def feed_all(self, ops: Iterable[PairedOp]) -> "RunBuilder":
+        """Consume a whole op stream; returns self for chaining."""
+        for op in ops:
+            self.feed(op)
+        return self
+
+    def finish(self) -> list[Run]:
+        """Close all open runs and return every run found."""
+        for fh in list(self._open):
+            self._close(fh)
+        return self._done
+
+    def _close(self, fh: str) -> None:
+        run = self._open.pop(fh, None)
+        if run is not None and run.accesses:
+            self._done.append(run)
+
+
+@dataclass
+class RunPatternTable:
+    """The Table 3 numbers for one trace + parameter set.
+
+    All values are percentages.  ``reads``/``writes``/``read_writes``
+    are the share of runs of that kind; each kind's dict splits its
+    runs into entire/sequential/random.
+    """
+
+    reads: float
+    writes: float
+    read_writes: float
+    read_split: dict[str, float]
+    write_split: dict[str, float]
+    read_write_split: dict[str, float]
+    total_runs: int
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """Flatten to (label, percent) rows in the paper's order."""
+        rows = [("Reads (% total)", self.reads)]
+        rows += [
+            (f"{p.capitalize()} (% read)", self.read_split[p])
+            for p in ("entire", "sequential", "random")
+        ]
+        rows.append(("Writes (% total)", self.writes))
+        rows += [
+            (f"{p.capitalize()} (% write)", self.write_split[p])
+            for p in ("entire", "sequential", "random")
+        ]
+        rows.append(("Read-Write (% total)", self.read_writes))
+        rows += [
+            (f"{p.capitalize()} (% r-w)", self.read_write_split[p])
+            for p in ("entire", "sequential", "random")
+        ]
+        return rows
+
+
+def classify_runs(
+    runs: list[Run], *, jump_blocks: int = 1
+) -> RunPatternTable:
+    """Aggregate runs into the Table 3 percentages.
+
+    ``jump_blocks=1`` reproduces the raw columns;
+    ``jump_blocks=DEFAULT_JUMP_BLOCKS`` the processed columns.
+    """
+    kinds = {RunKind.READ: [], RunKind.WRITE: [], RunKind.READ_WRITE: []}
+    for run in runs:
+        kinds[run.kind()].append(run)
+    total = len(runs)
+
+    def split(subset: list[Run]) -> dict[str, float]:
+        if not subset:
+            return {"entire": 0.0, "sequential": 0.0, "random": 0.0}
+        counts = {"entire": 0, "sequential": 0, "random": 0}
+        for run in subset:
+            counts[run.pattern(jump_blocks=jump_blocks).value] += 1
+        return {k: 100.0 * v / len(subset) for k, v in counts.items()}
+
+    def pct(subset: list[Run]) -> float:
+        return 100.0 * len(subset) / total if total else 0.0
+
+    return RunPatternTable(
+        reads=pct(kinds[RunKind.READ]),
+        writes=pct(kinds[RunKind.WRITE]),
+        read_writes=pct(kinds[RunKind.READ_WRITE]),
+        read_split=split(kinds[RunKind.READ]),
+        write_split=split(kinds[RunKind.WRITE]),
+        read_write_split=split(kinds[RunKind.READ_WRITE]),
+        total_runs=total,
+    )

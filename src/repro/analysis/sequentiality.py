@@ -1,0 +1,157 @@
+"""The sequentiality metric (Section 6.4, Figure 5).
+
+The entire/sequential/random taxonomy is too coarse: most "random"
+runs in the traces are long sequential sub-runs separated by short
+seeks.  The paper's finer measure, derived from Smith's layout score:
+
+    sequentiality metric = fraction of a run's block accesses that are
+    consecutive to their predecessor.
+
+A block access is *k-consecutive* when it lands within ``k`` blocks of
+the previous access (the paper uses k=10: jumps under 10 blocks on a
+contiguous file don't move the disk arm).  ``k=1`` is strict
+consecutiveness ("small jumps not allowed" in Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.runs import Run, RunKind
+from repro.fs.blockmap import block_range
+
+#: The paper's seek-tolerance: fewer than 10 blocks is "consecutive".
+DEFAULT_K = 10
+
+
+def run_block_sequence(run: Run) -> list[int]:
+    """The run's accesses flattened to a block-index sequence."""
+    blocks: list[int] = []
+    for access in run.accesses:
+        blocks.extend(block_range(access.offset, access.count))
+    return blocks
+
+
+def sequentiality_metric(blocks: Sequence[int], *, k: int = DEFAULT_K) -> float:
+    """Fraction of block accesses that are k-consecutive.
+
+    A single-block sequence is trivially sequential (1.0); an empty
+    sequence is treated the same.
+    """
+    if len(blocks) < 2:
+        return 1.0
+    consecutive = sum(
+        1
+        for prev, cur in zip(blocks, blocks[1:])
+        if abs(cur - prev) <= k
+    )
+    return consecutive / (len(blocks) - 1)
+
+
+def run_sequentiality(run: Run, *, k: int = DEFAULT_K) -> float:
+    """The sequentiality metric of one run."""
+    return sequentiality_metric(run_block_sequence(run), k=k)
+
+
+# -- Figure 5 aggregation --------------------------------------------------------
+
+#: Figure 5's x-axis buckets: run sizes from 16 KB to 64 MB (log scale).
+SIZE_BUCKETS = tuple(2**i * 1024 for i in range(4, 17))  # 16k .. 64M
+
+
+def bucket_of(nbytes: int, buckets: Sequence[int] = SIZE_BUCKETS) -> int:
+    """Index of the smallest bucket >= nbytes (clamped to the last)."""
+    for index, edge in enumerate(buckets):
+        if nbytes <= edge:
+            return index
+    return len(buckets) - 1
+
+
+@dataclass
+class SequentialityCurve:
+    """Average sequentiality metric per run-size bucket."""
+
+    buckets: tuple[int, ...]
+    averages: list[float]  # NaN where a bucket is empty
+    counts: list[int]
+
+    def points(self) -> list[tuple[int, float]]:
+        """(bucket_bytes, average) pairs for non-empty buckets."""
+        return [
+            (edge, avg)
+            for edge, avg, n in zip(self.buckets, self.averages, self.counts)
+            if n > 0
+        ]
+
+
+def sequentiality_by_run_size(
+    runs: Iterable[Run],
+    *,
+    k: int = DEFAULT_K,
+    kind: RunKind | None = None,
+    buckets: Sequence[int] = SIZE_BUCKETS,
+) -> SequentialityCurve:
+    """Figure 5's main panels: average metric vs bytes accessed in run.
+
+    Pass ``kind`` to restrict to read or write runs, and ``k=1`` for
+    the "small jumps not allowed" variant.
+    """
+    sums = [0.0] * len(buckets)
+    counts = [0] * len(buckets)
+    for run in runs:
+        if kind is not None and run.kind() is not kind:
+            continue
+        nbytes = run.bytes_accessed
+        if nbytes <= 0:
+            continue
+        index = bucket_of(nbytes, buckets)
+        sums[index] += run_sequentiality(run, k=k)
+        counts[index] += 1
+    averages = [
+        (sums[i] / counts[i]) if counts[i] else math.nan
+        for i in range(len(buckets))
+    ]
+    return SequentialityCurve(tuple(buckets), averages, counts)
+
+
+def cumulative_run_percentages(
+    runs: Iterable[Run], *, buckets: Sequence[int] = SIZE_BUCKETS
+) -> dict[str, list[float]]:
+    """Figure 5's bottom panels: cumulative % of runs by bytes accessed.
+
+    Returns series for "total", "read", and "write", each a cumulative
+    percentage (of *all* runs, as in the paper's plot labels
+    "Read runs (% of total)").
+    """
+    total_hist = [0] * len(buckets)
+    read_hist = [0] * len(buckets)
+    write_hist = [0] * len(buckets)
+    total = 0
+    for run in runs:
+        nbytes = run.bytes_accessed
+        if nbytes <= 0:
+            continue
+        index = bucket_of(nbytes, buckets)
+        total += 1
+        total_hist[index] += 1
+        kind = run.kind()
+        if kind is RunKind.READ:
+            read_hist[index] += 1
+        elif kind is RunKind.WRITE:
+            write_hist[index] += 1
+
+    def cumulative(hist: list[int]) -> list[float]:
+        out: list[float] = []
+        acc = 0
+        for value in hist:
+            acc += value
+            out.append(100.0 * acc / total if total else 0.0)
+        return out
+
+    return {
+        "total": cumulative(total_hist),
+        "read": cumulative(read_hist),
+        "write": cumulative(write_hist),
+    }

@@ -1,0 +1,118 @@
+"""Bytes accessed by file size and access pattern (Figure 2).
+
+Each run is categorized entire/sequential/random, and all of its bytes
+are credited to the bucket of the *file's size*.  The figure plots, per
+file-size bucket (1 KB to 100 MB, log scale), the cumulative percentage
+of all bytes accessed, as a total curve plus one curve per category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.runs import Run, RunPattern
+
+#: Figure 2's x-axis: file sizes 1 KB to 100 MB, roughly log-spaced.
+FILE_SIZE_BUCKETS = tuple(
+    int(1024 * (10 ** (i / 3.0))) for i in range(16)
+)  # 1k .. ~100M
+
+
+def _bucket(size: int, buckets: Sequence[int]) -> int:
+    for index, edge in enumerate(buckets):
+        if size <= edge:
+            return index
+    return len(buckets) - 1
+
+
+@dataclass
+class SizePatternCurves:
+    """Cumulative % of bytes accessed vs file size, per category."""
+
+    buckets: tuple[int, ...]
+    total: list[float]
+    entire: list[float]
+    sequential: list[float]
+    random: list[float]
+    total_bytes: int
+
+    def series(self) -> dict[str, list[float]]:
+        """All four curves keyed by name."""
+        return {
+            "total": self.total,
+            "entire": self.entire,
+            "sequential": self.sequential,
+            "random": self.random,
+        }
+
+    def final_shares(self) -> dict[str, float]:
+        """End-of-curve percentage per category (sums to ~100)."""
+        return {
+            "entire": self.entire[-1] if self.entire else 0.0,
+            "sequential": self.sequential[-1] if self.sequential else 0.0,
+            "random": self.random[-1] if self.random else 0.0,
+        }
+
+
+def bytes_by_file_size(
+    runs: Iterable[Run],
+    *,
+    jump_blocks: int = 10,
+    buckets: Sequence[int] = FILE_SIZE_BUCKETS,
+) -> SizePatternCurves:
+    """Build Figure 2's curves from a run list.
+
+    ``jump_blocks`` selects the processed classification (10), matching
+    the figure caption's reference to the Section 4.2 heuristic.
+    """
+    n = len(buckets)
+    hists = {
+        "total": [0] * n,
+        RunPattern.ENTIRE: [0] * n,
+        RunPattern.SEQUENTIAL: [0] * n,
+        RunPattern.RANDOM: [0] * n,
+    }
+    total_bytes = 0
+    for run in runs:
+        nbytes = run.bytes_accessed
+        if nbytes <= 0:
+            continue
+        size = run.file_size if run.file_size > 0 else nbytes
+        index = _bucket(size, buckets)
+        pattern = run.pattern(jump_blocks=jump_blocks)
+        hists["total"][index] += nbytes
+        hists[pattern][index] += nbytes
+        total_bytes += nbytes
+
+    def cumulative(hist: list[int]) -> list[float]:
+        out: list[float] = []
+        acc = 0
+        for value in hist:
+            acc += value
+            out.append(100.0 * acc / total_bytes if total_bytes else 0.0)
+        return out
+
+    return SizePatternCurves(
+        buckets=tuple(buckets),
+        total=cumulative(hists["total"]),
+        entire=cumulative(hists[RunPattern.ENTIRE]),
+        sequential=cumulative(hists[RunPattern.SEQUENTIAL]),
+        random=cumulative(hists[RunPattern.RANDOM]),
+        total_bytes=total_bytes,
+    )
+
+
+def large_file_byte_share(
+    curves: SizePatternCurves, threshold: int = 1024 * 1024
+) -> float:
+    """Percentage of bytes from files larger than ``threshold``.
+
+    The paper's headline contrast: on CAMPUS the vast majority of
+    bytes come from files over 1 MB; on EECS most come from under 1 MB.
+    """
+    for index, edge in enumerate(curves.buckets):
+        if edge >= threshold:
+            below = curves.total[index - 1] if index > 0 else 0.0
+            return 100.0 - below
+    return 0.0

@@ -1,0 +1,102 @@
+"""Consistent random value mapping.
+
+The core anonymization primitive: the first time a value is seen it is
+assigned a fresh token drawn from a keyed random stream; every later
+occurrence maps to the same token.  Because tokens are random rather
+than hashed, possession of a token reveals nothing about the original
+value, and the same value anonymized at two sites (two keys) yields
+unrelated tokens — both properties the paper requires.
+
+Mappings can be exported and re-imported so a site can anonymize a
+rolling trace series consistently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import AnonymizationError
+
+
+class ConsistentMapper:
+    """Maps strings to consistent random tokens.
+
+    Args:
+        rng: keyed random stream (the site's secret).
+        prefix: token prefix, to keep namespaces readable (``u`` for
+            UIDs, ``d`` for directory components, ...).
+        token_bits: size of the random token space.  Collisions are
+            detected and retried, so the space only needs to be
+            comfortably larger than the number of distinct values.
+    """
+
+    def __init__(
+        self, rng: random.Random, prefix: str = "", *, token_bits: int = 32
+    ) -> None:
+        self.rng = rng
+        self.prefix = prefix
+        self.token_bits = token_bits
+        self._forward: dict[str, str] = {}
+        self._taken: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._forward
+
+    def map(self, value: str) -> str:
+        """The token for ``value``, minted on first sight."""
+        token = self._forward.get(value)
+        if token is None:
+            token = self._mint()
+            self._forward[value] = token
+            self._taken.add(token)
+        return token
+
+    def pin(self, value: str, token: str) -> None:
+        """Force ``value`` to map to ``token`` (configuration override).
+
+        Raises:
+            AnonymizationError: if either side is already mapped
+                inconsistently.
+        """
+        existing = self._forward.get(value)
+        if existing is not None and existing != token:
+            raise AnonymizationError(
+                f"{value!r} already mapped to {existing!r}, cannot pin to {token!r}"
+            )
+        if token in self._taken and existing != token:
+            raise AnonymizationError(f"token {token!r} already in use")
+        self._forward[value] = token
+        self._taken.add(token)
+
+    def export(self) -> dict[str, str]:
+        """A copy of the full mapping, for persistence across traces."""
+        return dict(self._forward)
+
+    @classmethod
+    def restore(
+        cls,
+        mapping: dict[str, str],
+        rng: random.Random,
+        prefix: str = "",
+        *,
+        token_bits: int = 32,
+    ) -> "ConsistentMapper":
+        """Rebuild a mapper from an exported mapping."""
+        mapper = cls(rng, prefix, token_bits=token_bits)
+        mapper._forward = dict(mapping)
+        mapper._taken = set(mapping.values())
+        return mapper
+
+    def _mint(self) -> str:
+        width = (self.token_bits + 3) // 4
+        for _ in range(64):
+            token = f"{self.prefix}{self.rng.getrandbits(self.token_bits):0{width}x}"
+            if token not in self._taken:
+                return token
+        raise AnonymizationError(
+            f"token space exhausted for prefix {self.prefix!r} "
+            f"({self.token_bits} bits)"
+        )

@@ -1,0 +1,389 @@
+"""The ``repro`` command-line entry point.
+
+Subcommands are thin wrappers over the library; all heavy lifting
+lives in :mod:`repro.workloads`, :mod:`repro.anonymize`, and
+:mod:`repro.analysis`, so everything the CLI does is equally available
+programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.characterize import characterize
+from repro.analysis.lifetimes import (
+    BIRTH_EXTENSION,
+    BIRTH_WRITE,
+    DEATH_DELETE,
+    DEATH_OVERWRITE,
+    DEATH_TRUNCATE,
+    BlockLifetimeAnalyzer,
+)
+from repro.analysis.pairing import pair_all
+from repro.analysis.reorder import reorder_window_sort
+from repro.analysis.runs import RunBuilder, classify_runs
+from repro.analysis.summary import summarize_trace
+from repro.anonymize import Anonymizer, default_rules
+from repro.anonymize.rules import omit_rules
+from repro.report import format_table
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.trace import TraceReader, TraceWriter
+from repro.workloads import (
+    CampusEmailWorkload,
+    CampusParams,
+    EecsParams,
+    EecsResearchWorkload,
+    TracedSystem,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Passive NFS tracing reproduction toolchain (FAST '03).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic trace")
+    sim.add_argument("--system", choices=("campus", "eecs"), required=True)
+    sim.add_argument("--days", type=float, default=1.0)
+    sim.add_argument("--users", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--mirror-bandwidth", type=float, default=None,
+                     help="mirror port bytes/s (default: lossless)")
+    sim.add_argument("--out", required=True)
+    sim.set_defaults(func=cmd_simulate)
+
+    anon = sub.add_parser("anonymize", help="anonymize a trace for sharing")
+    anon.add_argument("--key", type=int, required=True,
+                      help="site secret; reuse it for consistent multi-file output")
+    anon.add_argument("--omit", action="store_true",
+                      help="drop names/UIDs/GIDs/IPs entirely")
+    anon.add_argument("--mappings", default=None,
+                      help="JSON file to load/store mapping tables")
+    anon.add_argument("--in", dest="input", required=True)
+    anon.add_argument("--out", required=True)
+    anon.set_defaults(func=cmd_anonymize)
+
+    summary = sub.add_parser("summary", help="daily activity summary (Table 2)")
+    _add_window_args(summary)
+    summary.set_defaults(func=cmd_summary)
+
+    runs = sub.add_parser("runs", help="run-pattern classification (Table 3)")
+    _add_window_args(runs)
+    runs.add_argument("--window-ms", type=float, default=10.0,
+                      help="reorder window (paper: 10 CAMPUS, 5 EECS)")
+    runs.add_argument("--jumps", type=int, default=10,
+                      help="seek tolerance in blocks (1 = strict)")
+    runs.set_defaults(func=cmd_runs)
+
+    lifetimes = sub.add_parser(
+        "lifetimes", help="create-based block lifetimes (Table 4 / Figure 3)"
+    )
+    lifetimes.add_argument("--in", dest="input", required=True)
+    lifetimes.add_argument("--phase1-start", type=float, default=0.0)
+    lifetimes.add_argument("--phase1-end", type=float, default=None,
+                           help="default: midpoint of the trace")
+    lifetimes.add_argument("--phase2-end", type=float, default=None,
+                           help="default: end of the trace")
+    lifetimes.set_defaults(func=cmd_lifetimes)
+
+    report = sub.add_parser("report", help="full characterization (Table 1)")
+    _add_window_args(report)
+    report.set_defaults(func=cmd_report)
+
+    names = sub.add_parser(
+        "names", help="filename-category statistics and prediction (Sec 6.3)"
+    )
+    names.add_argument("--in", dest="input", required=True)
+    names.set_defaults(func=cmd_names)
+
+    convert = sub.add_parser(
+        "convert", help="convert an Ellard/SNIA nfsdump file to this format"
+    )
+    convert.add_argument("--in", dest="input", required=True)
+    convert.add_argument("--out", required=True)
+    convert.set_defaults(func=cmd_convert)
+
+    return parser
+
+
+def _add_window_args(sub) -> None:
+    sub.add_argument("--in", dest="input", required=True)
+    sub.add_argument("--start", type=float, default=None)
+    sub.add_argument("--end", type=float, default=None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def cmd_simulate(args) -> int:
+    """Generate a synthetic trace file."""
+    if args.system == "campus":
+        params = CampusParams()
+        if args.users:
+            params.users = args.users
+        system = TracedSystem(
+            seed=args.seed,
+            quota_bytes=params.quota_bytes,
+            mirror_bandwidth=args.mirror_bandwidth,
+        )
+        workload = CampusEmailWorkload(params)
+    else:
+        params = EecsParams()
+        if args.users:
+            params.users = args.users
+        system = TracedSystem(
+            seed=args.seed, mirror_bandwidth=args.mirror_bandwidth
+        )
+        workload = EecsResearchWorkload(params)
+    workload.attach(system)
+    # the simulated week begins on a quiet Sunday; run through it so
+    # the requested window starts Monday 00:00 with caches warm
+    system.run((1.0 + args.days) * SECONDS_PER_DAY)
+    count = 0
+    with TraceWriter(args.out) as writer:
+        for record in system.collector.sorted_records():
+            if record.time >= SECONDS_PER_DAY:
+                writer.write(record)
+                count += 1
+    drop = system.mirror.drop_rate
+    print(
+        f"wrote {count} records to {args.out} "
+        f"({args.days:g} day(s) from Monday 00:00, {params.users} users, "
+        f"mirror loss {drop:.1%})"
+    )
+    return 0
+
+
+def cmd_anonymize(args) -> int:
+    """Anonymize a trace file (optionally with persistent mappings)."""
+    rules = omit_rules() if args.omit else default_rules()
+    anonymizer = Anonymizer(key=args.key, rules=rules)
+    mapping_path = Path(args.mappings) if args.mappings else None
+    if mapping_path is not None and mapping_path.exists():
+        anonymizer.import_mappings(json.loads(mapping_path.read_text()))
+    count = 0
+    with TraceWriter(args.out) as writer:
+        with TraceReader(args.input) as reader:
+            for record in reader:
+                writer.write(anonymizer.anonymize_record(record))
+                count += 1
+    if mapping_path is not None:
+        mapping_path.write_text(json.dumps(anonymizer.export_mappings()))
+    print(f"anonymized {count} records -> {args.out}")
+    return 0
+
+
+def _load_ops(args):
+    with TraceReader(args.input) as reader:
+        ops, stats = pair_all(reader)
+    if not ops:
+        raise ValueError(f"no pairable operations in {args.input}")
+    start = args.start if args.start is not None else ops[0].time
+    end = args.end if args.end is not None else ops[-1].time + 1e-6
+    return ops, stats, start, end
+
+
+def cmd_summary(args) -> int:
+    """Print a Table 2-style summary."""
+    ops, stats, start, end = _load_ops(args)
+    s = summarize_trace(ops, start, end)
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ["Window (days)", f"{s.days:.3f}"],
+                ["Total ops", s.total_ops],
+                ["Ops/day", f"{s.ops_per_day:,.0f}"],
+                ["Read ops/day", f"{s.read_ops_per_day:,.0f}"],
+                ["Write ops/day", f"{s.write_ops_per_day:,.0f}"],
+                ["GB read/day", f"{s.gb_read_per_day:.4f}"],
+                ["GB written/day", f"{s.gb_written_per_day:.4f}"],
+                ["R/W bytes ratio", f"{s.rw_byte_ratio:.3f}"],
+                ["R/W ops ratio", f"{s.rw_op_ratio:.3f}"],
+                ["Metadata fraction", f"{s.metadata_fraction:.3f}"],
+                ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
+            ],
+            title=f"Summary of {args.input}",
+        )
+    )
+    return 0
+
+
+def cmd_runs(args) -> int:
+    """Print a Table 3-style run classification."""
+    ops, _stats, start, end = _load_ops(args)
+    data = [
+        op for op in ops
+        if start <= op.time < end and (op.is_read() or op.is_write())
+    ]
+    data = reorder_window_sort(data, args.window_ms / 1000.0)
+    table = classify_runs(
+        RunBuilder().feed_all(data).finish(), jump_blocks=args.jumps
+    )
+    print(
+        format_table(
+            ["Access pattern", "%"],
+            [[label, f"{value:.1f}"] for label, value in table.as_rows()],
+            title=(
+                f"Run patterns of {args.input} "
+                f"(window {args.window_ms:g}ms, jumps<{args.jumps})"
+            ),
+        )
+    )
+    print(f"total runs: {table.total_runs}")
+    return 0
+
+
+def cmd_lifetimes(args) -> int:
+    """Print Table 4 numbers and a Figure 3-style CDF."""
+    with TraceReader(args.input) as reader:
+        ops, _stats = pair_all(reader)
+    if not ops:
+        raise ValueError(f"no pairable operations in {args.input}")
+    t_first, t_last = ops[0].time, ops[-1].time
+    phase1_start = args.phase1_start
+    phase2_end = args.phase2_end if args.phase2_end is not None else t_last
+    phase1_end = (
+        args.phase1_end
+        if args.phase1_end is not None
+        else phase1_start + (phase2_end - phase1_start) / 2
+    )
+    analyzer = BlockLifetimeAnalyzer(phase1_start, phase1_end, phase2_end)
+    analyzer.observe_all(ops)
+    report = analyzer.report()
+    rows = [
+        ["Total births", report.total_births],
+        ["  by write", f"{report.birth_fraction(BIRTH_WRITE):.1%}"],
+        ["  by extension", f"{report.birth_fraction(BIRTH_EXTENSION):.1%}"],
+        ["Total deaths", report.total_deaths],
+        ["  by overwrite", f"{report.death_fraction(DEATH_OVERWRITE):.1%}"],
+        ["  by truncate", f"{report.death_fraction(DEATH_TRUNCATE):.1%}"],
+        ["  by deletion", f"{report.death_fraction(DEATH_DELETE):.1%}"],
+        ["End surplus", f"{report.end_surplus_fraction:.1%}"],
+    ]
+    median = report.median_lifetime()
+    if median is not None:
+        rows.append(["Median lifetime (s)", f"{median:.2f}"])
+    print(format_table(["Statistic", "Value"], rows,
+                       title=f"Block lifetimes of {args.input}"))
+    cdf = report.lifetime_cdf([1, 30, 300, 3600, 86400])
+    print()
+    print(format_table(
+        ["Lifetime <=", "cum %"],
+        [[f"{int(p)}s", f"{pct:.1f}"] for p, pct in cdf],
+        title="Lifetime CDF",
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Print the full Table 1-style characterization."""
+    ops, _stats, start, end = _load_ops(args)
+    c = characterize(ops, start, end)
+    rows = [
+        ["Dominant call type", c.dominant_call_type()],
+        ["Metadata fraction", f"{c.metadata_fraction:.1%}"],
+        ["Read/write balance", c.read_write_balance()],
+        ["R/W bytes ratio", f"{c.rw_byte_ratio:.2f}"],
+        ["Mailbox byte share", f"{c.mailbox_byte_share:.1%}"],
+        ["Lock file share (unique files)", f"{c.lock_file_share:.1%}"],
+        ["Mailbox file share (unique files)", f"{c.mailbox_file_share:.1%}"],
+        [
+            "Median block lifetime (s)",
+            f"{c.median_block_lifetime:.2f}" if c.median_block_lifetime else "-",
+        ],
+        ["Blocks dead within 1s", f"{c.fraction_blocks_dead_within_1s:.1%}"],
+        ["Dominant death cause", c.dominant_death_cause()],
+        ["Peak variance reduction", f"{c.peak_variance_reduction:.2f}x"],
+    ]
+    print(format_table(["Characteristic", "Value"], rows,
+                       title=f"Characterization of {args.input}"))
+    return 0
+
+
+def cmd_names(args) -> int:
+    """Print name-category census and prediction accuracies."""
+    from repro.analysis.names import NameCategoryAnalyzer
+
+    with TraceReader(args.input) as reader:
+        ops, _stats = pair_all(reader)
+    if not ops:
+        raise ValueError(f"no pairable operations in {args.input}")
+    analyzer = NameCategoryAnalyzer().observe_all(ops)
+    census = analyzer.category_census()
+    total = sum(census.values()) or 1
+    print(
+        format_table(
+            ["Category", "Files", "Share"],
+            [
+                [category, count, f"{count / total:.1%}"]
+                for category, count in census.most_common()
+            ],
+            title=f"Name categories in {args.input}",
+        )
+    )
+    dead = analyzer.created_and_deleted()
+    if dead:
+        lock_share = analyzer.category_share("lock", dead)
+        print(f"\nfiles created+deleted in trace: {len(dead)} "
+              f"({lock_share:.0%} locks)")
+    print()
+    rows = []
+    for attribute in ("size", "lifetime", "pattern"):
+        result = analyzer.predict(attribute)
+        rows.append(
+            [
+                attribute,
+                f"{result.name_based_accuracy:.0%}",
+                f"{result.baseline_accuracy:.0%}",
+                result.test_files,
+            ]
+        )
+    print(
+        format_table(
+            ["Attribute", "Name-based accuracy", "Baseline", "Test files"],
+            rows,
+            title="Prediction from filenames",
+        )
+    )
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """Convert an nfsdump-format capture to the library's format."""
+    from repro.trace.nfsdump import convert_nfsdump
+
+    stats = convert_nfsdump(args.input, args.out)
+    print(
+        f"converted {stats.converted} of {stats.lines} lines "
+        f"({stats.skipped} skipped) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

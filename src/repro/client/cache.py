@@ -1,0 +1,175 @@
+"""Weakly-consistent client-side cache.
+
+NFSv2/v3 clients cache data and attributes without server-side
+invalidation.  The standard behaviour modelled here:
+
+* Attributes are cached for an *attribute cache timeout* (``ac_timeout``,
+  3 s by default, as in typical ``acregmin`` settings).  While fresh,
+  opens and stats are absorbed; once stale, the client emits a GETATTR
+  (or revalidating LOOKUP/ACCESS) — the traffic that dominates EECS.
+* Data is cached per 8 KB block, keyed by file handle.  Whole-file
+  invalidation on mtime change reproduces NFS's file-granularity
+  consistency: one appended mail message invalidates the entire cached
+  inbox (Section 6.1.2).
+* The cache has a bounded block capacity with LRU eviction, standing in
+  for the client's page cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.nfs.attributes import FileAttributes
+from repro.nfs.filehandle import FileHandle
+
+
+@dataclass
+class CachedFile:
+    """Per-file cache state on one client."""
+
+    fh: FileHandle
+    attrs: FileAttributes
+    attrs_fetched_at: float
+    blocks: set[int] = field(default_factory=set)
+
+    def attrs_fresh(self, now: float, ac_timeout: float) -> bool:
+        """Whether the cached attributes are still within the ac timeout."""
+        return (now - self.attrs_fetched_at) <= ac_timeout
+
+
+class ClientCache:
+    """Attribute + block cache for one client host.
+
+    Also caches directory lookups (name -> handle), since lookup
+    results are cached by real clients with the same timeout discipline
+    as attributes.
+    """
+
+    def __init__(
+        self,
+        *,
+        ac_timeout: float = 3.0,
+        name_timeout: float = 30.0,
+        capacity_blocks: int = 65536,
+    ) -> None:
+        self.ac_timeout = ac_timeout
+        #: Lookup results live longer than attributes (the dnlc), so a
+        #: client with a cached name but stale attributes emits GETATTR
+        #: rather than LOOKUP — the EECS-dominating traffic.
+        self.name_timeout = name_timeout
+        self.capacity_blocks = capacity_blocks
+        self._files: dict[FileHandle, CachedFile] = {}
+        #: (dir handle, name) -> (child handle, cached_at)
+        self._names: dict[tuple[FileHandle, str], tuple[FileHandle, float]] = {}
+        #: global block LRU: (fh, block) -> None
+        self._lru: OrderedDict[tuple[FileHandle, int], None] = OrderedDict()
+        self.invalidations = 0
+        self.blocks_invalidated = 0
+
+    # -- attribute cache -----------------------------------------------------
+
+    def get_file(self, fh: FileHandle) -> CachedFile | None:
+        """Cached state for ``fh``, or None."""
+        return self._files.get(fh)
+
+    def update_attrs(self, fh: FileHandle, attrs: FileAttributes, now: float) -> None:
+        """Install fresh attributes, invalidating blocks on mtime change.
+
+        This is the weak-consistency pivot: if the server's mtime
+        differs from the cached one, every cached block of the file is
+        dropped (file-granularity invalidation).
+        """
+        entry = self._files.get(fh)
+        if entry is None:
+            self._files[fh] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
+            return
+        if entry.attrs.mtime != attrs.mtime:
+            self._invalidate_blocks(entry)
+        entry.attrs = attrs
+        entry.attrs_fetched_at = now
+
+    def attrs_fresh(self, fh: FileHandle, now: float) -> bool:
+        """True when ``fh`` has attributes within the ac timeout."""
+        entry = self._files.get(fh)
+        return entry is not None and entry.attrs_fresh(now, self.ac_timeout)
+
+    def note_local_write(self, fh: FileHandle, attrs: FileAttributes, now: float) -> None:
+        """Record attributes produced by our *own* write reply.
+
+        Our own writes move the server mtime; that must not invalidate
+        our cache (we wrote the data), so this path updates attributes
+        without the mtime comparison.
+        """
+        entry = self._files.get(fh)
+        if entry is None:
+            self._files[fh] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
+        else:
+            entry.attrs = attrs
+            entry.attrs_fetched_at = now
+
+    def forget(self, fh: FileHandle) -> None:
+        """Drop all state for ``fh`` (file removed)."""
+        entry = self._files.pop(fh, None)
+        if entry is not None:
+            self._invalidate_blocks(entry)
+
+    # -- name cache -----------------------------------------------------------
+
+    def lookup_name(self, dir_fh: FileHandle, name: str, now: float) -> FileHandle | None:
+        """Cached lookup result, or None if absent/expired."""
+        hit = self._names.get((dir_fh, name))
+        if hit is None:
+            return None
+        fh, cached_at = hit
+        if (now - cached_at) > self.name_timeout:
+            return None
+        return fh
+
+    def cache_name(self, dir_fh: FileHandle, name: str, fh: FileHandle, now: float) -> None:
+        """Remember a lookup result."""
+        self._names[(dir_fh, name)] = (fh, now)
+
+    def forget_name(self, dir_fh: FileHandle, name: str) -> None:
+        """Drop a name cache entry (after remove/rename)."""
+        self._names.pop((dir_fh, name), None)
+
+    # -- block cache -----------------------------------------------------------
+
+    def has_block(self, fh: FileHandle, block: int) -> bool:
+        """True when ``block`` of ``fh`` is cached."""
+        entry = self._files.get(fh)
+        if entry is None or block not in entry.blocks:
+            return False
+        self._lru.move_to_end((fh, block))
+        return True
+
+    def add_block(self, fh: FileHandle, block: int) -> None:
+        """Insert a block, evicting LRU blocks if over capacity."""
+        entry = self._files.get(fh)
+        if entry is None:
+            return  # no attributes yet: nothing to validate against
+        if block not in entry.blocks:
+            entry.blocks.add(block)
+            self._lru[(fh, block)] = None
+        else:
+            self._lru.move_to_end((fh, block))
+        while len(self._lru) > self.capacity_blocks:
+            (old_fh, old_block), _ = self._lru.popitem(last=False)
+            old_entry = self._files.get(old_fh)
+            if old_entry is not None:
+                old_entry.blocks.discard(old_block)
+
+    def cached_blocks(self, fh: FileHandle) -> int:
+        """Number of cached blocks for ``fh``."""
+        entry = self._files.get(fh)
+        return len(entry.blocks) if entry else 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _invalidate_blocks(self, entry: CachedFile) -> None:
+        self.invalidations += 1
+        self.blocks_invalidated += len(entry.blocks)
+        for block in entry.blocks:
+            self._lru.pop((entry.fh, block), None)
+        entry.blocks.clear()

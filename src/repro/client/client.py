@@ -1,0 +1,416 @@
+"""POSIX-to-NFS translation for one simulated client host.
+
+The workload generators speak a small POSIX-like interface (open,
+read, write, close, create, unlink, stat, ...).  This class translates
+it into NFS calls the way a real client does:
+
+* path resolution walks the directory tree with LOOKUP calls, served
+  from the name cache while fresh;
+* open/close vanish — they surface only as ACCESS/GETATTR revalidation
+  traffic (Section 4.1.2 of the paper);
+* reads are absorbed by the block cache when attributes are fresh, and
+  sequential reads trigger client read-ahead (Section 4.1.3);
+* reads and writes go to the wire through the nfsiod pool, which is
+  what reorders them (Section 4.1.5).
+
+Every call is sent through an ``exchange`` callable — in full
+simulations that is a :class:`repro.netsim.link.NetworkPath` with a
+mirror-port tap; in unit tests it can wrap a server directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fs.blockmap import BLOCK_SIZE, block_range
+from repro.client.cache import ClientCache
+from repro.client.nfsiod import NfsiodPool
+from repro.nfs.attributes import FileAttributes
+from repro.nfs.filehandle import FileHandle
+from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
+from repro.nfs.procedures import NfsProc, NfsVersion
+from repro.nfs.rpc import RpcChannel, Transport
+from repro.simcore.clock import SimClock
+
+Exchange = Callable[[NfsCall], NfsReply]
+
+
+@dataclass
+class OpenFile:
+    """Client-side state for one open file (no wire presence)."""
+
+    path: str
+    fh: FileHandle
+    uid: int
+    gid: int
+    last_block: int | None = None
+    sequential_streak: int = 0
+    wrote: bool = False
+    attrs: FileAttributes | None = field(default=None, repr=False)
+
+    @property
+    def size(self) -> int:
+        """Client's current idea of the file size."""
+        return self.attrs.size if self.attrs is not None else 0
+
+
+class NfsClient:
+    """One client host mounted on one server export."""
+
+    def __init__(
+        self,
+        host: str,
+        server_addr: str,
+        root: FileHandle,
+        exchange: Exchange,
+        clock: SimClock,
+        rng: random.Random,
+        *,
+        version: NfsVersion = NfsVersion.V3,
+        transport: Transport = Transport.TCP,
+        nfsiod_count: int = 4,
+        ac_timeout: float = 3.0,
+        name_timeout: float = 30.0,
+        cache_blocks: int = 65536,
+        readahead_blocks: int = 4,
+        op_gap: float = 0.0003,
+    ) -> None:
+        self.host = host
+        self.server_addr = server_addr
+        self.root = root
+        self.exchange = exchange
+        self.clock = clock
+        self.rng = rng
+        self.version = version
+        self.transport = transport
+        self.readahead_blocks = readahead_blocks
+        self.op_gap = op_gap
+        self.cache = ClientCache(
+            ac_timeout=ac_timeout,
+            name_timeout=name_timeout,
+            capacity_blocks=cache_blocks,
+        )
+        self.channel = RpcChannel(host, server_addr, transport)
+        self.nfsiods = NfsiodPool(nfsiod_count, rng, transport=transport)
+        self._cursor = 0.0
+        self.reads_absorbed = 0
+        self.calls_sent = 0
+
+    # -- public POSIX-ish interface -------------------------------------------
+
+    def open(self, path: str, uid: int = 0, gid: int = 0) -> OpenFile:
+        """Open an existing file; emits revalidation traffic as needed."""
+        self._sync_cursor()
+        fh = self._resolve(path, uid, gid)
+        attrs = self._revalidate(fh, uid, gid)
+        return OpenFile(path=path, fh=fh, uid=uid, gid=gid, attrs=attrs)
+
+    def create(
+        self, path: str, uid: int = 0, gid: int = 0, *, exclusive: bool = False
+    ) -> OpenFile:
+        """Create (or truncate) a file and return it open.
+
+        Raises:
+            FileNotFoundError: if the parent directory is missing.
+            FileExistsError: on a failed exclusive create.
+        """
+        self._sync_cursor()
+        dir_path, name = self._split(path)
+        dir_fh = self._resolve(dir_path, uid, gid)
+        reply = self._rpc(
+            NfsProc.CREATE, uid=uid, gid=gid, fh=dir_fh, name=name
+        )
+        if reply.status is NfsStatus.EXIST and exclusive:
+            raise FileExistsError(path)
+        if not reply.ok():
+            raise OSError(f"create {path}: {reply.status}")
+        self.cache.cache_name(dir_fh, name, reply.fh, self._cursor)
+        self.cache.update_attrs(reply.fh, reply.attributes, self._cursor)
+        return OpenFile(
+            path=path, fh=reply.fh, uid=uid, gid=gid, attrs=reply.attributes
+        )
+
+    def read(self, of: OpenFile, offset: int, count: int) -> int:
+        """Read ``count`` bytes at ``offset``; returns bytes obtained.
+
+        Cached, attribute-valid blocks are absorbed; misses go to the
+        wire block by block through the nfsiod pool, plus read-ahead
+        when the access pattern has been sequential.
+        """
+        self._sync_cursor()
+        if count <= 0:
+            return 0
+        self._maybe_revalidate(of)
+        size = of.size
+        if offset >= size:
+            return 0
+        count = min(count, size - offset)
+        got = 0
+        for block in block_range(offset, count):
+            block_start = block * BLOCK_SIZE
+            want = min(BLOCK_SIZE, size - block_start)
+            if self.cache.has_block(of.fh, block):
+                self.reads_absorbed += 1
+            else:
+                reply = self._rpc(
+                    NfsProc.READ,
+                    uid=of.uid, gid=of.gid, fh=of.fh,
+                    offset=block_start, count=want,
+                    asynchronous=True,
+                )
+                if reply.ok():
+                    self.cache.add_block(of.fh, block)
+                    if reply.attributes is not None:
+                        self.cache.note_local_write(
+                            of.fh, reply.attributes, self._cursor
+                        )
+                        of.attrs = reply.attributes
+            got += min(want, max(0, offset + count - block_start))
+            self._track_sequential(of, block)
+            self._read_ahead(of)
+        return min(got, count)
+
+    def write(self, of: OpenFile, offset: int, count: int) -> int:
+        """Write ``count`` bytes at ``offset`` (write-through, 8 KB chunks)."""
+        self._sync_cursor()
+        if count <= 0:
+            return 0
+        written = 0
+        position = offset
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, BLOCK_SIZE - (position % BLOCK_SIZE))
+            reply = self._rpc(
+                NfsProc.WRITE,
+                uid=of.uid, gid=of.gid, fh=of.fh,
+                offset=position, count=chunk,
+                asynchronous=True,
+            )
+            if not reply.ok():
+                break
+            if reply.attributes is not None:
+                self.cache.note_local_write(of.fh, reply.attributes, self._cursor)
+                of.attrs = reply.attributes
+            self.cache.add_block(of.fh, position // BLOCK_SIZE)
+            of.wrote = True
+            written += chunk
+            position += chunk
+            remaining -= chunk
+        return written
+
+    def append(self, of: OpenFile, count: int) -> int:
+        """Write ``count`` bytes at the client's idea of EOF."""
+        return self.write(of, of.size, count)
+
+    def close(self, of: OpenFile) -> None:
+        """Close: v3 clients commit unstable writes on close."""
+        self._sync_cursor()
+        if of.wrote and self.version is NfsVersion.V3:
+            self._rpc(NfsProc.COMMIT, uid=of.uid, gid=of.gid, fh=of.fh)
+            of.wrote = False
+
+    def stat(self, path: str, uid: int = 0, gid: int = 0) -> FileAttributes | None:
+        """stat(2): absorbed while attributes are fresh.
+
+        Returns None (after a wire round trip) when the file is absent.
+        """
+        self._sync_cursor()
+        try:
+            fh = self._resolve(path, uid, gid)
+        except FileNotFoundError:
+            return None
+        return self._revalidate(fh, uid, gid)
+
+    def truncate(self, of: OpenFile, size: int) -> None:
+        """ftruncate(2) → SETATTR with a size."""
+        self._sync_cursor()
+        reply = self._rpc(
+            NfsProc.SETATTR, uid=of.uid, gid=of.gid, fh=of.fh, size=size
+        )
+        if reply.ok() and reply.attributes is not None:
+            self.cache.note_local_write(of.fh, reply.attributes, self._cursor)
+            of.attrs = reply.attributes
+
+    def unlink(self, path: str, uid: int = 0, gid: int = 0) -> bool:
+        """unlink(2) → REMOVE; returns True on success."""
+        self._sync_cursor()
+        dir_path, name = self._split(path)
+        try:
+            dir_fh = self._resolve(dir_path, uid, gid)
+        except FileNotFoundError:
+            return False
+        target = self.cache.lookup_name(dir_fh, name, self._cursor)
+        reply = self._rpc(NfsProc.REMOVE, uid=uid, gid=gid, fh=dir_fh, name=name)
+        self.cache.forget_name(dir_fh, name)
+        if target is not None:
+            self.cache.forget(target)
+        return reply.ok()
+
+    def mkdir(self, path: str, uid: int = 0, gid: int = 0) -> bool:
+        """mkdir(2); returns True on success."""
+        self._sync_cursor()
+        dir_path, name = self._split(path)
+        dir_fh = self._resolve(dir_path, uid, gid)
+        reply = self._rpc(NfsProc.MKDIR, uid=uid, gid=gid, fh=dir_fh, name=name)
+        if reply.ok():
+            self.cache.cache_name(dir_fh, name, reply.fh, self._cursor)
+            self.cache.update_attrs(reply.fh, reply.attributes, self._cursor)
+        return reply.ok()
+
+    def rename(self, src: str, dst: str, uid: int = 0, gid: int = 0) -> bool:
+        """rename(2); returns True on success."""
+        self._sync_cursor()
+        src_dir, src_name = self._split(src)
+        dst_dir, dst_name = self._split(dst)
+        src_fh = self._resolve(src_dir, uid, gid)
+        dst_fh = self._resolve(dst_dir, uid, gid)
+        reply = self._rpc(
+            NfsProc.RENAME, uid=uid, gid=gid, fh=src_fh, name=src_name,
+            target_fh=dst_fh, target_name=dst_name,
+        )
+        self.cache.forget_name(src_fh, src_name)
+        self.cache.forget_name(dst_fh, dst_name)
+        if reply.ok() and reply.fh is not None:
+            self.cache.cache_name(dst_fh, dst_name, reply.fh, self._cursor)
+        return reply.ok()
+
+    def readdir(self, path: str, uid: int = 0, gid: int = 0) -> tuple[str, ...]:
+        """List a directory (READDIRPLUS on v3, READDIR on v2)."""
+        self._sync_cursor()
+        dir_fh = self._resolve(path, uid, gid)
+        proc = (
+            NfsProc.READDIRPLUS if self.version is NfsVersion.V3 else NfsProc.READDIR
+        )
+        reply = self._rpc(proc, uid=uid, gid=gid, fh=dir_fh)
+        return reply.data_names if reply.ok() else ()
+
+    @property
+    def now(self) -> float:
+        """The client's local operation cursor (simulated seconds)."""
+        return self._cursor
+
+    # -- internals ----------------------------------------------------------------
+
+    def _sync_cursor(self) -> None:
+        self._cursor = max(self._cursor, self.clock.now)
+
+    @staticmethod
+    def _split(path: str) -> tuple[str, str]:
+        path = path.rstrip("/")
+        head, _, name = path.rpartition("/")
+        return head or "/", name
+
+    def _resolve(self, path: str, uid: int, gid: int) -> FileHandle:
+        """Walk ``path`` with cached or wire LOOKUPs.
+
+        Raises:
+            FileNotFoundError: if any component is missing.
+        """
+        fh = self.root
+        for part in (p for p in path.split("/") if p):
+            cached = self.cache.lookup_name(fh, part, self._cursor)
+            if cached is not None:
+                fh = cached
+                continue
+            reply = self._rpc(NfsProc.LOOKUP, uid=uid, gid=gid, fh=fh, name=part)
+            if not reply.ok():
+                raise FileNotFoundError(f"{path}: missing component {part!r}")
+            self.cache.cache_name(fh, part, reply.fh, self._cursor)
+            self.cache.update_attrs(reply.fh, reply.attributes, self._cursor)
+            fh = reply.fh
+        return fh
+
+    def _revalidate(self, fh: FileHandle, uid: int, gid: int) -> FileAttributes | None:
+        """GETATTR (plus v3 ACCESS) unless the attribute cache is fresh."""
+        if self.cache.attrs_fresh(fh, self._cursor):
+            entry = self.cache.get_file(fh)
+            return entry.attrs if entry else None
+        if self.version is NfsVersion.V3:
+            self._rpc(NfsProc.ACCESS, uid=uid, gid=gid, fh=fh)
+        reply = self._rpc(NfsProc.GETATTR, uid=uid, gid=gid, fh=fh)
+        if not reply.ok():
+            return None
+        self.cache.update_attrs(fh, reply.attributes, self._cursor)
+        return reply.attributes
+
+    def _maybe_revalidate(self, of: OpenFile) -> None:
+        if not self.cache.attrs_fresh(of.fh, self._cursor):
+            attrs = self._revalidate(of.fh, of.uid, of.gid)
+            if attrs is not None:
+                of.attrs = attrs
+
+    def _track_sequential(self, of: OpenFile, block: int) -> None:
+        if of.last_block is not None and block == of.last_block + 1:
+            of.sequential_streak += 1
+        elif of.last_block is not None and block != of.last_block:
+            of.sequential_streak = 0
+        of.last_block = block
+
+    def _read_ahead(self, of: OpenFile) -> None:
+        """Prefetch ahead of a sequential stream (client-side)."""
+        if of.sequential_streak < 2 or of.last_block is None:
+            return
+        size_blocks = -(-of.size // BLOCK_SIZE)
+        for ahead in range(of.last_block + 1, of.last_block + 1 + self.readahead_blocks):
+            if ahead >= size_blocks:
+                break
+            if self.cache.has_block(of.fh, ahead):
+                continue
+            start = ahead * BLOCK_SIZE
+            want = min(BLOCK_SIZE, of.size - start)
+            reply = self._rpc(
+                NfsProc.READ, uid=of.uid, gid=of.gid, fh=of.fh,
+                offset=start, count=want, asynchronous=True,
+            )
+            if reply.ok():
+                self.cache.add_block(of.fh, ahead)
+
+    def _rpc(
+        self,
+        proc: NfsProc,
+        *,
+        uid: int,
+        gid: int,
+        asynchronous: bool = False,
+        **args,
+    ) -> NfsReply:
+        """Issue one call and wait for its reply.
+
+        Asynchronous-capable calls (read/write) are timestamped by the
+        nfsiod pool, which may transmit them out of issue order;
+        synchronous metadata calls transmit at issue time.
+        """
+        issue_time = self._cursor
+        if asynchronous:
+            wire_time = self.nfsiods.dispatch(issue_time)
+        else:
+            wire_time = issue_time
+        call = NfsCall(
+            time=wire_time,
+            xid=self.channel.next_xid(),
+            client=self.host,
+            server=self.server_addr,
+            proc=proc,
+            version=self.version,
+            uid=uid,
+            gid=gid,
+            issue_time=issue_time,
+            **args,
+        )
+        self.channel.register(call)
+        reply = self.exchange(call)
+        self.channel.match(reply)
+        self.calls_sent += 1
+        gap = self.op_gap * (0.5 + self.rng.random())
+        if asynchronous:
+            # reads/writes are pipelined through the nfsiods: the
+            # application does not wait for each chunk's reply, so the
+            # cursor advances by issue spacing only.  This is what
+            # allows adjacent calls to reach the wire out of order.
+            self._cursor = issue_time + gap
+        else:
+            # metadata calls are synchronous: the caller blocks
+            self._cursor = max(self._cursor, reply.time) + gap
+        return reply

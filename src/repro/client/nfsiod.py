@@ -1,0 +1,143 @@
+"""The nfsiod scheduling model — the source of call reordering.
+
+On a conventional NFS client, asynchronous calls are handed to a pool
+of ``nfsiod`` daemons in issue order, but the process scheduler decides
+when each daemon actually transmits.  The paper measured this effect
+directly (Section 4.1.5): with one nfsiod no reordering occurs; with
+more daemons up to ~10% of calls appear on the wire out of order, some
+delayed by as much as one second, and UDP transports reorder more than
+TCP.
+
+The model: each daemon is busy until it finishes transmitting its
+current call.  An issued call goes to the earliest-free daemon; its
+wire time is ``max(issue_time, daemon_free_time)`` plus a drawn service
+time.  Service times are drawn from a heavy-tailed mixture (mostly
+sub-millisecond, occasionally tens/hundreds of milliseconds — a daemon
+descheduled by the CPU scheduler), capped at 1 second.  With a single
+daemon the pool serializes and wire order equals issue order; with many
+daemons a long draw on one daemon lets later calls overtake it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.nfs.rpc import Transport
+
+#: Paper: "some calls were delayed by as much as 1 second".
+MAX_DELAY = 1.0
+
+
+class NfsiodPool:
+    """A pool of nfsiod daemons for one client host."""
+
+    def __init__(
+        self,
+        count: int,
+        rng: random.Random,
+        *,
+        transport: Transport = Transport.UDP,
+        base_service: float = 0.0002,
+        stall_probability: float | None = None,
+        stall_scale: float = 0.004,
+        long_stall_fraction: float = 0.05,
+        long_stall_scale: float = 0.120,
+    ) -> None:
+        """
+        Args:
+            count: number of daemons (1 disables reordering).
+            rng: the client's dedicated random stream.
+            transport: UDP stalls more often than TCP (paper 4.1.5).
+            base_service: typical per-call transmit time in seconds.
+            stall_probability: chance a daemon gets descheduled mid-call,
+                per daemon beyond the first; defaults per transport
+                (UDP 1.6%, TCP 0.5% per extra daemon), so reordering
+                grows with pool size as the paper measured.
+            stall_scale: mean extra delay of an ordinary stall (a few
+                milliseconds — removable by a small reorder window).
+            long_stall_fraction: fraction of stalls that are long
+                (daemon descheduled for a full quantum or more).
+            long_stall_scale: mean extra delay of a long stall; the
+                resulting wire delay is capped at :data:`MAX_DELAY`.
+        """
+        if count < 1:
+            raise ValueError(f"nfsiod count must be >= 1, got {count}")
+        self.count = count
+        self.rng = rng
+        self.transport = transport
+        self.base_service = base_service
+        if stall_probability is None:
+            per_daemon = 0.016 if transport is Transport.UDP else 0.005
+            stall_probability = min(0.12, per_daemon * (count - 1))
+        self.stall_probability = stall_probability
+        self.stall_scale = stall_scale
+        self.long_stall_fraction = long_stall_fraction
+        self.long_stall_scale = long_stall_scale
+        self._free_at = [0.0] * count
+        self.dispatched = 0
+
+    def dispatch(self, issue_time: float) -> float:
+        """Assign a call to a daemon; returns its wire (transmit) time.
+
+        With ``count == 1`` wire times are non-decreasing in issue
+        order.  With more daemons, a stalled daemon holds its call
+        while idle daemons transmit later calls first.
+        """
+        self.dispatched += 1
+        daemon = min(range(self.count), key=self._free_at.__getitem__)
+        start = max(issue_time, self._free_at[daemon])
+        service = self.base_service * (0.5 + self.rng.random())
+        if self.count > 1 and self.rng.random() < self.stall_probability:
+            if self.rng.random() < self.long_stall_fraction:
+                service += self.rng.expovariate(1.0 / self.long_stall_scale)
+            else:
+                service += self.rng.expovariate(1.0 / self.stall_scale)
+        wire_time = min(start + service, issue_time + MAX_DELAY)
+        self._free_at[daemon] = wire_time
+        return wire_time
+
+    def reset(self) -> None:
+        """Forget daemon busy state (between experiments)."""
+        self._free_at = [0.0] * self.count
+        self.dispatched = 0
+
+
+def count_reordered(wire_times: list[float]) -> int:
+    """Minimum number of calls transmitted out of issue order.
+
+    ``wire_times`` is indexed by issue order.  The count is the fewest
+    calls that must be removed to leave a non-decreasing sequence
+    (``n`` minus the longest non-decreasing subsequence) — so one
+    delayed call overtaken by twenty others counts as *one* reordered
+    packet, matching the paper's "as many as 10% of the packets were
+    reordered" accounting (Section 4.1.5).
+    """
+    if not wire_times:
+        return 0
+    # Longest non-decreasing subsequence via patience sorting: tails[i]
+    # holds the smallest possible tail of a subsequence of length i+1.
+    tails: list[float] = []
+    for t in wire_times:
+        idx = bisect.bisect_right(tails, t)
+        if idx == len(tails):
+            tails.append(t)
+        else:
+            tails[idx] = t
+    return len(wire_times) - len(tails)
+
+
+def count_swapped(wire_times: list[float]) -> int:
+    """Count calls whose wire time is earlier than a previously issued
+    call's wire time (every overtaken position counts).
+
+    A blunter measure than :func:`count_reordered`; useful for checking
+    raw monotonicity.
+    """
+    swapped = 0
+    running_max = float("-inf")
+    for t in wire_times:
+        if t < running_max:
+            swapped += 1
+        running_max = max(running_max, t)
+    return swapped

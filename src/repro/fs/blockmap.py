@@ -1,0 +1,46 @@
+"""Block arithmetic.
+
+The paper rounds all offsets and counts to 8 KB blocks ("Offsets and
+counts are rounded up to blocksizes of 8k", Section 4.2), and all the
+block-lifetime and sequentiality analyses work in these units.  This
+module is the single home of that arithmetic so the simulator and the
+analyses cannot disagree about block boundaries.
+"""
+
+from __future__ import annotations
+
+#: The paper's analysis block size: 8 KB.
+BLOCK_SIZE = 8192
+
+
+def block_of(offset: int) -> int:
+    """Block index containing byte ``offset``."""
+    if offset < 0:
+        raise ValueError(f"negative offset: {offset}")
+    return offset // BLOCK_SIZE
+
+
+def block_count(size: int) -> int:
+    """Number of blocks needed to hold ``size`` bytes (rounded up)."""
+    if size < 0:
+        raise ValueError(f"negative size: {size}")
+    return -(-size // BLOCK_SIZE)
+
+
+def block_range(offset: int, count: int) -> range:
+    """Block indices touched by an access of ``count`` bytes at ``offset``.
+
+    A zero-byte access touches no blocks.
+    """
+    if count < 0:
+        raise ValueError(f"negative count: {count}")
+    if count == 0:
+        return range(0)
+    first = block_of(offset)
+    last = block_of(offset + count - 1)
+    return range(first, last + 1)
+
+
+def bytes_to_blocks(nbytes: int) -> int:
+    """Alias of :func:`block_count`, reads better at some call sites."""
+    return block_count(nbytes)

@@ -1,0 +1,446 @@
+"""The simulated file system exported over NFS.
+
+Implements the namespace and attribute semantics an NFS server needs:
+lookup, create (with exclusive mode), mkdir, symlink, remove, rmdir,
+rename, read, write (with extension past EOF), truncate via setattr,
+and readdir.  Sizes are tracked in bytes; contents are not stored.
+
+Per-user quotas model the CAMPUS 50 MB home-directory quota (Section
+3.2); writes that would exceed quota raise
+:class:`~repro.errors.QuotaExceededError`, which the server layer turns
+into an ``NFS3ERR_DQUOT`` reply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsError_,
+    FsError,
+    IsADirectoryError_,
+    NoSuchFileError,
+    NotADirectoryError_,
+    QuotaExceededError,
+    StaleHandleError,
+)
+from repro.fs.inode import Inode
+from repro.nfs.attributes import FileAttributes, FileType
+from repro.nfs.filehandle import FileHandle, HandleAllocator
+
+_DEFAULT_FILE_MODE = 0o644
+_DEFAULT_DIR_MODE = 0o755
+
+
+class SimFileSystem:
+    """One exported file system (one NFS ``fsid``).
+
+    All mutating operations take a ``now`` timestamp so attribute times
+    reflect simulated time.  Handles returned by this class are the
+    same objects the NFS layer puts on the wire.
+    """
+
+    def __init__(self, fsid: int = 1, *, quota_bytes: int | None = None) -> None:
+        self.fsid = fsid
+        self.quota_bytes = quota_bytes
+        self._handles = HandleAllocator(fsid)
+        self._inodes: dict[int, Inode] = {}
+        self._usage: dict[int, int] = {}  # uid -> bytes charged
+        root_handle = self._handles.root()
+        root_attrs = FileAttributes(
+            ftype=FileType.DIRECTORY,
+            mode=_DEFAULT_DIR_MODE,
+            uid=0,
+            gid=0,
+            size=0,
+            fileid=root_handle.fileid,
+            atime=0.0,
+            mtime=0.0,
+            ctime=0.0,
+            nlink=2,
+        )
+        root = Inode(handle=root_handle, attrs=root_attrs, parent_fileid=root_handle.fileid)
+        self._inodes[root_handle.fileid] = root
+
+    # -- handle resolution -------------------------------------------------
+
+    @property
+    def root(self) -> FileHandle:
+        """Handle of the export root."""
+        return self._handles.root()
+
+    def inode(self, fh: FileHandle) -> Inode:
+        """Resolve a handle to its inode.
+
+        Raises:
+            StaleHandleError: if the handle's file no longer exists or
+                the fileid was recycled under a newer generation.
+        """
+        node = self._inodes.get(fh.fileid)
+        if node is None or node.handle != fh:
+            raise StaleHandleError(f"stale handle {fh}")
+        return node
+
+    def getattr(self, fh: FileHandle) -> FileAttributes:
+        """Current attributes of the file behind ``fh``."""
+        return self.inode(fh).attrs
+
+    def usage(self, uid: int) -> int:
+        """Bytes currently charged against ``uid``'s quota."""
+        return self._usage.get(uid, 0)
+
+    def live_files(self) -> Iterator[Inode]:
+        """Iterate over all live inodes (analysis/test helper)."""
+        return iter(self._inodes.values())
+
+    # -- namespace operations ----------------------------------------------
+
+    def lookup(self, dir_fh: FileHandle, name: str) -> Inode:
+        """Resolve ``name`` inside the directory ``dir_fh``.
+
+        Supports ``.`` and ``..``.
+
+        Raises:
+            NotADirectoryError_: if ``dir_fh`` is not a directory.
+            NoSuchFileError: if the name is absent.
+        """
+        directory = self.inode(dir_fh)
+        if not directory.is_dir():
+            raise NotADirectoryError_(f"{dir_fh} is not a directory")
+        if name == ".":
+            return directory
+        if name == "..":
+            return self._inodes[directory.parent_fileid]
+        child_id = directory.entries.get(name)
+        if child_id is None:
+            raise NoSuchFileError(f"no entry {name!r} in {dir_fh}")
+        return self._inodes[child_id]
+
+    def create(
+        self,
+        dir_fh: FileHandle,
+        name: str,
+        now: float,
+        *,
+        uid: int = 0,
+        gid: int = 0,
+        mode: int = _DEFAULT_FILE_MODE,
+        exclusive: bool = False,
+    ) -> Inode:
+        """Create a regular file.
+
+        A non-exclusive create of an existing regular file truncates it
+        to zero length (open(O_CREAT|O_TRUNC) semantics, which is how
+        NFS clients implement creat(2)).
+
+        Raises:
+            FileExistsError_: on exclusive create of an existing name.
+            IsADirectoryError_: if the name exists and is a directory.
+        """
+        directory = self._require_dir(dir_fh)
+        existing_id = directory.entries.get(name)
+        if existing_id is not None:
+            existing = self._inodes[existing_id]
+            if exclusive:
+                raise FileExistsError_(f"{name!r} already exists in {dir_fh}")
+            if existing.is_dir():
+                raise IsADirectoryError_(f"{name!r} is a directory")
+            self.truncate(existing.handle, 0, now)
+            return existing
+        node = self._new_inode(
+            FileType.REGULAR, directory, name, now, uid=uid, gid=gid, mode=mode
+        )
+        return node
+
+    def mkdir(
+        self,
+        dir_fh: FileHandle,
+        name: str,
+        now: float,
+        *,
+        uid: int = 0,
+        gid: int = 0,
+        mode: int = _DEFAULT_DIR_MODE,
+    ) -> Inode:
+        """Create a directory.
+
+        Raises:
+            FileExistsError_: if the name already exists.
+        """
+        directory = self._require_dir(dir_fh)
+        if name in directory.entries:
+            raise FileExistsError_(f"{name!r} already exists in {dir_fh}")
+        node = self._new_inode(
+            FileType.DIRECTORY, directory, name, now, uid=uid, gid=gid, mode=mode
+        )
+        node.attrs = node.attrs.touched(nlink=2)
+        return node
+
+    def symlink(
+        self,
+        dir_fh: FileHandle,
+        name: str,
+        target: str,
+        now: float,
+        *,
+        uid: int = 0,
+        gid: int = 0,
+    ) -> Inode:
+        """Create a symlink pointing at ``target``.
+
+        Raises:
+            FileExistsError_: if the name already exists.
+        """
+        directory = self._require_dir(dir_fh)
+        if name in directory.entries:
+            raise FileExistsError_(f"{name!r} already exists in {dir_fh}")
+        node = self._new_inode(
+            FileType.SYMLINK, directory, name, now, uid=uid, gid=gid, mode=0o777
+        )
+        node.link_target = target
+        node.attrs = node.attrs.touched(size=len(target))
+        return node
+
+    def remove(self, dir_fh: FileHandle, name: str, now: float) -> Inode:
+        """Remove a non-directory entry; returns the removed inode.
+
+        Raises:
+            NoSuchFileError: if absent.
+            IsADirectoryError_: if the entry is a directory (use rmdir).
+        """
+        directory = self._require_dir(dir_fh)
+        child_id = directory.entries.get(name)
+        if child_id is None:
+            raise NoSuchFileError(f"no entry {name!r} in {dir_fh}")
+        child = self._inodes[child_id]
+        if child.is_dir():
+            raise IsADirectoryError_(f"{name!r} is a directory")
+        del directory.entries[name]
+        self._touch_dir(directory, now)
+        self._charge(child.attrs.uid, -child.attrs.size)
+        del self._inodes[child_id]
+        return child
+
+    def rmdir(self, dir_fh: FileHandle, name: str, now: float) -> Inode:
+        """Remove an empty directory; returns the removed inode.
+
+        Raises:
+            NoSuchFileError: if absent.
+            NotADirectoryError_: if the entry is not a directory.
+            DirectoryNotEmptyError: if the directory has entries.
+        """
+        directory = self._require_dir(dir_fh)
+        child_id = directory.entries.get(name)
+        if child_id is None:
+            raise NoSuchFileError(f"no entry {name!r} in {dir_fh}")
+        child = self._inodes[child_id]
+        if not child.is_dir():
+            raise NotADirectoryError_(f"{name!r} is not a directory")
+        if child.entries:
+            raise DirectoryNotEmptyError(f"{name!r} is not empty")
+        del directory.entries[name]
+        self._touch_dir(directory, now)
+        del self._inodes[child_id]
+        return child
+
+    def rename(
+        self,
+        src_dir_fh: FileHandle,
+        src_name: str,
+        dst_dir_fh: FileHandle,
+        dst_name: str,
+        now: float,
+    ) -> Inode:
+        """Rename ``src_name`` to ``dst_name``; returns the moved inode.
+
+        An existing non-directory target is replaced, per POSIX.
+
+        Raises:
+            NoSuchFileError: if the source is absent.
+            IsADirectoryError_: if the target exists and is a directory.
+        """
+        src_dir = self._require_dir(src_dir_fh)
+        dst_dir = self._require_dir(dst_dir_fh)
+        child_id = src_dir.entries.get(src_name)
+        if child_id is None:
+            raise NoSuchFileError(f"no entry {src_name!r} in {src_dir_fh}")
+        target_id = dst_dir.entries.get(dst_name)
+        if target_id is not None and target_id != child_id:
+            target = self._inodes[target_id]
+            if target.is_dir():
+                raise IsADirectoryError_(f"rename target {dst_name!r} is a directory")
+            self._charge(target.attrs.uid, -target.attrs.size)
+            del self._inodes[target_id]
+        del src_dir.entries[src_name]
+        dst_dir.entries[dst_name] = child_id
+        child = self._inodes[child_id]
+        child.parent_fileid = dst_dir.fileid
+        child.name = dst_name
+        child.attrs = child.attrs.touched(ctime=now)
+        self._touch_dir(src_dir, now)
+        if dst_dir is not src_dir:
+            self._touch_dir(dst_dir, now)
+        return child
+
+    def readdir(self, dir_fh: FileHandle) -> tuple[str, ...]:
+        """Entry names of a directory, in insertion order."""
+        return tuple(self._require_dir(dir_fh).entries)
+
+    # -- data operations -----------------------------------------------------
+
+    def read(self, fh: FileHandle, offset: int, count: int, now: float) -> tuple[int, bool]:
+        """Read ``count`` bytes at ``offset``.
+
+        Returns:
+            (bytes_actually_read, eof) — short reads happen at EOF, like
+            a real server.
+
+        Raises:
+            IsADirectoryError_: reading a directory.
+        """
+        node = self.inode(fh)
+        if node.is_dir():
+            raise IsADirectoryError_(f"{fh} is a directory")
+        if offset >= node.size:
+            return 0, True
+        available = node.size - offset
+        got = min(count, available)
+        eof = offset + got >= node.size
+        node.attrs = node.attrs.touched(atime=now)
+        return got, eof
+
+    def write(self, fh: FileHandle, offset: int, count: int, now: float) -> int:
+        """Write ``count`` bytes at ``offset``, extending the file if needed.
+
+        A write past the current EOF implicitly materializes the gap
+        (the "extension" births of Table 4).
+
+        Returns:
+            bytes written (always ``count`` unless quota blocks it).
+
+        Raises:
+            IsADirectoryError_: writing a directory.
+            QuotaExceededError: if growth would exceed the owner's quota.
+        """
+        node = self.inode(fh)
+        if node.is_dir():
+            raise IsADirectoryError_(f"{fh} is a directory")
+        new_size = max(node.size, offset + count)
+        growth = new_size - node.size
+        if growth > 0:
+            self._check_quota(node.attrs.uid, growth)
+            self._charge(node.attrs.uid, growth)
+        node.attrs = node.attrs.touched(size=new_size, mtime=now, ctime=now)
+        return count
+
+    def truncate(self, fh: FileHandle, size: int, now: float) -> None:
+        """Set the file size (the setattr path used for truncation
+        and for lseek-past-EOF extension).
+
+        Raises:
+            IsADirectoryError_: truncating a directory.
+            QuotaExceededError: if growth would exceed the owner's quota.
+        """
+        node = self.inode(fh)
+        if node.is_dir():
+            raise IsADirectoryError_(f"{fh} is a directory")
+        growth = size - node.size
+        if growth > 0:
+            self._check_quota(node.attrs.uid, growth)
+        self._charge(node.attrs.uid, growth)
+        node.attrs = node.attrs.touched(size=size, mtime=now, ctime=now)
+
+    # -- path helpers (for workloads and tests) -----------------------------
+
+    def resolve(self, path: str) -> Inode:
+        """Resolve an absolute slash-separated path from the root.
+
+        Raises:
+            NoSuchFileError: if any component is missing.
+        """
+        node = self.inode(self.root)
+        for part in self._split(path):
+            node = self.lookup(node.handle, part)
+        return node
+
+    def makedirs(self, path: str, now: float, *, uid: int = 0, gid: int = 0) -> Inode:
+        """Create all missing directories along ``path`` (mkdir -p)."""
+        node = self.inode(self.root)
+        for part in self._split(path):
+            try:
+                node = self.lookup(node.handle, part)
+            except NoSuchFileError:
+                node = self.mkdir(node.handle, part, now, uid=uid, gid=gid)
+            if not node.is_dir():
+                raise NotADirectoryError_(f"{part!r} along {path!r} is not a directory")
+        return node
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        return [part for part in path.split("/") if part]
+
+    def _require_dir(self, fh: FileHandle) -> Inode:
+        node = self.inode(fh)
+        if not node.is_dir():
+            raise NotADirectoryError_(f"{fh} is not a directory")
+        return node
+
+    def _new_inode(
+        self,
+        ftype: FileType,
+        directory: Inode,
+        name: str,
+        now: float,
+        *,
+        uid: int,
+        gid: int,
+        mode: int,
+    ) -> Inode:
+        handle = self._handles.allocate()
+        attrs = FileAttributes(
+            ftype=ftype,
+            mode=mode,
+            uid=uid,
+            gid=gid,
+            size=0,
+            fileid=handle.fileid,
+            atime=now,
+            mtime=now,
+            ctime=now,
+        )
+        node = Inode(
+            handle=handle,
+            attrs=attrs,
+            parent_fileid=directory.fileid,
+            name=name,
+        )
+        self._inodes[handle.fileid] = node
+        directory.entries[name] = handle.fileid
+        self._touch_dir(directory, now)
+        return node
+
+    def _touch_dir(self, directory: Inode, now: float) -> None:
+        directory.attrs = directory.attrs.touched(
+            mtime=now, ctime=now, size=len(directory.entries)
+        )
+
+    def _check_quota(self, uid: int, growth: int) -> None:
+        if self.quota_bytes is None:
+            return
+        if self.usage(uid) + growth > self.quota_bytes:
+            raise QuotaExceededError(
+                f"uid {uid} over quota: {self.usage(uid)} + {growth} "
+                f"> {self.quota_bytes}"
+            )
+
+    def _charge(self, uid: int, delta: int) -> None:
+        new = self._usage.get(uid, 0) + delta
+        self._usage[uid] = max(new, 0)
+
+
+def format_error_status(exc: FsError) -> str:
+    """The NFS status string a server puts on the wire for ``exc``."""
+    return exc.nfs_status

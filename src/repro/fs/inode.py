@@ -1,0 +1,57 @@
+"""Inodes for the simulated file system.
+
+An inode carries attributes and, for directories, the name → fileid
+mapping.  Regular files store only a size (contents are irrelevant to
+every analysis in the paper); the block map is derived from the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.blockmap import block_count
+from repro.nfs.attributes import FileAttributes, FileType
+from repro.nfs.filehandle import FileHandle
+
+
+@dataclass(slots=True)
+class Inode:
+    """One file, directory, or symlink in the simulated file system."""
+
+    handle: FileHandle
+    attrs: FileAttributes
+    #: Directory entries (directories only): name -> child fileid.
+    entries: dict[str, int] = field(default_factory=dict)
+    #: Fileid of the containing directory (the root points at itself).
+    parent_fileid: int = 0
+    #: Name under which this inode is linked in its parent.
+    name: str = ""
+    #: Symlink target path (symlinks only).
+    link_target: str = ""
+
+    @property
+    def fileid(self) -> int:
+        """The inode number (matches the handle's fileid)."""
+        return self.handle.fileid
+
+    @property
+    def size(self) -> int:
+        """Current size in bytes."""
+        return self.attrs.size
+
+    @property
+    def nblocks(self) -> int:
+        """Blocks currently allocated (derived from size)."""
+        return block_count(self.attrs.size)
+
+    def is_dir(self) -> bool:
+        """True for directories."""
+        return self.attrs.ftype is FileType.DIRECTORY
+
+    def is_regular(self) -> bool:
+        """True for regular files."""
+        return self.attrs.ftype is FileType.REGULAR
+
+    def is_symlink(self) -> bool:
+        """True for symlinks."""
+        return self.attrs.ftype is FileType.SYMLINK

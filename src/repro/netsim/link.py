@@ -1,0 +1,83 @@
+"""The client-to-server network path.
+
+``NetworkPath`` is the ``exchange`` callable a client is constructed
+with: it timestamps the server's reply with service latency and shows
+both packets to every installed tap (mirror port, collector, or any
+object with ``on_call``/``on_reply``).
+
+The client/server path itself is reliable — NFS over UDP retransmits
+and TCP is reliable, so the *server* sees every call.  Loss happens
+only at the mirror port, which is exactly the paper's situation: the
+tracer misses packets the server still processed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nfs.messages import NfsCall, NfsReply
+from repro.nfs.procedures import NfsProc
+from repro.server.nfs_server import NfsServer
+
+#: RPC + NFS header overhead per message, bytes (approximate; only
+#: relative sizes matter for the mirror's bandwidth model).
+HEADER_BYTES = 160
+
+
+def wire_size(message: NfsCall | NfsReply) -> int:
+    """Approximate on-the-wire size of one message in bytes.
+
+    WRITE calls and READ replies carry file data; everything else is
+    close to header-sized.
+    """
+    size = HEADER_BYTES
+    if isinstance(message, NfsCall):
+        if message.proc is NfsProc.WRITE and message.count:
+            size += message.count
+        if message.name:
+            size += len(message.name)
+    else:
+        if message.proc is NfsProc.READ and message.count:
+            size += message.count
+    return size
+
+
+class NetworkPath:
+    """Connects clients to one server, with taps.
+
+    Args:
+        server: the NFS server processing the calls.
+        rng: stream for service latency jitter.
+        base_latency: mean round-trip-plus-service time in seconds.
+        taps: objects with ``on_call(call)`` and ``on_reply(reply)``.
+    """
+
+    def __init__(
+        self,
+        server: NfsServer,
+        rng: random.Random,
+        *,
+        base_latency: float = 0.0008,
+        taps: list | None = None,
+    ) -> None:
+        self.server = server
+        self.rng = rng
+        self.base_latency = base_latency
+        self.taps = list(taps) if taps else []
+        self.exchanges = 0
+
+    def add_tap(self, tap) -> None:
+        """Install a packet tap (e.g. a mirror port)."""
+        self.taps.append(tap)
+
+    def __call__(self, call: NfsCall) -> NfsReply:
+        """Carry one call to the server and its reply back."""
+        self.exchanges += 1
+        for tap in self.taps:
+            tap.on_call(call)
+        reply = self.server.process(call)
+        latency = self.base_latency * (0.5 + self.rng.random())
+        reply.time = call.time + latency
+        for tap in self.taps:
+            tap.on_reply(reply)
+        return reply

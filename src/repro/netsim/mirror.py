@@ -1,0 +1,90 @@
+"""The switch mirror (SPAN) port the tracer listens on.
+
+On CAMPUS the paper's monitor was a single gigabit port mirroring a
+fully-switched gigabit network: during bursts the mirror port could not
+forward everything and dropped up to ~10% of packets (Section 4.1.4).
+On EECS the monitor port was as fast as the server port and nothing was
+lost.
+
+The model is a drain-rate queue: the mirror egress forwards at
+``bandwidth`` bytes/second into a buffer of ``buffer_bytes``.  A packet
+arriving when the buffer is full is dropped — so loss is *bursty and
+load-dependent*, exactly the paper's failure mode, not i.i.d. random.
+
+Because replies cannot be decoded without their calls, dropping a call
+effectively loses the pair; the loss *estimator* for that effect lives
+in :mod:`repro.analysis.loss`.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.link import wire_size
+from repro.nfs.messages import NfsCall, NfsReply
+
+
+class MirrorPort:
+    """A bandwidth-limited packet tap that forwards to inner taps.
+
+    Args:
+        bandwidth: egress rate in bytes/second.  ``None`` disables the
+            limit entirely (the EECS configuration).
+        buffer_bytes: switch buffer dedicated to the mirror port.
+        taps: downstream taps (normally one TraceCollector).
+    """
+
+    def __init__(
+        self,
+        *,
+        bandwidth: float | None = 125_000_000.0,
+        buffer_bytes: int = 512 * 1024,
+        taps: list | None = None,
+    ) -> None:
+        self.bandwidth = bandwidth
+        self.buffer_bytes = buffer_bytes
+        self.taps = list(taps) if taps else []
+        self._backlog = 0.0
+        self._last_time = 0.0
+        self.packets_seen = 0
+        self.packets_dropped = 0
+        self.calls_dropped = 0
+        self.replies_dropped = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of observed packets dropped so far."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_seen
+
+    def add_tap(self, tap) -> None:
+        """Install a downstream tap."""
+        self.taps.append(tap)
+
+    def on_call(self, call: NfsCall) -> None:
+        """Offer a call packet to the mirror egress."""
+        if self._admit(call.time, wire_size(call)):
+            for tap in self.taps:
+                tap.on_call(call)
+        else:
+            self.calls_dropped += 1
+
+    def on_reply(self, reply: NfsReply) -> None:
+        """Offer a reply packet to the mirror egress."""
+        if self._admit(reply.time, wire_size(reply)):
+            for tap in self.taps:
+                tap.on_reply(reply)
+        else:
+            self.replies_dropped += 1
+
+    def _admit(self, time: float, size: int) -> bool:
+        self.packets_seen += 1
+        if self.bandwidth is None:
+            return True
+        elapsed = max(0.0, time - self._last_time)
+        self._last_time = max(self._last_time, time)
+        self._backlog = max(0.0, self._backlog - elapsed * self.bandwidth)
+        if self._backlog + size > self.buffer_bytes:
+            self.packets_dropped += 1
+            return False
+        self._backlog += size
+        return True

@@ -1,0 +1,40 @@
+"""NFS protocol model.
+
+Models the observable surface of NFSv2/NFSv3 that a passive tracer sees:
+procedure names, call/reply messages with their trace-relevant arguments,
+file handles, and file attributes.  The model is deliberately *wire
+shaped* — it captures exactly the fields the paper's analyses consume
+(timestamps, XIDs, procedures, handles, offsets, counts, attributes,
+names) and nothing that a passive tracer could not observe.
+"""
+
+from repro.nfs.procedures import (
+    NfsProc,
+    NfsVersion,
+    is_data_proc,
+    is_metadata_proc,
+    is_read_proc,
+    is_write_proc,
+)
+from repro.nfs.filehandle import FileHandle, HandleAllocator
+from repro.nfs.attributes import FileAttributes, FileType
+from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
+from repro.nfs.rpc import RpcChannel, Transport
+
+__all__ = [
+    "NfsProc",
+    "NfsVersion",
+    "is_data_proc",
+    "is_metadata_proc",
+    "is_read_proc",
+    "is_write_proc",
+    "FileHandle",
+    "HandleAllocator",
+    "FileAttributes",
+    "FileType",
+    "NfsCall",
+    "NfsReply",
+    "NfsStatus",
+    "RpcChannel",
+    "Transport",
+]

@@ -1,0 +1,80 @@
+"""File attributes (the NFSv3 ``fattr3`` structure).
+
+Attributes ride on nearly every NFS reply; the client cache uses mtime
+to decide whether cached blocks are still valid, and several analyses
+(file-size access patterns, name prediction) read sizes out of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class FileType(enum.Enum):
+    """NFS ftype3 values we model (REG, DIR, LNK)."""
+
+    REGULAR = "REG"
+    DIRECTORY = "DIR"
+    SYMLINK = "LNK"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class FileAttributes:
+    """A snapshot of a file's attributes, as carried in a reply.
+
+    Times are simulated seconds since the epoch.  ``fileid`` matches the
+    handle's fileid.  Immutable; the file system produces a fresh
+    snapshot whenever attributes change.
+    """
+
+    ftype: FileType
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    fileid: int
+    atime: float
+    mtime: float
+    ctime: float
+    nlink: int = 1
+
+    def touched(
+        self,
+        *,
+        size: int | None = None,
+        atime: float | None = None,
+        mtime: float | None = None,
+        ctime: float | None = None,
+        nlink: int | None = None,
+        mode: int | None = None,
+        uid: int | None = None,
+        gid: int | None = None,
+    ) -> "FileAttributes":
+        """Return a copy with the given fields updated."""
+        updates = {
+            key: value
+            for key, value in {
+                "size": size,
+                "atime": atime,
+                "mtime": mtime,
+                "ctime": ctime,
+                "nlink": nlink,
+                "mode": mode,
+                "uid": uid,
+                "gid": gid,
+            }.items()
+            if value is not None
+        }
+        return replace(self, **updates)
+
+    def is_dir(self) -> bool:
+        """True when this is a directory."""
+        return self.ftype is FileType.DIRECTORY
+
+    def is_regular(self) -> bool:
+        """True when this is a regular file."""
+        return self.ftype is FileType.REGULAR

@@ -1,0 +1,76 @@
+"""Opaque NFS file handles.
+
+A real NFS file handle is an opaque byte string minted by the server.
+The tracer never looks inside it; it only needs handles to be stable,
+hashable identifiers for files.  We model a handle as a (fsid, fileid,
+generation) triple rendered as a hex token, which gives us the property
+real servers have: removing a file and recreating it at the same inode
+yields a *different* handle (the generation bumps), so stale-handle
+behaviour is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FileHandle:
+    """An opaque, stable identifier for a file on one server."""
+
+    fsid: int
+    fileid: int
+    generation: int
+
+    def token(self) -> str:
+        """Hex wire form, as a tracer would record it."""
+        return f"{self.fsid:04x}{self.fileid:010x}{self.generation:06x}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "FileHandle":
+        """Parse the hex wire form back into a handle.
+
+        Raises:
+            ValueError: if the token is not a well-formed handle.
+        """
+        if len(token) != 20:
+            raise ValueError(f"bad file handle token length: {token!r}")
+        return cls(
+            fsid=int(token[0:4], 16),
+            fileid=int(token[4:14], 16),
+            generation=int(token[14:20], 16),
+        )
+
+    def __str__(self) -> str:
+        return self.token()
+
+
+class HandleAllocator:
+    """Mints handles for one exported file system (one fsid).
+
+    Tracks per-fileid generation counts so a recreated inode gets a new
+    generation, like a real server.
+    """
+
+    def __init__(self, fsid: int) -> None:
+        self.fsid = fsid
+        self._next_fileid = 2  # fileid 1 is reserved for the root
+        self._generations: dict[int, int] = {}
+
+    def root(self) -> FileHandle:
+        """The handle of the export root (fileid 1, generation 0)."""
+        return FileHandle(self.fsid, 1, 0)
+
+    def allocate(self) -> FileHandle:
+        """Mint a handle for a newly created inode."""
+        fileid = self._next_fileid
+        self._next_fileid += 1
+        generation = self._generations.get(fileid, 0)
+        self._generations[fileid] = generation
+        return FileHandle(self.fsid, fileid, generation)
+
+    def reuse(self, fileid: int) -> FileHandle:
+        """Mint a handle for a *recycled* fileid with a bumped generation."""
+        generation = self._generations.get(fileid, -1) + 1
+        self._generations[fileid] = generation
+        return FileHandle(self.fsid, fileid, generation)

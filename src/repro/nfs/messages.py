@@ -1,0 +1,101 @@
+"""NFS call and reply messages.
+
+These are the units a passive tracer captures: one record per RPC call
+and one per reply, matched by XID.  Fields mirror what the paper's
+tracer (a modified tcpdump) extracts — per-procedure arguments such as
+handles, names, offsets and counts on calls, and status plus post-op
+attributes on replies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.nfs.attributes import FileAttributes
+from repro.nfs.filehandle import FileHandle
+from repro.nfs.procedures import NfsProc, NfsVersion
+
+
+class NfsStatus(enum.Enum):
+    """Reply status codes (the subset our simulated server produces)."""
+
+    OK = "NFS3_OK"
+    NOENT = "NFS3ERR_NOENT"
+    IO = "NFS3ERR_IO"
+    ACCES = "NFS3ERR_ACCES"
+    EXIST = "NFS3ERR_EXIST"
+    NOTDIR = "NFS3ERR_NOTDIR"
+    ISDIR = "NFS3ERR_ISDIR"
+    NOTEMPTY = "NFS3ERR_NOTEMPTY"
+    DQUOT = "NFS3ERR_DQUOT"
+    STALE = "NFS3ERR_STALE"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_wire(cls, text: str) -> "NfsStatus":
+        """Parse the wire name (``NFS3ERR_NOENT`` etc.) back to a status."""
+        for status in cls:
+            if status.value == text:
+                return status
+        raise ValueError(f"unknown NFS status: {text!r}")
+
+
+@dataclass(slots=True)
+class NfsCall:
+    """One NFS call as observed on the wire.
+
+    Only the arguments relevant to the procedure are populated; the rest
+    stay ``None``.  ``issue_time`` is when the application-side operation
+    was issued (used by the nfsiod reordering model); ``time`` is when
+    the packet crossed the mirror port and is what lands in the trace.
+    """
+
+    time: float
+    xid: int
+    client: str
+    server: str
+    proc: NfsProc
+    version: NfsVersion = NfsVersion.V3
+    uid: int = 0
+    gid: int = 0
+    fh: FileHandle | None = None
+    name: str | None = None  # lookup/create/remove/rename source name
+    target_fh: FileHandle | None = None  # rename/link target directory
+    target_name: str | None = None  # rename/link target name
+    offset: int | None = None  # read/write
+    count: int | None = None  # read/write byte count
+    size: int | None = None  # setattr new size (truncate/extend)
+    issue_time: float | None = None
+
+    def key(self) -> tuple[str, int]:
+        """The (client, xid) pair used to match replies to calls."""
+        return (self.client, self.xid)
+
+
+@dataclass(slots=True)
+class NfsReply:
+    """One NFS reply as observed on the wire."""
+
+    time: float
+    xid: int
+    client: str
+    server: str
+    proc: NfsProc
+    status: NfsStatus = NfsStatus.OK
+    version: NfsVersion = NfsVersion.V3
+    fh: FileHandle | None = None  # lookup/create result handle
+    attributes: FileAttributes | None = None  # post-op attributes
+    count: int | None = None  # bytes actually read/written
+    eof: bool | None = None  # read hit end-of-file
+    data_names: tuple[str, ...] = field(default=())  # readdir contents
+
+    def key(self) -> tuple[str, int]:
+        """The (client, xid) pair used to match replies to calls."""
+        return (self.client, self.xid)
+
+    def ok(self) -> bool:
+        """True when the call succeeded."""
+        return self.status is NfsStatus.OK

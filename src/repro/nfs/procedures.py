@@ -1,0 +1,130 @@
+"""NFS procedure numbers and classification.
+
+The paper (Table 1, Section 6.1) distinguishes *data* calls (read/write)
+from *metadata* calls (lookup, getattr, access, ...) — EECS is dominated
+by metadata, CAMPUS by data.  This module is the single source of truth
+for that classification.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NfsVersion(enum.IntEnum):
+    """NFS protocol versions seen in the traces."""
+
+    V2 = 2
+    V3 = 3
+
+
+class NfsProc(enum.Enum):
+    """NFS procedures, named per NFSv3 (RFC 1813).
+
+    NFSv2 procedures map onto the common subset; procedures that exist
+    only in v3 (ACCESS, READDIRPLUS, COMMIT, ...) are marked below.
+    """
+
+    NULL = "null"
+    GETATTR = "getattr"
+    SETATTR = "setattr"
+    LOOKUP = "lookup"
+    ACCESS = "access"  # v3 only
+    READLINK = "readlink"
+    READ = "read"
+    WRITE = "write"
+    CREATE = "create"
+    MKDIR = "mkdir"
+    SYMLINK = "symlink"
+    MKNOD = "mknod"  # v3 only
+    REMOVE = "remove"
+    RMDIR = "rmdir"
+    RENAME = "rename"
+    LINK = "link"
+    READDIR = "readdir"
+    READDIRPLUS = "readdirplus"  # v3 only
+    FSSTAT = "fsstat"
+    FSINFO = "fsinfo"  # v3 only
+    PATHCONF = "pathconf"  # v3 only
+    COMMIT = "commit"  # v3 only
+
+    def __str__(self) -> str:  # used by the trace text codec
+        return self.value
+
+
+#: Procedures present only in NFSv3.
+V3_ONLY_PROCS = frozenset(
+    {
+        NfsProc.ACCESS,
+        NfsProc.MKNOD,
+        NfsProc.READDIRPLUS,
+        NfsProc.FSINFO,
+        NfsProc.PATHCONF,
+        NfsProc.COMMIT,
+    }
+)
+
+#: Procedures that move file data.
+DATA_PROCS = frozenset({NfsProc.READ, NfsProc.WRITE, NfsProc.COMMIT})
+
+#: Attribute/namespace procedures — the paper's "metadata requests".
+METADATA_PROCS = frozenset(
+    {
+        NfsProc.GETATTR,
+        NfsProc.SETATTR,
+        NfsProc.LOOKUP,
+        NfsProc.ACCESS,
+        NfsProc.READLINK,
+        NfsProc.READDIR,
+        NfsProc.READDIRPLUS,
+        NfsProc.FSSTAT,
+        NfsProc.FSINFO,
+        NfsProc.PATHCONF,
+    }
+)
+
+#: Procedures that change the namespace (create or destroy names).
+NAMESPACE_PROCS = frozenset(
+    {
+        NfsProc.CREATE,
+        NfsProc.MKDIR,
+        NfsProc.SYMLINK,
+        NfsProc.MKNOD,
+        NfsProc.REMOVE,
+        NfsProc.RMDIR,
+        NfsProc.RENAME,
+        NfsProc.LINK,
+    }
+)
+
+#: The attribute-checking calls that dominate EECS (Section 6.1.1).
+ATTRIBUTE_CHECK_PROCS = frozenset(
+    {NfsProc.LOOKUP, NfsProc.GETATTR, NfsProc.ACCESS}
+)
+
+
+def is_data_proc(proc: NfsProc) -> bool:
+    """True for procedures that carry file data (read/write/commit)."""
+    return proc in DATA_PROCS
+
+
+def is_metadata_proc(proc: NfsProc) -> bool:
+    """True for attribute and namespace-query procedures."""
+    return proc in METADATA_PROCS
+
+
+def is_read_proc(proc: NfsProc) -> bool:
+    """True for the READ procedure."""
+    return proc is NfsProc.READ
+
+
+def is_write_proc(proc: NfsProc) -> bool:
+    """True for the WRITE procedure."""
+    return proc is NfsProc.WRITE
+
+
+def valid_for_version(proc: NfsProc, version: NfsVersion) -> bool:
+    """Whether ``proc`` exists in protocol ``version``."""
+    if version is NfsVersion.V3:
+        return True
+    return proc not in V3_ONLY_PROCS

@@ -1,0 +1,63 @@
+"""RPC channel: XID allocation and call/reply pairing.
+
+Each simulated client host owns one :class:`RpcChannel` per transport.
+The channel mints XIDs for outgoing calls and matches replies back to
+their calls — the same bookkeeping a real RPC layer (and a passive
+tracer) performs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.nfs.messages import NfsCall, NfsReply
+
+
+class Transport(enum.Enum):
+    """RPC transports seen in the traces.
+
+    EECS clients all used UDP; CAMPUS used NFSv3 over TCP with jumbo
+    frames (Section 3).  The transport affects the nfsiod reordering
+    model (UDP reorders more) and the network coalescing model.
+    """
+
+    UDP = "udp"
+    TCP = "tcp"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class RpcChannel:
+    """Mints XIDs and tracks outstanding calls for one client host."""
+
+    def __init__(self, client: str, server: str, transport: Transport) -> None:
+        self.client = client
+        self.server = server
+        self.transport = transport
+        self._next_xid = 1
+        self._outstanding: dict[int, NfsCall] = {}
+
+    @property
+    def outstanding(self) -> int:
+        """Calls sent whose replies have not yet been consumed."""
+        return len(self._outstanding)
+
+    def next_xid(self) -> int:
+        """Allocate the next XID (strictly increasing per channel)."""
+        xid = self._next_xid
+        self._next_xid += 1
+        return xid
+
+    def register(self, call: NfsCall) -> None:
+        """Record an outgoing call so its reply can be matched."""
+        self._outstanding[call.xid] = call
+
+    def match(self, reply: NfsReply) -> NfsCall | None:
+        """Pair ``reply`` with its call, removing it from the table.
+
+        Returns None for replies whose call was never seen (the
+        situation the paper hits when the mirror port drops the call
+        packet: the reply becomes undecodable).
+        """
+        return self._outstanding.pop(reply.xid, None)

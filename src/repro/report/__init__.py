@@ -1,0 +1,11 @@
+"""Plain-text rendering for tables and figure series.
+
+The benchmark harness prints every regenerated table and figure as
+ASCII; figures are emitted as aligned data series (and simple ASCII
+plots) so results are diffable and greppable without a plotting stack.
+"""
+
+from repro.report.tables import format_table
+from repro.report.figures import ascii_plot, format_series
+
+__all__ = ["format_table", "format_series", "ascii_plot"]

@@ -1,0 +1,69 @@
+"""Figure series rendering: aligned data plus simple ASCII plots."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    x_format=str,
+) -> str:
+    """Render one x column and N y series as aligned text."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x_format(x)]
+        for name in series:
+            value = series[name][index]
+            row.append("-" if value != value else f"{value:.3f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(headers[i].ljust(widths[i]) for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A tiny column plot of one series (NaNs skipped)."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return f"{label}: (no data)"
+    top = max(finite)
+    bottom = min(0.0, min(finite))
+    span = top - bottom or 1.0
+    # resample to width columns
+    columns: list[float] = []
+    n = len(values)
+    for c in range(min(width, n)):
+        index = int(c * n / min(width, n))
+        columns.append(values[index])
+    rows: list[str] = []
+    for level in range(height, 0, -1):
+        threshold = bottom + span * level / height
+        row = "".join(
+            "#" if (not math.isnan(v)) and v >= threshold else " " for v in columns
+        )
+        rows.append(row)
+    axis = "-" * len(columns)
+    header = f"{label} (max={top:.3g})" if label else f"max={top:.3g}"
+    return "\n".join([header] + rows + [axis])

@@ -1,0 +1,100 @@
+"""A seek-time disk model.
+
+Used by the read-ahead experiment (Section 6.4).  The model captures
+the property the paper's heuristic discussion relies on: once the head
+is positioned, transferring consecutive blocks is cheap; repositioning
+costs a seek.  Logical jumps of fewer than ~10 blocks on a contiguously
+laid-out file are "unlikely to induce disk arm movement" (Section 6.4),
+so small jumps cost only settle time.
+
+Times are in seconds; defaults approximate a circa-2001 10K RPM disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.blockmap import BLOCK_SIZE
+
+
+@dataclass
+class DiskModel:
+    """Per-request service time for a single-disk store.
+
+    Attributes:
+        seek_time: full repositioning cost (seconds).
+        settle_time: cost of a small (< ``near_blocks``) jump.
+        transfer_rate: sustained media rate, bytes/second.
+        near_blocks: jump size (in blocks) below which no real seek
+            happens on a contiguous file.
+        cache_blocks: number of blocks held in the drive/controller
+            read cache; hits are free.
+    """
+
+    seek_time: float = 0.005
+    settle_time: float = 0.0005
+    transfer_rate: float = 30e6
+    near_blocks: int = 10
+    cache_blocks: int = 256
+    _position: int | None = field(default=None, repr=False)
+    _cache: dict[int, None] = field(default_factory=dict, repr=False)
+    total_time: float = field(default=0.0, repr=False)
+    requests: int = field(default=0, repr=False)
+    seeks: int = field(default=0, repr=False)
+    cache_hits: int = field(default=0, repr=False)
+
+    def read_block(self, block: int) -> float:
+        """Service one block read; returns its service time in seconds.
+
+        Updates head position, the read cache, and aggregate counters.
+        """
+        self.requests += 1
+        if block in self._cache:
+            self.cache_hits += 1
+            self._touch_cache(block)
+            return self._account(0.0)
+        if self._position is None or abs(block - self._position) >= self.near_blocks:
+            positioning = self.seek_time
+            self.seeks += 1
+        elif block != self._position + 1:
+            positioning = self.settle_time
+        else:
+            positioning = 0.0
+        transfer = BLOCK_SIZE / self.transfer_rate
+        self._position = block
+        self._touch_cache(block)
+        return self._account(positioning + transfer)
+
+    def prefetch(self, blocks: list[int]) -> int:
+        """Read uncached ``blocks`` into the cache.
+
+        Returns:
+            the number of blocks actually fetched from the media
+            (already-cached blocks are skipped).
+        """
+        fetched = 0
+        for block in blocks:
+            if block not in self._cache:
+                self.read_block(block)
+                fetched += 1
+        return fetched
+
+    def reset_counters(self) -> None:
+        """Zero the aggregate counters (position and cache persist)."""
+        self.total_time = 0.0
+        self.requests = 0
+        self.seeks = 0
+        self.cache_hits = 0
+
+    def _touch_cache(self, block: int) -> None:
+        # dict preserves insertion order; use it as a tiny LRU.
+        if block in self._cache:
+            del self._cache[block]
+        self._cache[block] = None
+        while len(self._cache) > self.cache_blocks:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+
+    def _account(self, service: float) -> float:
+        self.total_time += service
+        return service

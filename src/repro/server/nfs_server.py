@@ -1,0 +1,164 @@
+"""NFS request processing.
+
+Turns each :class:`~repro.nfs.messages.NfsCall` into an
+:class:`~repro.nfs.messages.NfsReply` by executing the operation on the
+exported :class:`~repro.fs.filesystem.SimFileSystem`.  File system
+errors become the corresponding NFS status codes rather than Python
+exceptions — on the wire, failure is just another reply.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FsError
+from repro.fs.filesystem import SimFileSystem
+from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
+from repro.nfs.procedures import NfsProc
+
+
+class NfsServer:
+    """One simulated NFS server exporting one file system.
+
+    The server is stateless between calls, like real NFSv2/v3: every
+    call carries the handles it needs.  ``process`` executes the call
+    at the call's own timestamp.
+    """
+
+    def __init__(self, fs: SimFileSystem, *, name: str = "nfs-server") -> None:
+        self.fs = fs
+        self.name = name
+        self.calls_processed = 0
+
+    def process(self, call: NfsCall) -> NfsReply:
+        """Execute ``call`` and build its reply.
+
+        Unknown or unsupported argument combinations produce an IO
+        status reply rather than raising, matching how a hardened
+        server behaves on malformed requests.
+        """
+        self.calls_processed += 1
+        try:
+            return self._dispatch(call)
+        except FsError as exc:
+            return NfsReply(
+                time=call.time,
+                xid=call.xid,
+                client=call.client,
+                server=call.server,
+                proc=call.proc,
+                version=call.version,
+                status=NfsStatus.from_wire(exc.nfs_status),
+            )
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch(self, call: NfsCall) -> NfsReply:
+        handler = _HANDLERS.get(call.proc)
+        if handler is None:
+            return self._reply(call)  # NULL, FSSTAT, etc: trivially OK
+        return handler(self, call)
+
+    def _reply(self, call: NfsCall, **fields) -> NfsReply:
+        return NfsReply(
+            time=call.time,
+            xid=call.xid,
+            client=call.client,
+            server=call.server,
+            proc=call.proc,
+            version=call.version,
+            **fields,
+        )
+
+    # -- per-procedure handlers ----------------------------------------------
+
+    def _getattr(self, call: NfsCall) -> NfsReply:
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs)
+
+    def _setattr(self, call: NfsCall) -> NfsReply:
+        if call.size is not None:
+            self.fs.truncate(call.fh, call.size, call.time)
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs)
+
+    def _lookup(self, call: NfsCall) -> NfsReply:
+        node = self.fs.lookup(call.fh, call.name)
+        return self._reply(call, fh=node.handle, attributes=node.attrs)
+
+    def _access(self, call: NfsCall) -> NfsReply:
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs)
+
+    def _readlink(self, call: NfsCall) -> NfsReply:
+        node = self.fs.inode(call.fh)
+        return self._reply(call, fh=call.fh, attributes=node.attrs)
+
+    def _read(self, call: NfsCall) -> NfsReply:
+        got, eof = self.fs.read(call.fh, call.offset or 0, call.count or 0, call.time)
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs, count=got, eof=eof)
+
+    def _write(self, call: NfsCall) -> NfsReply:
+        wrote = self.fs.write(call.fh, call.offset or 0, call.count or 0, call.time)
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs, count=wrote)
+
+    def _create(self, call: NfsCall) -> NfsReply:
+        node = self.fs.create(
+            call.fh, call.name, call.time, uid=call.uid, gid=call.gid
+        )
+        return self._reply(call, fh=node.handle, attributes=node.attrs)
+
+    def _mkdir(self, call: NfsCall) -> NfsReply:
+        node = self.fs.mkdir(call.fh, call.name, call.time, uid=call.uid, gid=call.gid)
+        return self._reply(call, fh=node.handle, attributes=node.attrs)
+
+    def _symlink(self, call: NfsCall) -> NfsReply:
+        node = self.fs.symlink(
+            call.fh, call.name, call.target_name or "", call.time,
+            uid=call.uid, gid=call.gid,
+        )
+        return self._reply(call, fh=node.handle, attributes=node.attrs)
+
+    def _remove(self, call: NfsCall) -> NfsReply:
+        self.fs.remove(call.fh, call.name, call.time)
+        return self._reply(call)
+
+    def _rmdir(self, call: NfsCall) -> NfsReply:
+        self.fs.rmdir(call.fh, call.name, call.time)
+        return self._reply(call)
+
+    def _rename(self, call: NfsCall) -> NfsReply:
+        node = self.fs.rename(
+            call.fh, call.name, call.target_fh or call.fh,
+            call.target_name or call.name, call.time,
+        )
+        return self._reply(call, fh=node.handle, attributes=node.attrs)
+
+    def _readdir(self, call: NfsCall) -> NfsReply:
+        names = self.fs.readdir(call.fh)
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs, data_names=names)
+
+    def _commit(self, call: NfsCall) -> NfsReply:
+        attrs = self.fs.getattr(call.fh)
+        return self._reply(call, fh=call.fh, attributes=attrs)
+
+
+_HANDLERS = {
+    NfsProc.GETATTR: NfsServer._getattr,
+    NfsProc.SETATTR: NfsServer._setattr,
+    NfsProc.LOOKUP: NfsServer._lookup,
+    NfsProc.ACCESS: NfsServer._access,
+    NfsProc.READLINK: NfsServer._readlink,
+    NfsProc.READ: NfsServer._read,
+    NfsProc.WRITE: NfsServer._write,
+    NfsProc.CREATE: NfsServer._create,
+    NfsProc.MKDIR: NfsServer._mkdir,
+    NfsProc.SYMLINK: NfsServer._symlink,
+    NfsProc.REMOVE: NfsServer._remove,
+    NfsProc.RMDIR: NfsServer._rmdir,
+    NfsProc.RENAME: NfsServer._rename,
+    NfsProc.READDIR: NfsServer._readdir,
+    NfsProc.READDIRPLUS: NfsServer._readdir,
+    NfsProc.COMMIT: NfsServer._commit,
+}

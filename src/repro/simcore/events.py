@@ -1,0 +1,119 @@
+"""Heap-based discrete-event scheduler.
+
+The workload generators, client models, and network models all schedule
+callbacks against one :class:`EventLoop`.  Events at the same timestamp
+run in FIFO scheduling order (a monotonically increasing sequence number
+breaks ties), which keeps simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simcore.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(when, seq)`` so same-time events preserve the order
+    in which they were scheduled.
+    """
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A discrete-event loop bound to a :class:`SimClock`.
+
+    Typical use::
+
+        clock = SimClock()
+        loop = EventLoop(clock)
+        loop.schedule(10.0, lambda: print("ten seconds in"))
+        loop.run_until(3600.0)
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def events_run(self) -> int:
+        """Number of callbacks executed so far (skipped events excluded)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, when: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at simulated time ``when``.
+
+        Raises:
+            SimulationError: if ``when`` is in the simulated past.
+        """
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self.clock.now}, when={when}"
+            )
+        event = Event(when=when, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        return self.schedule(self.clock.now + delay, action)
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event.
+
+        Returns:
+            True if an event ran, False if the queue was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            self._events_run += 1
+            return True
+        return False
+
+    def run_until(self, end: float) -> None:
+        """Run events until the queue is empty or the next event is past ``end``.
+
+        The clock finishes at ``end`` even if the last event fired earlier,
+        so a following phase sees a consistent simulated time.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > end:
+                break
+            self.step()
+        if end > self.clock.now:
+            self.clock.advance_to(end)
+
+    def run(self) -> None:
+        """Run until the event queue drains completely."""
+        while self.step():
+            pass

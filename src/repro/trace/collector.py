@@ -1,0 +1,60 @@
+"""The trace collector — the simulated tracing host.
+
+Installed as a tap on a network path (usually behind a
+:class:`~repro.netsim.mirror.MirrorPort`), it converts every observed
+call/reply into a :class:`TraceRecord`.  Records accumulate in memory
+in capture order; ``sorted_records()`` returns them in wire-timestamp
+order, which is the order a real capture file would have after the
+sniffer's internal reordering buffer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.nfs.messages import NfsCall, NfsReply
+from repro.trace.record import TraceRecord
+from repro.trace.writer import TraceWriter
+
+
+class TraceCollector:
+    """Accumulates trace records from a live simulation."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.calls_seen = 0
+        self.replies_seen = 0
+
+    # -- tap interface (called by the network path / mirror port) ------------
+
+    def on_call(self, call: NfsCall) -> None:
+        """Capture one call packet."""
+        self.records.append(TraceRecord.from_call(call))
+        self.calls_seen += 1
+
+    def on_reply(self, reply: NfsReply) -> None:
+        """Capture one reply packet."""
+        self.records.append(TraceRecord.from_reply(reply))
+        self.replies_seen += 1
+
+    # -- consumption -----------------------------------------------------------
+
+    def sorted_records(self) -> list[TraceRecord]:
+        """All records in wire-timestamp order (stable for ties)."""
+        return sorted(self.records, key=lambda r: r.time)
+
+    def write(self, path: str | Path) -> int:
+        """Write the capture to ``path``; returns the record count."""
+        with TraceWriter(path) as writer:
+            for record in self.records:
+                writer.write(record)
+        return len(self.records)
+
+    def clear(self) -> None:
+        """Drop all captured records (between experiment phases)."""
+        self.records.clear()
+        self.calls_seen = 0
+        self.replies_seen = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,78 @@
+"""Streaming trace reader.
+
+Reads the text trace format back into :class:`TraceRecord` objects.
+Gzip files are detected by suffix.  The reader is an iterator, so
+analyses can stream arbitrarily large traces without loading them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import TraceFormatError
+from repro.trace.record import TraceRecord, record_from_line
+
+
+def _open_for_read(path: str | Path) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+class TraceReader:
+    """Iterates the records of one trace file.
+
+    Use as a context manager or rely on iterator exhaustion to close::
+
+        with TraceReader("out.trace.gz") as reader:
+            for record in reader:
+                ...
+
+    Blank lines and ``#`` comment lines are skipped.  Malformed lines
+    raise :class:`~repro.errors.TraceFormatError` unless the reader was
+    created with ``strict=False``, in which case they are counted in
+    ``bad_lines`` and skipped — useful for damaged captures.
+    """
+
+    def __init__(self, path: str | Path, *, strict: bool = True) -> None:
+        self.path = Path(path)
+        self.strict = strict
+        self.bad_lines = 0
+        self._file: IO[str] | None = None
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        self._file = _open_for_read(self.path)
+        try:
+            for line in self._file:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    yield record_from_line(line)
+                except TraceFormatError:
+                    if self.strict:
+                        raise
+                    self.bad_lines += 1
+        finally:
+            self.close()
+
+
+def read_trace(path: str | Path, *, strict: bool = True) -> list[TraceRecord]:
+    """Read an entire trace into memory; returns the record list."""
+    return list(TraceReader(path, strict=strict))

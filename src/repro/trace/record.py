@@ -1,0 +1,236 @@
+"""The trace record — the unit every analysis consumes.
+
+A record is the flattened, tracer's-eye view of one NFS call or reply.
+It deliberately contains only information a passive tracer can see:
+wire timestamp, addresses, XID, procedure, per-procedure arguments, and
+(on replies) status and post-op attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nfs.attributes import FileAttributes, FileType
+from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
+from repro.nfs.procedures import NfsProc, NfsVersion
+
+
+class Direction:
+    """Record direction markers (call vs reply)."""
+
+    CALL = "C"
+    REPLY = "R"
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One captured NFS message.
+
+    ``fh`` and ``target_fh`` are the opaque hex tokens as captured;
+    analyses treat them as identifiers only.  Reply records carry the
+    post-op attribute fields (``attr_*``) when the reply included them.
+    """
+
+    time: float
+    direction: str
+    xid: int
+    client: str
+    server: str
+    proc: NfsProc
+    version: int = 3
+    status: NfsStatus | None = None  # replies only
+    uid: int | None = None
+    gid: int | None = None
+    fh: str | None = None
+    name: str | None = None
+    target_fh: str | None = None
+    target_name: str | None = None
+    offset: int | None = None
+    count: int | None = None
+    size: int | None = None  # setattr size argument
+    eof: bool | None = None
+    attr_ftype: str | None = None
+    attr_size: int | None = None
+    attr_mtime: float | None = None
+    attr_fileid: int | None = None
+    attr_uid: int | None = None
+    attr_gid: int | None = None
+
+    def is_call(self) -> bool:
+        """True for call records."""
+        return self.direction == Direction.CALL
+
+    def is_reply(self) -> bool:
+        """True for reply records."""
+        return self.direction == Direction.REPLY
+
+    def ok(self) -> bool:
+        """True for replies with OK status (False for calls)."""
+        return self.status is NfsStatus.OK
+
+    def key(self) -> tuple[str, int]:
+        """(client, xid): matches a reply record to its call record."""
+        return (self.client, self.xid)
+
+    # -- construction from wire messages --------------------------------------
+
+    @classmethod
+    def from_call(cls, call: NfsCall) -> "TraceRecord":
+        """Flatten an :class:`NfsCall` into a record."""
+        return cls(
+            time=call.time,
+            direction=Direction.CALL,
+            xid=call.xid,
+            client=call.client,
+            server=call.server,
+            proc=call.proc,
+            version=int(call.version),
+            uid=call.uid,
+            gid=call.gid,
+            fh=call.fh.token() if call.fh else None,
+            name=call.name,
+            target_fh=call.target_fh.token() if call.target_fh else None,
+            target_name=call.target_name,
+            offset=call.offset,
+            count=call.count,
+            size=call.size,
+        )
+
+    @classmethod
+    def from_reply(cls, reply: NfsReply) -> "TraceRecord":
+        """Flatten an :class:`NfsReply` into a record."""
+        attrs = reply.attributes
+        return cls(
+            time=reply.time,
+            direction=Direction.REPLY,
+            xid=reply.xid,
+            client=reply.client,
+            server=reply.server,
+            proc=reply.proc,
+            version=int(reply.version),
+            status=reply.status,
+            fh=reply.fh.token() if reply.fh else None,
+            count=reply.count,
+            eof=reply.eof,
+            attr_ftype=str(attrs.ftype) if attrs else None,
+            attr_size=attrs.size if attrs else None,
+            attr_mtime=attrs.mtime if attrs else None,
+            attr_fileid=attrs.fileid if attrs else None,
+            attr_uid=attrs.uid if attrs else None,
+            attr_gid=attrs.gid if attrs else None,
+        )
+
+
+#: Field serialization order and codecs for the key=value section.
+_FIELD_CODECS: dict[str, tuple] = {
+    "uid": (str, int),
+    "gid": (str, int),
+    "fh": (str, str),
+    "name": (str, str),
+    "target_fh": (str, str),
+    "target_name": (str, str),
+    "offset": (str, int),
+    "count": (str, int),
+    "size": (str, int),
+    "eof": (lambda v: "1" if v else "0", lambda s: s == "1"),
+    "attr_ftype": (str, str),
+    "attr_size": (str, int),
+    "attr_mtime": (lambda v: f"{v:.6f}", float),
+    "attr_fileid": (str, int),
+    "attr_uid": (str, int),
+    "attr_gid": (str, int),
+}
+
+
+def record_to_line(record: TraceRecord) -> str:
+    """Serialize a record to one trace line."""
+    head = (
+        f"{record.time:.6f} {record.direction} {record.client} {record.server} "
+        f"V{record.version} {record.xid:x} {record.proc}"
+    )
+    parts = [head]
+    if record.is_reply():
+        status = record.status if record.status is not None else NfsStatus.OK
+        parts.append(str(status))
+    for field_name, (encode, _decode) in _FIELD_CODECS.items():
+        value = getattr(record, field_name)
+        if value is not None:
+            parts.append(f"{field_name}={encode(value)}")
+    return " ".join(parts)
+
+
+def record_from_line(line: str) -> TraceRecord:
+    """Parse one trace line back into a record.
+
+    Raises:
+        repro.errors.TraceFormatError: on malformed lines.
+    """
+    from repro.errors import TraceFormatError
+
+    tokens = line.split()
+    if len(tokens) < 7:
+        raise TraceFormatError(f"short trace line: {line!r}")
+    try:
+        time = float(tokens[0])
+        direction = tokens[1]
+        client, server = tokens[2], tokens[3]
+        version = int(tokens[4].lstrip("V"))
+        xid = int(tokens[5], 16)
+        proc = NfsProc(tokens[6])
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"bad trace line header: {line!r}") from exc
+    if direction not in (Direction.CALL, Direction.REPLY):
+        raise TraceFormatError(f"bad direction {direction!r} in {line!r}")
+    record = TraceRecord(
+        time=time, direction=direction, xid=xid,
+        client=client, server=server, proc=proc, version=version,
+    )
+    rest = tokens[7:]
+    if direction == Direction.REPLY:
+        if not rest:
+            raise TraceFormatError(f"reply line missing status: {line!r}")
+        try:
+            record.status = NfsStatus.from_wire(rest[0])
+        except ValueError as exc:
+            raise TraceFormatError(f"bad status in {line!r}") from exc
+        rest = rest[1:]
+    for token in rest:
+        field_name, sep, raw = token.partition("=")
+        if not sep or field_name not in _FIELD_CODECS:
+            raise TraceFormatError(f"bad field token {token!r} in {line!r}")
+        _encode, decode = _FIELD_CODECS[field_name]
+        try:
+            setattr(record, field_name, decode(raw))
+        except ValueError as exc:
+            raise TraceFormatError(f"bad value in token {token!r}") from exc
+    return record
+
+
+def make_version(version: int) -> NfsVersion:
+    """Map a trace version int back onto the protocol enum."""
+    return NfsVersion(version)
+
+
+def make_ftype(text: str) -> FileType:
+    """Map a trace attr_ftype string back onto the enum."""
+    for ftype in FileType:
+        if str(ftype) == text:
+            return ftype
+    raise ValueError(f"unknown file type {text!r}")
+
+
+def reply_attributes(record: TraceRecord) -> FileAttributes | None:
+    """Rehydrate post-op attributes from a reply record, if present."""
+    if record.attr_size is None or record.attr_ftype is None:
+        return None
+    return FileAttributes(
+        ftype=make_ftype(record.attr_ftype),
+        mode=0,
+        uid=record.attr_uid or 0,
+        gid=record.attr_gid or 0,
+        size=record.attr_size,
+        fileid=record.attr_fileid or 0,
+        atime=0.0,
+        mtime=record.attr_mtime or 0.0,
+        ctime=0.0,
+    )

@@ -1,0 +1,99 @@
+"""Trace manipulation utilities: filter, slice, and merge.
+
+Day-to-day operations on trace files for anyone working with multi-day
+captures: pull out a time window, keep one client's traffic, or merge
+per-segment captures (the paper's CAMPUS arrays were traced per
+virtual host and analyzed individually or together).
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.reader import TraceReader
+from repro.trace.record import TraceRecord
+from repro.trace.writer import TraceWriter
+
+
+def filter_records(
+    records: Iterable[TraceRecord],
+    *,
+    start: float | None = None,
+    end: float | None = None,
+    clients: set[str] | None = None,
+    predicate: Callable[[TraceRecord], bool] | None = None,
+) -> Iterator[TraceRecord]:
+    """Lazily filter a record stream.
+
+    Args:
+        start/end: keep records with ``start <= time < end``.
+        clients: keep records whose client is in the set.
+        predicate: arbitrary extra condition.
+    """
+    for record in records:
+        if start is not None and record.time < start:
+            continue
+        if end is not None and record.time >= end:
+            continue
+        if clients is not None and record.client not in clients:
+            continue
+        if predicate is not None and not predicate(record):
+            continue
+        yield record
+
+
+def slice_trace(
+    src: str | Path,
+    dst: str | Path,
+    *,
+    start: float | None = None,
+    end: float | None = None,
+    clients: set[str] | None = None,
+) -> int:
+    """Copy a filtered slice of ``src`` into ``dst``; returns count."""
+    count = 0
+    with TraceReader(src) as reader, TraceWriter(dst) as writer:
+        for record in filter_records(
+            reader, start=start, end=end, clients=clients
+        ):
+            writer.write(record)
+            count += 1
+    return count
+
+
+def merge_traces(sources: list[str | Path], dst: str | Path) -> int:
+    """Merge several time-sorted traces into one, by timestamp.
+
+    Uses a streaming k-way merge, so arbitrarily large inputs are fine.
+    Returns the number of records written.
+    """
+    readers = [TraceReader(path) for path in sources]
+    try:
+        streams = [iter(reader) for reader in readers]
+        merged = heapq.merge(*streams, key=lambda r: r.time)
+        count = 0
+        with TraceWriter(dst) as writer:
+            for record in merged:
+                writer.write(record)
+                count += 1
+        return count
+    finally:
+        for reader in readers:
+            reader.close()
+
+
+def trace_span(path: str | Path) -> tuple[float, float, int]:
+    """(first timestamp, last timestamp, record count) of a trace."""
+    first = last = None
+    count = 0
+    with TraceReader(path) as reader:
+        for record in reader:
+            if first is None:
+                first = record.time
+            last = record.time
+            count += 1
+    if first is None:
+        return (0.0, 0.0, 0)
+    return (first, last, count)

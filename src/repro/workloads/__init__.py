@@ -1,0 +1,35 @@
+"""Synthetic workload generators for the two traced systems.
+
+* :mod:`repro.workloads.email_campus` — the CAMPUS workload: an
+  email-dominated population served through a handful of POP/SMTP/login
+  server hosts (the NFS clients), NFSv3 over TCP.
+* :mod:`repro.workloads.research_eecs` — the EECS workload: research /
+  software-development users on personal workstations, NFSv2+v3 over
+  UDP, metadata-heavy.
+
+Shared infrastructure: user populations (:mod:`users`), the weekly
+diurnal intensity model (:mod:`diurnal`), filename generators
+(:mod:`namespaces`), the generator base (:mod:`base`), and
+:class:`~repro.workloads.harness.TracedSystem`, which wires file
+system, server, network, mirror port, collector, and clients into one
+runnable simulation.
+"""
+
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.diurnal import DiurnalModel
+from repro.workloads.users import User, UserPopulation
+from repro.workloads.harness import TracedSystem
+from repro.workloads.email_campus import CampusEmailWorkload, CampusParams
+from repro.workloads.research_eecs import EecsResearchWorkload, EecsParams
+
+__all__ = [
+    "WorkloadGenerator",
+    "DiurnalModel",
+    "User",
+    "UserPopulation",
+    "TracedSystem",
+    "CampusEmailWorkload",
+    "CampusParams",
+    "EecsResearchWorkload",
+    "EecsParams",
+]

@@ -1,0 +1,52 @@
+"""Workload generator base class.
+
+A generator owns three responsibilities:
+
+* ``populate`` — build the pre-existing namespace directly in the
+  server file system (home directories, existing mailboxes, project
+  trees) so the trace starts in steady state rather than with a giant
+  creation burst;
+* ``install`` — schedule its arrival processes on the event loop;
+* bookkeeping of per-category counters that tests and benchmarks use
+  to sanity-check what was generated.
+
+Generators drive :class:`~repro.client.client.NfsClient` instances
+obtained from the :class:`~repro.workloads.harness.TracedSystem`; they
+never talk to the server directly once the simulation is running.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.harness import TracedSystem
+
+
+class WorkloadGenerator(abc.ABC):
+    """Base class for the CAMPUS and EECS generators."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Counter[str] = Counter()
+        self.system: "TracedSystem | None" = None
+
+    def attach(self, system: "TracedSystem") -> None:
+        """Bind to a traced system; populates and installs."""
+        self.system = system
+        self.populate(system)
+        self.install(system)
+
+    @abc.abstractmethod
+    def populate(self, system: "TracedSystem") -> None:
+        """Create the pre-existing namespace server-side (time 0)."""
+
+    @abc.abstractmethod
+    def install(self, system: "TracedSystem") -> None:
+        """Schedule arrival processes on ``system.loop``."""
+
+    def count(self, event: str, n: int = 1) -> None:
+        """Increment a named generator counter."""
+        self.counters[event] += n

@@ -1,0 +1,94 @@
+"""The weekly activity rhythm.
+
+Both traced systems follow the academic week: load peaks 9am-6pm on
+weekdays, has an evening shoulder, bottoms out overnight, and is low on
+weekends (Figure 4, Table 5).  The model is a piecewise-constant rate
+multiplier over the 168 hours of the week, used to modulate Poisson
+arrival processes via thinning.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simcore.clock import SECONDS_PER_HOUR, SECONDS_PER_WEEK, hour_of_week
+
+#: Multiplier per hour-of-day for a weekday (midnight to 11pm).
+_WEEKDAY_SHAPE = (
+    0.15, 0.10, 0.08, 0.06, 0.06, 0.08,  # 0-5: night
+    0.15, 0.30, 0.60, 1.00, 1.00, 1.00,  # 6-11: ramp into peak
+    0.95, 1.00, 1.00, 1.00, 1.00, 0.95,  # 12-17: peak
+    0.80, 0.65, 0.55, 0.45, 0.35, 0.25,  # 18-23: evening shoulder
+)
+
+#: Weekends run at a flattened, reduced version of the weekday shape.
+_WEEKEND_FACTOR = 0.35
+
+
+class DiurnalModel:
+    """Hour-of-week rate multipliers in (0, 1].
+
+    Args:
+        weekday_shape: 24 multipliers for Monday-Friday.
+        weekend_factor: scale applied to the shape on Saturday/Sunday.
+        floor: minimum multiplier (a server is never fully idle).
+    """
+
+    def __init__(
+        self,
+        weekday_shape: tuple[float, ...] = _WEEKDAY_SHAPE,
+        weekend_factor: float = _WEEKEND_FACTOR,
+        floor: float = 0.04,
+    ) -> None:
+        if len(weekday_shape) != 24:
+            raise ValueError("weekday_shape must have 24 entries")
+        self.floor = floor
+        self._table = []
+        for hour in range(24 * 7):
+            day = hour // 24  # 0=Sunday
+            base = weekday_shape[hour % 24]
+            if day in (0, 6):
+                base *= weekend_factor
+            self._table.append(max(floor, base))
+        self.peak = max(self._table)
+
+    def multiplier(self, t: float) -> float:
+        """Rate multiplier at simulated time ``t``."""
+        return self._table[hour_of_week(t)]
+
+    def accept(self, t: float, rng: random.Random) -> bool:
+        """Thinning test: keep a candidate arrival generated at the
+        peak rate with probability multiplier(t)/peak."""
+        return rng.random() < self.multiplier(t) / self.peak
+
+    def next_arrival(
+        self, t: float, mean_interval_at_peak: float, rng: random.Random
+    ) -> float:
+        """Next arrival time of a nonhomogeneous Poisson process.
+
+        ``mean_interval_at_peak`` is the mean inter-arrival time during
+        peak hours; off-peak intervals stretch according to the weekly
+        shape.  Uses Lewis-Shedler thinning: candidates are drawn at
+        the peak rate and rejected in proportion to the local rate.
+        """
+        candidate = t
+        for _ in range(100_000):
+            candidate += rng.expovariate(1.0 / mean_interval_at_peak)
+            if self.accept(candidate, rng):
+                return candidate
+        # pathological floor: arrival at least one week out
+        return t + SECONDS_PER_WEEK
+
+    def hourly_profile(self) -> list[float]:
+        """The full 168-entry multiplier table (for tests/plots)."""
+        return list(self._table)
+
+
+def flat_model() -> DiurnalModel:
+    """A rhythm-free model (all hours equal) for controlled experiments."""
+    return DiurnalModel(weekday_shape=(1.0,) * 24, weekend_factor=1.0, floor=1.0)
+
+
+def business_hours_seconds(hour_start: int = 9, hour_end: int = 18) -> float:
+    """Length of the paper's peak window in seconds (helper)."""
+    return (hour_end - hour_start) * SECONDS_PER_HOUR

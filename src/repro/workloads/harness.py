@@ -1,0 +1,110 @@
+"""The traced system: everything wired together.
+
+One :class:`TracedSystem` is one complete simulated environment —
+file system, NFS server, network path, optional mirror-port loss,
+trace collector, event loop, and any number of client hosts.  The
+workload generators attach to it, and ``run`` produces a trace.
+"""
+
+from __future__ import annotations
+
+from repro.client.client import NfsClient
+from repro.fs.filesystem import SimFileSystem
+from repro.netsim.link import NetworkPath
+from repro.netsim.mirror import MirrorPort
+from repro.nfs.procedures import NfsVersion
+from repro.nfs.rpc import Transport
+from repro.server.nfs_server import NfsServer
+from repro.simcore.events import EventLoop
+from repro.simcore.rng import RngRegistry
+from repro.trace.collector import TraceCollector
+from repro.trace.record import TraceRecord
+
+
+class TracedSystem:
+    """A complete client/server/tracer world.
+
+    Args:
+        seed: master seed; all randomness derives from it.
+        quota_bytes: per-user quota (CAMPUS used 50 MB); None = none.
+        mirror_bandwidth: mirror-port egress in bytes/s; ``None``
+            disables loss (the EECS monitor configuration).
+        mirror_buffer: switch buffer behind the mirror port.
+        server_addr: the server's address as it appears in the trace.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        quota_bytes: int | None = None,
+        mirror_bandwidth: float | None = None,
+        mirror_buffer: int = 512 * 1024,
+        server_addr: str = "10.0.0.100",
+    ) -> None:
+        self.rngs = RngRegistry(seed)
+        self.fs = SimFileSystem(fsid=1, quota_bytes=quota_bytes)
+        self.server = NfsServer(self.fs)
+        self.server_addr = server_addr
+        self.collector = TraceCollector()
+        self.mirror = MirrorPort(
+            bandwidth=mirror_bandwidth,
+            buffer_bytes=mirror_buffer,
+            taps=[self.collector],
+        )
+        self.network = NetworkPath(
+            self.server, self.rngs.stream("network.latency"), taps=[self.mirror]
+        )
+        self.loop = EventLoop()
+        self.clients: dict[str, NfsClient] = {}
+
+    @property
+    def clock(self):
+        """The shared simulated clock."""
+        return self.loop.clock
+
+    def add_client(
+        self,
+        host: str,
+        *,
+        transport: Transport = Transport.TCP,
+        version: NfsVersion = NfsVersion.V3,
+        nfsiod_count: int = 4,
+        ac_timeout: float = 3.0,
+        name_timeout: float = 30.0,
+        cache_blocks: int = 65536,
+        readahead_blocks: int = 4,
+    ) -> NfsClient:
+        """Create (or return) the client for ``host``."""
+        existing = self.clients.get(host)
+        if existing is not None:
+            return existing
+        client = NfsClient(
+            host=host,
+            server_addr=self.server_addr,
+            root=self.fs.root,
+            exchange=self.network,
+            clock=self.clock,
+            rng=self.rngs.stream(f"client.{host}"),
+            transport=transport,
+            version=version,
+            nfsiod_count=nfsiod_count,
+            ac_timeout=ac_timeout,
+            name_timeout=name_timeout,
+            cache_blocks=cache_blocks,
+            readahead_blocks=readahead_blocks,
+        )
+        self.clients[host] = client
+        return client
+
+    def run(self, until: float) -> None:
+        """Run the simulation to ``until`` simulated seconds."""
+        self.loop.run_until(until)
+
+    def records(self) -> list[TraceRecord]:
+        """The captured trace so far, in wire-time order."""
+        return self.collector.sorted_records()
+
+    def write_trace(self, path) -> int:
+        """Write the captured trace to ``path``."""
+        return self.collector.write(path)

@@ -1,0 +1,166 @@
+"""Filename generation for every file category in the paper.
+
+Section 6.3's central finding is that a file's *name* predicts its
+size, lifetime, and access pattern.  The generators here produce names
+in exactly the categories the paper enumerates, so the name-prediction
+analysis has real structure to find:
+
+CAMPUS: mailbox names (``.inbox``, saved-mail folders), lock files
+(``<mailbox>.lock``), mail composer temporaries (``pico.######``),
+and dot files (``.pinerc``, ``.cshrc``, ``.login``, ...).
+
+EECS: source/header/object/archive names, editor backup (``name~``)
+and autosave (``#name#``) files, RCS ``,v`` files, browser cache
+entries (``cache########.html``), and window-manager
+``Applet_*_Extern`` files.
+"""
+
+from __future__ import annotations
+
+import random
+
+# -- CAMPUS names ------------------------------------------------------------
+
+#: The user's primary inbox (the paper's dominant file).
+INBOX_NAME = ".inbox"
+
+#: Dot files a login session may touch, with representative sizes.
+DOT_FILES = {
+    ".cshrc": (900, 2200),
+    ".login": (400, 1200),
+    ".forward": (30, 120),
+    ".pinerc": (11_000, 26_000),  # paper: "varies in size from 11K to 26K"
+    ".addressbook": (500, 6000),
+    ".signature": (60, 400),
+}
+
+#: Saved-mail folder names inside ``mail/``.
+MAIL_FOLDER_NAMES = (
+    "saved-messages",
+    "sent-mail",
+    "postponed-msgs",
+    "personal",
+    "admin",
+    "lists",
+)
+
+
+def lock_name(base: str) -> str:
+    """The lock file guarding ``base`` (``.inbox`` -> ``.inbox.lock``)."""
+    return f"{base}.lock"
+
+
+def composer_temp_name(rng: random.Random) -> str:
+    """A mail-composition temporary (pico/pine style)."""
+    return f"pico.{rng.randrange(0, 1_000_000):06d}"
+
+
+def attachment_temp_name(rng: random.Random) -> str:
+    """A viewed/extracted attachment temporary."""
+    return f"att{rng.randrange(0, 100_000):05d}.tmp"
+
+
+# -- EECS names ----------------------------------------------------------------
+
+SOURCE_SUFFIXES = ("c", "h", "cc", "py", "tex", "pl")
+
+
+def source_name(rng: random.Random, index: int) -> str:
+    """A source file name with a realistic extension mix."""
+    suffix = rng.choice(SOURCE_SUFFIXES)
+    return f"src{index:03d}.{suffix}"
+
+
+def object_name(source: str) -> str:
+    """The object file built from ``source`` (``x.c`` -> ``x.o``)."""
+    stem = source.rsplit(".", 1)[0]
+    return f"{stem}.o"
+
+
+def backup_name(name: str) -> str:
+    """Editor backup (``name~``)."""
+    return f"{name}~"
+
+
+def autosave_name(name: str) -> str:
+    """Emacs autosave (``#name#``)."""
+    return f"#{name}#"
+
+
+def rcs_name(name: str) -> str:
+    """RCS archive (``name,v``)."""
+    return f"{name},v"
+
+
+def browser_cache_name(rng: random.Random) -> str:
+    """A browser cache entry (Netscape-style hex names)."""
+    return f"cache{rng.getrandbits(32):08x}.html"
+
+
+def applet_name(rng: random.Random) -> str:
+    """A window-manager applet file.
+
+    Paper: "approximately 10,000 deletes per day of small files with
+    names of the form ``Applet_*_Extern``".
+    """
+    return f"Applet_{rng.randrange(0, 10_000):04d}_Extern"
+
+
+def log_name(index: int) -> str:
+    """An application log file (written frequently, unbuffered)."""
+    return f"app{index:02d}.log"
+
+
+def index_name(index: int) -> str:
+    """An application index/db file (rewritten in place)."""
+    return f"index{index:02d}.db"
+
+
+# -- name classification (ground truth for the prediction analysis) -------------
+
+#: Categories used by the Section 6.3 analysis.
+CATEGORY_LOCK = "lock"
+CATEGORY_DOT = "dot"
+CATEGORY_COMPOSER = "composer"
+CATEGORY_MAILBOX = "mailbox"
+CATEGORY_TEMP = "temp"
+CATEGORY_SOURCE = "source"
+CATEGORY_OBJECT = "object"
+CATEGORY_BACKUP = "backup"
+CATEGORY_CACHE = "cache"
+CATEGORY_APPLET = "applet"
+CATEGORY_LOG = "log"
+CATEGORY_OTHER = "other"
+
+
+def classify_name(name: str) -> str:
+    """The paper's name-shape categories, from the last path component.
+
+    This mirrors how a file system could classify at create time using
+    nothing but the filename (Section 6.3).
+    """
+    if name.endswith(".lock") or name == "lock":
+        return CATEGORY_LOCK
+    if name.startswith("#") and name.endswith("#"):
+        return CATEGORY_BACKUP
+    if name.endswith("~"):
+        return CATEGORY_BACKUP
+    if name.startswith("pico."):
+        return CATEGORY_COMPOSER
+    if name.endswith(".tmp"):
+        return CATEGORY_TEMP
+    if name == INBOX_NAME or name in MAIL_FOLDER_NAMES:
+        return CATEGORY_MAILBOX
+    if name.startswith("."):
+        return CATEGORY_DOT
+    if name.startswith("Applet_") and name.endswith("_Extern"):
+        return CATEGORY_APPLET
+    if name.startswith("cache") and name.endswith(".html"):
+        return CATEGORY_CACHE
+    if name.endswith((".log", ".db", ".history")):
+        return CATEGORY_LOG
+    if name.endswith(".o") or name.endswith(".a"):
+        return CATEGORY_OBJECT
+    if name.rsplit(".", 1)[-1] in SOURCE_SUFFIXES:
+        return CATEGORY_SOURCE
+    return CATEGORY_OTHER

@@ -1,0 +1,82 @@
+"""User populations.
+
+Both systems serve home directories: CAMPUS distributes ~10,000 users
+over fourteen arrays by the first letter of their login (so one array
+holds a subset with 50 MB quotas); EECS is a departmental population.
+A :class:`User` carries identity, home path, and an activity weight so
+the population has heavy and light users rather than a uniform load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """One account on the traced system."""
+
+    uid: int
+    gid: int
+    login: str
+    home: str
+    #: Relative activity weight; mean 1.0 across a population.
+    activity: float = 1.0
+
+
+class UserPopulation:
+    """A set of users with skewed activity weights.
+
+    Activity follows a Pareto-like distribution normalized to mean 1.0
+    — a small fraction of users generate much of the load, as on any
+    real multi-user system.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        rng: random.Random,
+        *,
+        first_uid: int = 1000,
+        gid: int = 100,
+        home_root: str = "/home",
+        login_prefix: str = "user",
+        skew_alpha: float = 1.8,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"population needs at least one user, got {count}")
+        self.home_root = home_root
+        raw_weights = [rng.paretovariate(skew_alpha) for _ in range(count)]
+        mean = sum(raw_weights) / count
+        self.users: list[User] = []
+        for index in range(count):
+            login = f"{login_prefix}{index:04d}"
+            self.users.append(
+                User(
+                    uid=first_uid + index,
+                    gid=gid,
+                    login=login,
+                    home=f"{home_root}/{login}",
+                    activity=raw_weights[index] / mean,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def __getitem__(self, index: int) -> User:
+        return self.users[index]
+
+    def pick(self, rng: random.Random) -> User:
+        """Draw a user weighted by activity."""
+        return rng.choices(self.users, weights=[u.activity for u in self.users])[0]
+
+    def heavy_users(self, fraction: float = 0.1) -> list[User]:
+        """The most active ``fraction`` of the population."""
+        ranked = sorted(self.users, key=lambda u: u.activity, reverse=True)
+        top = max(1, int(len(ranked) * fraction))
+        return ranked[:top]

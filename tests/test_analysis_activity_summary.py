@@ -1,0 +1,132 @@
+"""Tests for activity (Table 5 / Figure 4) and summary (Table 2)."""
+
+import math
+
+from repro.analysis.activity import ActivityAnalyzer
+from repro.analysis.summary import PRIOR_STUDY_ROWS, summarize_trace
+from repro.nfs.procedures import NfsProc
+from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from tests.helpers import op, read, write
+
+HOUR = SECONDS_PER_HOUR
+
+
+class TestActivity:
+    def test_hourly_bucketing(self):
+        analyzer = ActivityAnalyzer().observe_all(
+            [read(10.0, 0, 100, file_size=1000), read(HOUR + 5.0, 0, 100, file_size=1000)]
+        )
+        series = analyzer.hourly_series(0.0, 2 * HOUR)
+        assert len(series) == 2
+        assert series[0].ops == 1 and series[1].ops == 1
+
+    def test_zero_filled_hours(self):
+        analyzer = ActivityAnalyzer().observe_all([read(10.0, 0, 100)])
+        series = analyzer.hourly_series(0.0, 5 * HOUR)
+        assert len(series) == 5
+        assert [b.ops for b in series] == [1, 0, 0, 0, 0]
+
+    def test_rw_ratio_per_bucket(self):
+        analyzer = ActivityAnalyzer().observe_all(
+            [
+                read(1.0, 0, 100, file_size=1000),
+                read(2.0, 0, 100, file_size=1000),
+                write(3.0, 0, 100),
+            ]
+        )
+        bucket = analyzer.hourly_series(0.0, HOUR)[0]
+        assert bucket.rw_op_ratio == 2.0
+        assert bucket.read_bytes == 200
+        assert bucket.write_bytes == 100
+
+    def test_metadata_counts_in_total_only(self):
+        analyzer = ActivityAnalyzer().observe_all(
+            [op(NfsProc.GETATTR, 1.0), read(2.0, 0, 100, file_size=1000)]
+        )
+        bucket = analyzer.hourly_series(0.0, HOUR)[0]
+        assert bucket.ops == 2
+        assert bucket.read_ops == 1
+
+    def test_table5_peak_variance_reduction(self):
+        """Load concentrated in the peak window: peak-hours stddev must
+        be far below the all-hours stddev (the Section 6.2 effect)."""
+        ops = []
+        t = 0.0
+        monday = SECONDS_PER_DAY
+        # identical load 9am-6pm Monday, nothing the rest of the day
+        for hour in range(9, 18):
+            base = monday + hour * HOUR
+            for i in range(100):
+                ops.append(read(base + i, 0, 100, file_size=1000, xid=i))
+        analyzer = ActivityAnalyzer().observe_all(ops)
+        table = analyzer.table5(monday, monday + SECONDS_PER_DAY)
+        assert table.peak_hours["total_ops"].std_pct == 0.0
+        assert table.all_hours["total_ops"].std_pct > 50.0
+        assert table.variance_reduction("total_ops") == math.inf
+
+    def test_table5_metrics_present(self):
+        analyzer = ActivityAnalyzer().observe_all([read(1.0, 0, 100)])
+        table = analyzer.table5(0.0, HOUR)
+        for key in ("total_ops", "read_mb", "read_ops", "written_mb",
+                    "write_ops", "rw_op_ratio"):
+            assert key in table.all_hours
+
+
+class TestSummary:
+    def _ops(self):
+        return [
+            read(10.0, 0, 8192, file_size=99999),
+            read(20.0, 0, 8192, file_size=99999),
+            read(30.0, 0, 8192, file_size=99999),
+            write(40.0, 0, 4096),
+            op(NfsProc.GETATTR, 50.0),
+            op(NfsProc.LOOKUP, 60.0, name="x", reply_fh="f2"),
+            op(NfsProc.ACCESS, 70.0),
+        ]
+
+    def test_counts(self):
+        s = summarize_trace(self._ops(), 0.0, SECONDS_PER_DAY)
+        assert s.total_ops == 7
+        assert s.read_ops == 3 and s.write_ops == 1
+        assert s.bytes_read == 3 * 8192
+        assert s.bytes_written == 4096
+
+    def test_ratios(self):
+        s = summarize_trace(self._ops(), 0.0, SECONDS_PER_DAY)
+        assert s.rw_op_ratio == 3.0
+        assert s.rw_byte_ratio == 6.0
+
+    def test_metadata_fraction(self):
+        s = summarize_trace(self._ops(), 0.0, SECONDS_PER_DAY)
+        assert s.metadata_ops == 3
+        assert abs(s.metadata_fraction - 3 / 7) < 1e-9
+        assert s.attribute_check_fraction == s.metadata_fraction
+
+    def test_per_day_normalization(self):
+        s = summarize_trace(self._ops(), 0.0, 2 * SECONDS_PER_DAY)
+        assert s.ops_per_day == 3.5
+
+    def test_window_filtering(self):
+        s = summarize_trace(self._ops(), 0.0, 35.0)
+        assert s.total_ops == 3
+
+    def test_failed_data_ops_not_in_byte_counts(self):
+        from repro.nfs.messages import NfsStatus
+
+        bad = read(10.0, 0, 8192, file_size=0)
+        bad.status = NfsStatus.STALE
+        s = summarize_trace([bad], 0.0, 100.0)
+        assert s.total_ops == 1
+        assert s.read_ops == 0 and s.bytes_read == 0
+
+    def test_prior_study_reference_shape(self):
+        """The quoted Table 2 reference rows keep the paper's ordering
+        relations: CAMPUS is an order of magnitude busier, EECS writes
+        more than it reads."""
+        campus = PRIOR_STUDY_ROWS["CAMPUS (paper, 10/21-10/27)"]
+        eecs = PRIOR_STUDY_ROWS["EECS (paper, 10/21-10/27)"]
+        assert campus["ops_millions"] > 5 * eecs["ops_millions"]
+        assert campus["rw_byte_ratio"] > 1.0
+        assert eecs["rw_byte_ratio"] < 1.0
+        for row in PRIOR_STUDY_ROWS.values():
+            assert set(row) == set(campus)

@@ -1,0 +1,64 @@
+"""Unit tests for the Table 1 characterization on hand-built streams."""
+
+from repro.analysis.characterize import Characterization, characterize
+from repro.nfs.procedures import NfsProc
+from tests.helpers import create, lookup, op, read, remove, write
+
+
+def _email_like_ops():
+    """A miniature email-shaped op stream."""
+    ops = []
+    t = 0.0
+    # the inbox and its lock, named so categorization works
+    ops.append(lookup(t, "home", ".inbox", "mb", child_size=80_000))
+    for i in range(10):
+        t += 400.0
+        ops.append(create(t, "home", ".inbox.lock", f"lk{i}"))
+        ops.append(write(t + 0.05, 80_000 + i * 100, 100, fh="mb",
+                         post_size=80_100 + i * 100))
+        ops.append(remove(t + 0.1, "home", ".inbox.lock"))
+        # the reader re-reads the whole inbox
+        for b in range(10):
+            ops.append(read(t + 1.0 + b * 0.01, b * 8192, 8192,
+                            fh="mb", file_size=81_000))
+    # periodic overwrite (checkpoint-style) kills earlier blocks
+    t += 1200.0
+    ops.append(write(t, 80_000, 1000, fh="mb", post_size=81_000))
+    return ops, t + 100.0
+
+
+class TestCharacterize:
+    def test_email_stream_characterization(self):
+        ops, end = _email_like_ops()
+        c = characterize(ops, 0.0, end)
+        assert isinstance(c, Characterization)
+        assert c.dominant_call_type() == "data"
+        assert c.rw_op_ratio > 1.0
+        assert "reads outnumber" in c.read_write_balance()
+        assert c.mailbox_byte_share > 0.9
+        assert c.lock_file_share > 0.3
+
+    def test_death_cause_on_email_stream(self):
+        ops, end = _email_like_ops()
+        c = characterize(ops, 0.0, end)
+        assert c.dominant_death_cause() == "overwriting"
+
+    def test_metadata_heavy_stream(self):
+        ops = []
+        for i in range(50):
+            ops.append(op(NfsProc.GETATTR, float(i), fh="f1"))
+            ops.append(op(NfsProc.ACCESS, float(i) + 0.3, fh="f1"))
+        ops.append(write(100.0, 0, 100, fh="f1"))
+        c = characterize(ops, 0.0, 200.0)
+        assert c.dominant_call_type() == "metadata"
+        assert "writes outnumber" in c.read_write_balance()
+
+    def test_empty_stream(self):
+        c = characterize([], 0.0, 100.0)
+        assert c.median_block_lifetime is None
+        assert c.summary.total_ops == 0
+
+    def test_peak_ops_override(self):
+        ops, end = _email_like_ops()
+        c = characterize(ops, 0.0, end, peak_ops=[])
+        assert c.mailbox_file_share == 0.0

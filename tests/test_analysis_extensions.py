@@ -1,0 +1,149 @@
+"""Tests for the writeback (NVRAM) and delegation extension analyses."""
+
+import pytest
+
+from repro.analysis.delegation import delegation_savings
+from repro.analysis.lifetimes import BlockLifetimeAnalyzer
+from repro.analysis.writeback import (
+    DEFAULT_DELAYS,
+    savings_from_report,
+    writeback_savings,
+)
+from repro.fs.blockmap import BLOCK_SIZE
+from repro.nfs.procedures import NfsProc
+from tests.helpers import create, lookup, op, write
+
+K = BLOCK_SIZE
+
+
+class TestWriteback:
+    def _ops_with_fast_deaths(self):
+        """10 blocks born, half overwritten within 5 s, half at 1000 s."""
+        ops = [create(0.0, "d", "f", "f1")]
+        ops.append(write(1.0, 0, 10 * K, fh="f1"))
+        # overwrite blocks 0-4 quickly
+        ops.append(write(5.0, 0, 5 * K, fh="f1", post_size=10 * K))
+        # overwrite blocks 5-9 much later
+        ops.append(write(1001.0, 5 * K, 5 * K, fh="f1", post_size=10 * K))
+        return ops
+
+    def test_absorption_grows_with_delay(self):
+        savings = writeback_savings(self._ops_with_fast_deaths(), 0.0, 4000.0)
+        fractions = savings.absorbed_fraction
+        assert fractions == sorted(fractions)
+        assert savings.at(0.0) == 0.0
+
+    def test_absorption_values(self):
+        savings = writeback_savings(self._ops_with_fast_deaths(), 0.0, 4000.0)
+        # births: 10 original + 10 rebirths = 20; deaths within 30 s: 5
+        assert savings.total_block_writes == 20
+        assert savings.at(30.0) == pytest.approx(5 / 20)
+        assert savings.at(3600.0) == pytest.approx(10 / 20)
+
+    def test_savings_from_existing_report(self):
+        analyzer = BlockLifetimeAnalyzer(0.0, 2000.0, 4000.0)
+        analyzer.observe_all(self._ops_with_fast_deaths())
+        savings = savings_from_report(analyzer.report())
+        assert savings.delays == DEFAULT_DELAYS
+        assert savings.at(30.0) > 0.0
+
+    def test_empty_stream(self):
+        savings = writeback_savings([], 0.0, 100.0)
+        assert savings.total_block_writes == 0
+        assert all(f == 0.0 for f in savings.absorbed_fraction)
+
+    def test_eecs_absorbs_more_than_campus_quickly(self):
+        """The paper's point: short-lived EECS blocks mean delayed
+        writes absorb a lot within seconds."""
+        from repro.analysis.pairing import pair_all
+        from repro.simcore.clock import SECONDS_PER_DAY
+        from repro.workloads import (
+            EecsParams,
+            EecsResearchWorkload,
+            TracedSystem,
+        )
+
+        system = TracedSystem(seed=61)
+        EecsResearchWorkload(EecsParams(users=4)).attach(system)
+        system.run(2 * SECONDS_PER_DAY)
+        ops, _ = pair_all(system.records())
+        savings = writeback_savings(ops, 0.0, 2 * SECONDS_PER_DAY)
+        assert savings.at(30.0) > 0.15  # a 30 s buffer already pays
+
+
+class TestDelegation:
+    def test_unchanged_revalidations_are_redundant(self):
+        ops = [
+            lookup(0.0, "d", "f", "f1", child_size=100),
+        ]
+        ops[0].post_mtime = 5.0
+        for i in range(1, 6):
+            reval = op(NfsProc.GETATTR, float(i), fh="f1",
+                       post_size=100, post_mtime=5.0)
+            ops.append(reval)
+        savings = delegation_savings(ops)
+        assert savings.revalidation_ops == 6  # lookup + 5 getattrs
+        assert savings.redundant_revalidations == 5
+        assert savings.redundancy_rate == pytest.approx(5 / 6)
+
+    def test_foreign_change_makes_revalidation_useful(self):
+        """A revalidation after another client changed the file is NOT
+        redundant — the delegation would have been recalled."""
+        ops = [
+            op(NfsProc.GETATTR, 0.0, fh="f1", post_size=10, post_mtime=1.0),
+            write(1.0, 0, 100, fh="f1", client="other"),
+            op(NfsProc.GETATTR, 2.0, fh="f1", post_size=100, post_mtime=1.5),
+        ]
+        ops[1].post_mtime = 1.5
+        savings = delegation_savings(ops)
+        assert savings.redundant_revalidations == 0
+
+    def test_own_write_then_revalidation_is_redundant(self):
+        """Re-checking a file only we wrote is exactly the traffic
+        delegations remove."""
+        ops = [
+            op(NfsProc.GETATTR, 0.0, fh="f1", post_size=10, post_mtime=1.0),
+            write(1.0, 0, 100, fh="f1"),
+            op(NfsProc.GETATTR, 2.0, fh="f1", post_size=100, post_mtime=1.5),
+        ]
+        ops[1].post_mtime = 1.5
+        savings = delegation_savings(ops)
+        assert savings.redundant_revalidations == 1
+
+    def test_first_sight_not_redundant(self):
+        ops = [op(NfsProc.GETATTR, 0.0, fh="f1", post_size=5, post_mtime=1.0)]
+        savings = delegation_savings(ops)
+        assert savings.redundant_revalidations == 0
+
+    def test_per_client_tracking(self):
+        """Client B's first look is not redundant even if A saw it."""
+        a = op(NfsProc.GETATTR, 0.0, fh="f1", post_size=5, post_mtime=1.0, client="a")
+        b = op(NfsProc.GETATTR, 1.0, fh="f1", post_size=5, post_mtime=1.0, client="b")
+        a2 = op(NfsProc.GETATTR, 2.0, fh="f1", post_size=5, post_mtime=1.0, client="a")
+        savings = delegation_savings([a, b, a2])
+        assert savings.redundant_revalidations == 1
+
+    def test_empty(self):
+        savings = delegation_savings([])
+        assert savings.eliminable_fraction == 0.0
+        assert savings.revalidation_fraction == 0.0
+
+    def test_eecs_has_large_eliminable_fraction(self):
+        """The paper's speculation, quantified: a large share of EECS
+        calls are redundant cache confirmations."""
+        from repro.analysis.pairing import pair_all
+        from repro.simcore.clock import SECONDS_PER_DAY
+        from repro.workloads import (
+            EecsParams,
+            EecsResearchWorkload,
+            TracedSystem,
+        )
+
+        system = TracedSystem(seed=62)
+        EecsResearchWorkload(EecsParams(users=4)).attach(system)
+        system.run(2 * SECONDS_PER_DAY)
+        ops, _ = pair_all(system.records())
+        savings = delegation_savings(ops)
+        assert savings.revalidation_fraction > 0.3
+        assert savings.eliminable_fraction > 0.15
+        assert savings.redundancy_rate > 0.4

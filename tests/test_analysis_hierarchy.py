@@ -1,0 +1,98 @@
+"""Tests for hierarchy reconstruction."""
+
+from repro.analysis.hierarchy import HierarchyReconstructor
+from repro.nfs.procedures import NfsProc
+from tests.helpers import create, lookup, op, read, remove
+
+
+class TestHierarchy:
+    def test_lookup_binds_name(self):
+        h = HierarchyReconstructor()
+        h.observe(lookup(1.0, "root", "home", "d1", ftype="DIR"))
+        h.observe(lookup(1.1, "d1", "inbox", "f1", child_size=500))
+        assert h.name_of("f1") == "inbox"
+        assert h.child("d1", "inbox") == "f1"
+        assert h.lookup("f1").last_size == 500
+
+    def test_path_reconstruction(self):
+        h = HierarchyReconstructor()
+        h.observe(lookup(1.0, "root", "home", "d1", ftype="DIR"))
+        h.observe(lookup(1.1, "d1", "user1", "d2", ftype="DIR"))
+        h.observe(lookup(1.2, "d2", ".inbox", "f1"))
+        assert h.path_of("f1") == "/home/user1/.inbox"
+
+    def test_create_binds_name(self):
+        h = HierarchyReconstructor()
+        h.observe(create(1.0, "d1", "tmp.lock", "f9"))
+        assert h.name_of("f9") == "tmp.lock"
+
+    def test_remove_unbinds(self):
+        h = HierarchyReconstructor()
+        h.observe(create(1.0, "d1", "x", "f1"))
+        h.observe(remove(2.0, "d1", "x"))
+        assert h.child("d1", "x") is None
+        assert h.lookup("f1") is None
+
+    def test_rename_moves_binding(self):
+        h = HierarchyReconstructor()
+        h.observe(create(1.0, "d1", "old", "f1"))
+        h.observe(
+            op(NfsProc.RENAME, 2.0, "d1", name="old",
+               target_fh="d2", target_name="new")
+        )
+        assert h.child("d1", "old") is None
+        assert h.child("d2", "new") == "f1"
+        assert h.name_of("f1") == "new"
+
+    def test_rename_displaces_target(self):
+        h = HierarchyReconstructor()
+        h.observe(create(1.0, "d1", "a", "f1"))
+        h.observe(create(1.0, "d1", "b", "f2"))
+        h.observe(
+            op(NfsProc.RENAME, 2.0, "d1", name="a",
+               target_fh="d1", target_name="b")
+        )
+        assert h.child("d1", "b") == "f1"
+        assert h.lookup("f2") is None
+
+    def test_orphan_operations_counted(self):
+        h = HierarchyReconstructor()
+        h.observe(read(1.0, 0, 100, fh="mystery"))
+        assert h.orphan_operations == 1
+
+    def test_known_fraction_grows_with_lookups(self):
+        """The paper's observation: after the trace warms up, almost
+        every referenced file has a known parent."""
+        h = HierarchyReconstructor()
+        ops = []
+        for i in range(50):
+            fh = f"f{i}"
+            ops.append(lookup(float(i), "d1", f"name{i}", fh))
+            ops.append(read(float(i) + 0.5, 0, 100, fh=fh))
+        for o in ops:
+            h.observe(o)
+        assert h.known_fraction(ops) > 0.95
+
+    def test_failed_ops_learn_nothing(self):
+        from repro.nfs.messages import NfsStatus
+
+        h = HierarchyReconstructor()
+        bad = lookup(1.0, "d1", "ghost", "f1")
+        bad.status = NfsStatus.NOENT
+        h.observe(bad)
+        assert h.child("d1", "ghost") is None
+
+    def test_end_to_end_known_fraction_on_campus_trace(self):
+        """Run the real generator briefly: the hierarchy should resolve
+        nearly every handle (paper Section 4.1.1)."""
+        from repro.analysis.pairing import pair_all
+        from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+        system = TracedSystem(seed=5)
+        CampusEmailWorkload(CampusParams(users=4)).attach(system)
+        system.run(6 * 3600.0)
+        ops, _ = pair_all(system.records())
+        h = HierarchyReconstructor()
+        for o in ops:
+            h.observe(o)
+        assert h.known_fraction(ops) > 0.9

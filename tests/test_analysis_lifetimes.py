@@ -1,0 +1,184 @@
+"""Tests for create-based block lifetime accounting (Table 4, Fig 3)."""
+
+import pytest
+
+from repro.analysis.lifetimes import (
+    BIRTH_EXTENSION,
+    BIRTH_WRITE,
+    DEATH_DELETE,
+    DEATH_OVERWRITE,
+    DEATH_TRUNCATE,
+    BlockLifetimeAnalyzer,
+)
+from repro.fs.blockmap import BLOCK_SIZE
+from tests.helpers import create, lookup, remove, setattr_size, write
+
+K = BLOCK_SIZE
+DAY = 86400.0
+
+
+def analyzer():
+    """Phase 1 = [0, DAY); phase 2 end margin = [DAY, 2*DAY)."""
+    return BlockLifetimeAnalyzer(0.0, DAY, 2 * DAY)
+
+
+class TestBirths:
+    def test_append_births_are_writes(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, 2 * K, fh="f1"))
+        report = a.report()
+        assert report.total_births == 2
+        assert report.births_by_cause == {BIRTH_WRITE: 2}
+
+    def test_lseek_past_eof_is_extension(self):
+        """Writes after an lseek past EOF are extension births for ALL
+        newly created blocks — written and gap alike (Table 4 note)."""
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, K, fh="f1"))  # 1 write birth
+        a.observe(write(12.0, 5 * K, K, fh="f1", post_size=6 * K))
+        report = a.report()
+        assert report.births_by_cause[BIRTH_WRITE] == 1
+        # gap blocks 1-4 plus written block 5 = 5 extensions
+        assert report.births_by_cause[BIRTH_EXTENSION] == 5
+
+    def test_setattr_growth_is_extension(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(setattr_size(11.0, "f1", 3 * K))
+        report = a.report()
+        assert report.births_by_cause == {BIRTH_EXTENSION: 3}
+
+    def test_phase2_births_not_counted(self):
+        a = analyzer()
+        a.observe(create(DAY + 10.0, "d", "f", "f1"))
+        a.observe(write(DAY + 11.0, 0, K, fh="f1"))
+        assert a.report().total_births == 0
+
+
+class TestDeaths:
+    def test_overwrite_death(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, K, fh="f1"))
+        a.observe(write(71.0, 0, K, fh="f1", post_size=K))
+        report = a.report()
+        assert report.deaths_by_cause == {DEATH_OVERWRITE: 1}
+        assert report.lifetimes == [pytest.approx(60.0)]
+
+    def test_truncate_death(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, 4 * K, fh="f1"))
+        a.observe(setattr_size(100.0, "f1", K))
+        report = a.report()
+        assert report.deaths_by_cause == {DEATH_TRUNCATE: 3}
+
+    def test_delete_death_resolved_through_hierarchy(self):
+        """REMOVE carries only (dir, name); the analyzer must resolve
+        the victim handle from earlier lookups."""
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, 2 * K, fh="f1"))
+        a.observe(remove(500.0, "d", "f"))
+        report = a.report()
+        assert report.deaths_by_cause == {DEATH_DELETE: 2}
+
+    def test_create_over_existing_truncates(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, 2 * K, fh="f1"))
+        second = create(200.0, "d", "f", "f1")
+        a.observe(second)
+        report = a.report()
+        assert report.deaths_by_cause == {DEATH_TRUNCATE: 2}
+
+    def test_preexisting_blocks_not_counted(self):
+        """Create-based method: only blocks born in-trace have deaths."""
+        a = analyzer()
+        a.observe(lookup(5.0, "d", "f", "f1", child_size=4 * K))
+        a.observe(write(10.0, 0, 4 * K, fh="f1", post_size=4 * K))
+        report = a.report()
+        # the overwrite kills pre-existing blocks -> no deaths counted,
+        # but the rewrite itself is 4 write births
+        assert report.total_deaths == 0
+        assert report.births_by_cause == {BIRTH_WRITE: 4}
+
+    def test_unknown_file_first_mutation_skipped(self):
+        a = analyzer()
+        a.observe(write(10.0, 0, K, fh="mystery"))
+        assert a.ops_skipped == 1
+        assert a.report().total_births == 0
+
+
+class TestPhases:
+    def test_end_margin_discards_overlong_deaths(self):
+        """A death with lifespan > phase 2 length is surplus, not a
+        sample (removes sampling bias for early births)."""
+        a = BlockLifetimeAnalyzer(0.0, 1000.0, 1500.0)  # phase2 = 500 s
+        a.observe(create(1.0, "d", "f", "f1"))
+        a.observe(write(2.0, 0, K, fh="f1"))
+        a.observe(write(900.0, 0, K, fh="f1", post_size=K))  # lifetime 898 > 500
+        report = a.report()
+        assert report.total_deaths == 0
+        assert report.end_surplus >= 1
+
+    def test_survivors_are_end_surplus(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, 3 * K, fh="f1"))
+        report = a.report()
+        assert report.end_surplus == 3
+        assert report.end_surplus_fraction == 1.0
+
+    def test_phase2_deaths_of_phase1_blocks_counted(self):
+        """A block born late in phase 1 that dies early in phase 2 has
+        a short lifespan and must be counted."""
+        a = analyzer()
+        a.observe(create(DAY - 1000.0, "d", "f", "f1"))
+        a.observe(write(DAY - 999.0, 0, K, fh="f1"))
+        a.observe(write(DAY + 100.0, 0, K, fh="f1", post_size=K))
+        report = a.report()
+        assert report.total_deaths == 1
+        assert report.lifetimes[0] == pytest.approx(1099.0)
+
+    def test_ops_after_phase2_ignored(self):
+        a = analyzer()
+        a.observe(create(10.0, "d", "f", "f1"))
+        a.observe(write(11.0, 0, K, fh="f1"))
+        a.observe(write(3 * DAY, 0, K, fh="f1", post_size=K))
+        assert a.report().total_deaths == 0
+
+    def test_bad_phase_order_rejected(self):
+        with pytest.raises(ValueError):
+            BlockLifetimeAnalyzer(10.0, 5.0, 20.0)
+
+
+class TestReportQueries:
+    def _report(self):
+        a = analyzer()
+        a.observe(create(0.0, "d", "f", "f1"))
+        a.observe(write(1.0, 0, K, fh="f1"))
+        a.observe(write(1.5, 0, K, fh="f1", post_size=K))  # life 0.5
+        a.observe(write(700.0, 0, K, fh="f1", post_size=K))  # life 698.5
+        return a.report()
+
+    def test_cdf(self):
+        cdf = self._report().lifetime_cdf([1.0, 1000.0])
+        assert cdf[0] == (1.0, 50.0)
+        assert cdf[1] == (1000.0, 100.0)
+
+    def test_median(self):
+        assert self._report().median_lifetime() == pytest.approx(698.5)
+
+    def test_fraction_dead_within(self):
+        report = self._report()
+        assert report.fraction_dead_within(1.0) == 0.5
+        assert report.fraction_dead_within(10_000.0) == 1.0
+
+    def test_fraction_helpers(self):
+        report = self._report()
+        assert report.death_fraction(DEATH_OVERWRITE) == 1.0
+        assert report.birth_fraction(BIRTH_WRITE) == 1.0
+        assert report.birth_fraction(BIRTH_EXTENSION) == 0.0

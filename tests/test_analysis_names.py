@@ -1,0 +1,151 @@
+"""Tests for filename category analysis and prediction (Section 6.3)."""
+
+from repro.analysis.names import (
+    NameCategoryAnalyzer,
+    lifetime_bucket,
+    size_bucket,
+)
+from repro.workloads.namespaces import (
+    CATEGORY_APPLET,
+    CATEGORY_BACKUP,
+    CATEGORY_CACHE,
+    CATEGORY_COMPOSER,
+    CATEGORY_DOT,
+    CATEGORY_LOCK,
+    CATEGORY_MAILBOX,
+    CATEGORY_OBJECT,
+    CATEGORY_SOURCE,
+    classify_name,
+)
+from tests.helpers import create, lookup, read, remove, write
+
+
+class TestClassifier:
+    def test_categories(self):
+        cases = {
+            ".inbox.lock": CATEGORY_LOCK,
+            "sent-mail.lock": CATEGORY_LOCK,
+            "pico.012345": CATEGORY_COMPOSER,
+            ".inbox": CATEGORY_MAILBOX,
+            "saved-messages": CATEGORY_MAILBOX,
+            ".pinerc": CATEGORY_DOT,
+            "main.c": CATEGORY_SOURCE,
+            "main.o": CATEGORY_OBJECT,
+            "main.c~": CATEGORY_BACKUP,
+            "#main.c#": CATEGORY_BACKUP,
+            "Applet_0042_Extern": CATEGORY_APPLET,
+            "cachedeadbeef.html": CATEGORY_CACHE,
+        }
+        for name, expected in cases.items():
+            assert classify_name(name) == expected, name
+
+    def test_buckets(self):
+        assert size_bucket(0) == "zero"
+        assert size_bucket(8000) == "<=8K"
+        assert size_bucket(10**8) == ">1M"
+        assert lifetime_bucket(0.1) == "<0.4s"
+        assert lifetime_bucket(30) == "<1min"
+        assert lifetime_bucket(None) == "survivor"
+
+
+def lock_life(analyzer, t, index, lifetime=0.2):
+    fh = f"lock{index}"
+    analyzer.observe(create(t, "d", f".inbox{index}.lock", fh))
+    analyzer.observe(remove(t + lifetime, "d", f".inbox{index}.lock"))
+
+
+class TestCensus:
+    def test_created_and_deleted_census(self):
+        a = NameCategoryAnalyzer()
+        for i in range(48):
+            lock_life(a, float(i), i)
+        a.observe(create(100.0, "d", "pico.000001", "c1"))
+        a.observe(write(100.5, 0, 2000, fh="c1", post_size=2000))
+        a.observe(remove(130.0, "d", "pico.000001"))
+        a.observe(create(200.0, "d", "keeper.txt", "k1"))  # never deleted
+        dead = a.created_and_deleted()
+        assert len(dead) == 49
+        census = a.category_census(dead)
+        assert census[CATEGORY_LOCK] == 48
+        assert census[CATEGORY_COMPOSER] == 1
+        assert a.category_share(CATEGORY_LOCK, dead) > 0.95
+
+    def test_lock_lifetime_percentile(self):
+        a = NameCategoryAnalyzer()
+        for i in range(20):
+            lock_life(a, float(i), i, lifetime=0.1 + 0.01 * i)
+        p999 = a.lifetime_percentile(CATEGORY_LOCK, 0.999)
+        assert p999 is not None and p999 < 0.4
+
+    def test_composer_size_percentile(self):
+        a = NameCategoryAnalyzer()
+        for i in range(20):
+            fh = f"c{i}"
+            a.observe(create(float(i), "d", f"pico.{i:06d}", fh))
+            a.observe(write(i + 0.1, 0, 3000, fh=fh, post_size=3000))
+        p98 = a.size_percentile(CATEGORY_COMPOSER, 0.98)
+        assert p98 is not None and p98 <= 8 * 1024
+
+    def test_empty_category_percentiles_none(self):
+        a = NameCategoryAnalyzer()
+        assert a.lifetime_percentile(CATEGORY_LOCK, 0.5) is None
+        assert a.size_percentile(CATEGORY_CACHE, 0.5) is None
+
+
+class TestPrediction:
+    def _trained(self):
+        a = NameCategoryAnalyzer()
+        t = 0.0
+        for i in range(60):
+            # locks: zero-length, die fast
+            lock_life(a, t, i, lifetime=0.2)
+            t += 10.0
+            # composer temps: small, die in ~1 minute
+            fh = f"compose{i}"
+            a.observe(create(t, "d", f"pico.{i:06d}", fh))
+            a.observe(write(t + 0.1, 0, 2000, fh=fh, post_size=2000))
+            a.observe(remove(t + 50.0, "d", f"pico.{i:06d}"))
+            t += 10.0
+        return a
+
+    def test_name_prediction_beats_baseline(self):
+        a = self._trained()
+        for attribute in ("size", "lifetime"):
+            result = a.predict(attribute)
+            assert result.test_files > 0
+            assert result.name_based_accuracy >= result.baseline_accuracy
+            assert result.name_based_accuracy > 0.9
+
+    def test_lift_positive_when_categories_differ(self):
+        result = self._trained().predict("lifetime")
+        assert result.lift > 0.0
+
+    def test_unknown_attribute_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._trained().predict("color")
+
+    def test_too_few_files(self):
+        a = NameCategoryAnalyzer()
+        result = a.predict("size")
+        assert result.test_files == 0
+
+
+class TestAccessedShares:
+    def test_shares_by_category(self):
+        a = NameCategoryAnalyzer()
+        ops = [
+            lookup(1.0, "d", ".inbox", "mb1", child_size=2_000_000),
+            read(1.1, 0, 8192, fh="mb1", file_size=2_000_000),
+            create(2.0, "d", ".inbox.lock", "lk1"),
+            create(3.0, "d", ".inbox.lock", "lk2"),
+            lookup(4.0, "d", ".pinerc", "rc1", child_size=12_000),
+        ]
+        for o in ops:
+            a.observe(o)
+        shares = a.accessed_shares(ops)
+        assert shares[CATEGORY_LOCK] == 0.5
+        assert shares[CATEGORY_MAILBOX] == 0.25
+        assert shares[CATEGORY_DOT] == 0.25
+        assert abs(sum(shares.values()) - 1.0) < 1e-9

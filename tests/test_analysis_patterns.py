@@ -1,0 +1,107 @@
+"""Tests for hidden-regularity detection in random runs."""
+
+from repro.analysis.patterns import (
+    Regularity,
+    RegularityCensus,
+    classify_regularity,
+    survey_random_runs,
+)
+from repro.analysis.runs import RunBuilder
+from repro.fs.blockmap import BLOCK_SIZE
+from tests.helpers import read
+
+K = BLOCK_SIZE
+
+
+class TestClassify:
+    def test_stride(self):
+        blocks = list(range(0, 400, 20))
+        assert classify_regularity(blocks) is Regularity.STRIDE
+
+    def test_reverse_scan(self):
+        blocks = list(range(100, 0, -1))
+        assert classify_regularity(blocks) is Regularity.REVERSE
+
+    def test_sequential_subruns(self):
+        """The paper's observed shape: long sequential stretches
+        separated by seeks."""
+        blocks = []
+        position = 0
+        for _ in range(5):
+            blocks.extend(range(position, position + 30))
+            position += 5000
+        assert classify_regularity(blocks) is Regularity.SEQUENTIAL_SUBRUNS
+
+    def test_irregular(self):
+        blocks = [7, 9123, 14, 60000, 2, 777, 31337, 5]
+        assert classify_regularity(blocks) is Regularity.IRREGULAR
+
+    def test_short_sequences_irregular(self):
+        assert classify_regularity([1, 2]) is Regularity.IRREGULAR
+
+    def test_pure_sequential_is_subruns(self):
+        # a fully sequential sequence is trivially "subruns"; run
+        # classification never sends these here anyway
+        blocks = list(range(50))
+        assert classify_regularity(blocks) is Regularity.SEQUENTIAL_SUBRUNS
+
+
+class TestSurvey:
+    def _runs(self):
+        builder = RunBuilder()
+        # a random run with hidden stride: blocks 0, 50, 100, ...
+        for i in range(10):
+            builder.feed(
+                read(i * 0.01, i * 50 * K, K, fh="stride", file_size=10**9)
+            )
+        # an irregular random run
+        for i, block in enumerate((3, 9000, 17, 70000, 41)):
+            builder.feed(
+                read(100 + i * 0.01, block * K, K, fh="mess", file_size=10**9)
+            )
+        # a sequential run: must not be surveyed
+        for i in range(5):
+            builder.feed(read(200 + i * 0.01, i * K, K, fh="seq", file_size=10**9))
+        return builder.finish()
+
+    def test_survey_counts_only_random_runs(self):
+        census = survey_random_runs(self._runs())
+        assert census.random_runs == 2
+        assert census.counts[Regularity.STRIDE] == 1
+        assert census.counts[Regularity.IRREGULAR] == 1
+
+    def test_fractions(self):
+        census = RegularityCensus(
+            random_runs=4, counts={Regularity.STRIDE: 1, Regularity.IRREGULAR: 3}
+        )
+        assert census.fraction(Regularity.STRIDE) == 0.25
+        assert census.fraction(Regularity.REVERSE) == 0.0
+
+    def test_empty(self):
+        census = survey_random_runs([])
+        assert census.random_runs == 0
+        assert census.fraction(Regularity.STRIDE) == 0.0
+
+    def test_paper_claim_on_simulated_trace(self):
+        """The paper found no significant stride/reverse population —
+        only sequential sub-runs and noise.  Check ours agrees."""
+        from repro.analysis.pairing import pair_all
+        from repro.simcore.clock import SECONDS_PER_DAY
+        from repro.workloads import (
+            CampusEmailWorkload,
+            CampusParams,
+            TracedSystem,
+        )
+
+        system = TracedSystem(seed=35, quota_bytes=50 * 1024 * 1024)
+        CampusEmailWorkload(CampusParams(users=6)).attach(system)
+        system.run(SECONDS_PER_DAY * 1.5)
+        ops, _ = pair_all(system.records())
+        runs = RunBuilder().feed_all(
+            o for o in ops if o.is_read() or o.is_write()
+        ).finish()
+        census = survey_random_runs(runs)
+        stride_and_reverse = census.fraction(Regularity.STRIDE) + census.fraction(
+            Regularity.REVERSE
+        )
+        assert stride_and_reverse < 0.2

@@ -1,0 +1,110 @@
+"""Tests for the reorder window analysis (Figure 1)."""
+
+import random
+
+from repro.analysis.reorder import (
+    find_knee,
+    reorder_window_sort,
+    swapped_fraction,
+    swapped_fraction_curve,
+)
+from tests.helpers import read
+
+
+def stream_with_swap():
+    """xids 0,1,2,3 on the wire as 0,2,1,3 (one adjacent swap, 2ms apart)."""
+    ops = [
+        read(0.000, 0 * 8192, 8192, xid=0),
+        read(0.002, 2 * 8192, 8192, xid=2),
+        read(0.004, 1 * 8192, 8192, xid=1),
+        read(0.006, 3 * 8192, 8192, xid=3),
+    ]
+    return ops
+
+
+class TestWindowSort:
+    def test_zero_window_is_identity(self):
+        ops = stream_with_swap()
+        assert reorder_window_sort(ops, 0.0) == ops
+
+    def test_wide_window_restores_xid_order(self):
+        ops = stream_with_swap()
+        fixed = reorder_window_sort(ops, 0.050)
+        assert [o.xid for o in fixed] == [0, 1, 2, 3]
+
+    def test_narrow_window_misses_distant_swap(self):
+        ops = stream_with_swap()
+        fixed = reorder_window_sort(ops, 0.001)  # 1ms < the 2ms gap
+        assert [o.xid for o in fixed] == [0, 2, 1, 3]
+
+    def test_clients_sorted_independently(self):
+        """XIDs are only comparable within one client."""
+        ops = [
+            read(0.000, 0, 8192, xid=5, client="a"),
+            read(0.001, 0, 8192, xid=1, client="b"),
+            read(0.002, 0, 8192, xid=4, client="a"),
+        ]
+        fixed = reorder_window_sort(ops, 0.050)
+        a_xids = [o.xid for o in fixed if o.client == "a"]
+        assert a_xids == [4, 5]
+        assert len(fixed) == 3
+
+    def test_in_order_stream_untouched(self):
+        ops = [read(i * 0.001, i * 8192, 8192, xid=i) for i in range(10)]
+        assert reorder_window_sort(ops, 0.050) == ops
+
+
+class TestSwappedFraction:
+    def test_ordered_stream_zero(self):
+        ops = [read(i * 0.001, 0, 8192, xid=i) for i in range(10)]
+        assert swapped_fraction(ops, 0.050) == 0.0
+
+    def test_one_swap_moves_two(self):
+        assert swapped_fraction(stream_with_swap(), 0.050) == 0.5
+
+    def test_monotone_in_window(self):
+        rng = random.Random(3)
+        ops = []
+        for i in range(500):
+            # jitter wire times so some arrive out of xid order
+            ops.append(read(i * 0.001 + rng.uniform(0, 0.004), 0, 8192, xid=i))
+        ops.sort(key=lambda o: o.time)
+        curve = swapped_fraction_curve(ops, [0, 1, 2, 5, 10, 25, 50])
+        values = [v for _, v in curve]
+        assert values[0] == 0.0
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_empty(self):
+        assert swapped_fraction([], 0.010) == 0.0
+
+
+class TestKnee:
+    def test_knee_of_saturating_curve(self):
+        curve = [(0, 0.0), (2, 0.08), (5, 0.12), (10, 0.125), (50, 0.13)]
+        assert find_knee(curve) in (5, 10)
+
+    def test_flat_curve(self):
+        assert find_knee([(0, 0.0), (10, 0.0)]) == 0
+
+    def test_empty_curve(self):
+        assert find_knee([]) == 0.0
+
+
+class TestEndToEnd:
+    def test_nfsiod_reordering_repaired_by_small_window(self):
+        """Feed a real nfsiod-jittered stream: a few-ms window should
+        recover most of the issue order (the Figure 1 knee)."""
+        from repro.client.nfsiod import NfsiodPool
+        from repro.nfs.rpc import Transport
+
+        pool = NfsiodPool(8, random.Random(4), transport=Transport.UDP)
+        ops = []
+        for i in range(3000):
+            wire = pool.dispatch(i * 0.001)
+            ops.append(read(wire, i * 8192, 8192, xid=i))
+        ops.sort(key=lambda o: o.time)
+        small = swapped_fraction(ops, 0.010)
+        large = swapped_fraction(ops, 0.050)
+        assert small > 0.0
+        # the 10ms window captures the bulk of what 50ms captures
+        assert small >= 0.6 * large

@@ -1,0 +1,192 @@
+"""Tests for run detection and Table 3 classification."""
+
+from repro.analysis.runs import (
+    DEFAULT_JUMP_BLOCKS,
+    Run,
+    RunBuilder,
+    RunKind,
+    RunPattern,
+    classify_runs,
+)
+from repro.fs.blockmap import BLOCK_SIZE
+from tests.helpers import read, write
+
+K = BLOCK_SIZE
+
+
+class TestRunSplitting:
+    def test_single_file_one_run(self):
+        runs = RunBuilder().feed_all(
+            [read(0.0, 0, K, file_size=4 * K), read(0.1, K, K, file_size=4 * K)]
+        ).finish()
+        assert len(runs) == 1
+        assert len(runs[0].accesses) == 2
+
+    def test_eof_starts_new_run(self):
+        """Rule (a): the access after an EOF reference starts a run."""
+        runs = RunBuilder().feed_all(
+            [
+                read(0.0, 0, 2 * K, file_size=2 * K, eof=True),
+                read(0.5, 0, 2 * K, file_size=2 * K, eof=True),
+            ]
+        ).finish()
+        assert len(runs) == 2
+
+    def test_idle_gap_starts_new_run(self):
+        """Rule (b): a 30+ second gap splits runs."""
+        runs = RunBuilder().feed_all(
+            [
+                read(0.0, 0, K, file_size=10 * K),
+                read(40.0, K, K, file_size=10 * K),
+            ]
+        ).finish()
+        assert len(runs) == 2
+
+    def test_sub_30s_gap_continues_run(self):
+        runs = RunBuilder().feed_all(
+            [
+                read(0.0, 0, K, file_size=10 * K),
+                read(25.0, K, K, file_size=10 * K),
+            ]
+        ).finish()
+        assert len(runs) == 1
+
+    def test_files_tracked_independently(self):
+        runs = RunBuilder().feed_all(
+            [
+                read(0.0, 0, K, fh="a", file_size=9 * K),
+                read(0.1, 0, K, fh="b", file_size=9 * K),
+                read(0.2, K, K, fh="a", file_size=9 * K),
+            ]
+        ).finish()
+        assert len(runs) == 2
+
+    def test_failed_and_zero_byte_ops_ignored(self):
+        from repro.nfs.messages import NfsStatus
+
+        bad = read(0.0, 0, K, file_size=K)
+        bad.status = NfsStatus.IO
+        runs = RunBuilder().feed_all([bad, read(1.0, 0, 0, file_size=K)]).finish()
+        assert runs == []
+
+
+class TestRunClassification:
+    def _run(self, accesses):
+        builder = RunBuilder()
+        builder.feed_all(accesses)
+        runs = builder.finish()
+        assert len(runs) == 1
+        return runs[0]
+
+    def test_entire_read(self):
+        run = self._run(
+            [
+                read(0.0, 0, 2 * K, file_size=4 * K),
+                read(0.1, 2 * K, 2 * K, file_size=4 * K, eof=True),
+            ]
+        )
+        assert run.kind() is RunKind.READ
+        assert run.pattern() is RunPattern.ENTIRE
+
+    def test_sequential_read_not_entire(self):
+        run = self._run(
+            [
+                read(0.0, K, K, file_size=10 * K),
+                read(0.1, 2 * K, K, file_size=10 * K),
+            ]
+        )
+        assert run.pattern() is RunPattern.SEQUENTIAL
+
+    def test_paper_rounding_example(self):
+        """The paper's example: 0k(8k), 8k(8k), 16k(7k), 24k(8k) is
+        sequential despite the missing 1k."""
+        run = self._run(
+            [
+                read(0.0, 0, 8192, file_size=100 * K),
+                read(0.1, 8192, 8192, file_size=100 * K),
+                read(0.2, 16384, 7168, file_size=100 * K),
+                read(0.3, 24576, 8192, file_size=100 * K),
+            ]
+        )
+        assert run.pattern() is RunPattern.SEQUENTIAL
+
+    def test_random_read(self):
+        run = self._run(
+            [
+                read(0.0, 0, K, file_size=1000 * K),
+                read(0.1, 500 * K, K, file_size=1000 * K),
+                read(0.2, 100 * K, K, file_size=1000 * K),
+            ]
+        )
+        assert run.pattern() is RunPattern.RANDOM
+
+    def test_small_jump_random_raw_sequential_processed(self):
+        """A 5-block seek: random raw, sequential with jump tolerance."""
+        run = self._run(
+            [
+                read(0.0, 0, K, file_size=1000 * K),
+                read(0.1, 6 * K, K, file_size=1000 * K),
+            ]
+        )
+        assert run.pattern(jump_blocks=1) is RunPattern.RANDOM
+        assert run.pattern(jump_blocks=DEFAULT_JUMP_BLOCKS) is RunPattern.SEQUENTIAL
+
+    def test_singleton_partial_is_sequential(self):
+        run = self._run([read(0.0, 0, K, file_size=10 * K)])
+        assert run.pattern() is RunPattern.SEQUENTIAL
+
+    def test_singleton_whole_file_is_entire(self):
+        run = self._run([read(0.0, 0, 2 * K, file_size=2 * K, eof=True)])
+        assert run.pattern() is RunPattern.ENTIRE
+
+    def test_write_run(self):
+        run = self._run(
+            [write(0.0, 0, K), write(0.1, K, K)]
+        )
+        assert run.kind() is RunKind.WRITE
+
+    def test_read_write_run(self):
+        run = self._run(
+            [read(0.0, 0, K, file_size=10 * K), write(0.1, K, K, post_size=10 * K)]
+        )
+        assert run.kind() is RunKind.READ_WRITE
+
+    def test_bytes_accessed(self):
+        run = self._run([read(0.0, 0, K, file_size=9 * K), read(0.1, K, 3 * K, file_size=9 * K)])
+        assert run.bytes_accessed == 4 * K
+
+
+class TestClassifyRuns:
+    def _runs(self):
+        builder = RunBuilder()
+        # an entire read on file a
+        builder.feed(read(0.0, 0, 2 * K, fh="a", file_size=2 * K, eof=True))
+        # a random read on file b
+        builder.feed(read(1.0, 0, K, fh="b", file_size=1000 * K))
+        builder.feed(read(1.1, 900 * K, K, fh="b", file_size=1000 * K))
+        # a sequential write on file c
+        builder.feed(write(2.0, 0, K, fh="c", post_size=10 * K))
+        builder.feed(write(2.1, K, K, fh="c", post_size=10 * K))
+        return builder.finish()
+
+    def test_percentages_sum(self):
+        table = classify_runs(self._runs())
+        assert table.total_runs == 3
+        assert table.reads + table.writes + table.read_writes == 100.0
+        for split in (table.read_split, table.write_split):
+            assert abs(sum(split.values()) - 100.0) < 1e-9
+
+    def test_kind_shares(self):
+        table = classify_runs(self._runs())
+        assert abs(table.reads - 200.0 / 3) < 1e-9
+        assert abs(table.writes - 100.0 / 3) < 1e-9
+
+    def test_rows_render(self):
+        rows = classify_runs(self._runs()).as_rows()
+        assert rows[0][0] == "Reads (% total)"
+        assert len(rows) == 12
+
+    def test_empty_input(self):
+        table = classify_runs([])
+        assert table.total_runs == 0
+        assert table.reads == 0.0

@@ -1,0 +1,140 @@
+"""Tests for the sequentiality metric (Figure 5)."""
+
+import math
+
+from repro.analysis.runs import RunBuilder, RunKind
+from repro.analysis.sequentiality import (
+    SIZE_BUCKETS,
+    bucket_of,
+    cumulative_run_percentages,
+    run_block_sequence,
+    run_sequentiality,
+    sequentiality_by_run_size,
+    sequentiality_metric,
+)
+from repro.fs.blockmap import BLOCK_SIZE
+from tests.helpers import read, write
+
+K = BLOCK_SIZE
+
+
+class TestMetric:
+    def test_pure_sequential_is_one(self):
+        assert sequentiality_metric(list(range(100))) == 1.0
+
+    def test_pure_random_is_near_zero(self):
+        blocks = [0, 1000, 50, 9000, 42, 77777]
+        assert sequentiality_metric(blocks) == 0.0
+
+    def test_small_jumps_count_with_default_k(self):
+        blocks = [0, 1, 2, 8, 9, 10]  # one 6-block jump
+        assert sequentiality_metric(blocks, k=10) == 1.0
+        assert sequentiality_metric(blocks, k=1) == 0.8
+
+    def test_backward_jumps_counted_by_magnitude(self):
+        blocks = [5, 4, 3]  # backwards but adjacent
+        assert sequentiality_metric(blocks, k=1) == 1.0
+
+    def test_singleton_and_empty_are_sequential(self):
+        assert sequentiality_metric([7]) == 1.0
+        assert sequentiality_metric([]) == 1.0
+
+    def test_sixty_percent_mixed(self):
+        """The paper's long-write signature: ~60% of accesses
+        k-consecutive."""
+        blocks = []
+        position = 0
+        for chunk in range(10):
+            blocks.extend(range(position, position + 6))
+            position += 5000  # a long seek after each 6-block stretch
+        metric = sequentiality_metric(blocks, k=10)
+        assert 0.55 < metric < 0.95
+
+
+class TestRunMetric:
+    def _run(self, accesses):
+        runs = RunBuilder().feed_all(accesses).finish()
+        assert len(runs) == 1
+        return runs[0]
+
+    def test_block_sequence_flattening(self):
+        run = self._run(
+            [read(0.0, 0, 2 * K, file_size=99 * K), read(0.1, 2 * K, K, file_size=99 * K)]
+        )
+        assert run_block_sequence(run) == [0, 1, 2]
+
+    def test_sequential_run_metric(self):
+        run = self._run(
+            [read(0.0, 0, 4 * K, file_size=99 * K), read(0.1, 4 * K, 4 * K, file_size=99 * K)]
+        )
+        assert run_sequentiality(run) == 1.0
+
+    def test_seeky_run_metric(self):
+        run = self._run(
+            [
+                read(0.0, 0, K, file_size=9000 * K),
+                read(0.1, 5000 * K, K, file_size=9000 * K),
+                read(0.2, 5001 * K, K, file_size=9000 * K),
+            ]
+        )
+        assert run_sequentiality(run) == 0.5
+
+
+class TestBuckets:
+    def test_bucket_edges(self):
+        assert SIZE_BUCKETS[0] == 16 * 1024
+        assert SIZE_BUCKETS[-1] == 64 * 1024 * 1024
+
+    def test_bucket_of(self):
+        assert bucket_of(1) == 0
+        assert bucket_of(16 * 1024) == 0
+        assert bucket_of(16 * 1024 + 1) == 1
+        assert bucket_of(10**12) == len(SIZE_BUCKETS) - 1
+
+
+class TestFigure5Aggregation:
+    def _runs(self):
+        builder = RunBuilder()
+        # a 32k sequential read run
+        for i in range(4):
+            builder.feed(read(i * 0.01, i * K, K, fh="a", file_size=999 * K))
+        # a 32k random write run
+        offsets = [0, 500, 3, 900]
+        for i, block in enumerate(offsets):
+            builder.feed(
+                write(100 + i * 0.01, block * K, K, fh="b", post_size=2000 * K)
+            )
+        return builder.finish()
+
+    def test_curves_split_by_kind(self):
+        runs = self._runs()
+        reads = sequentiality_by_run_size(runs, kind=RunKind.READ)
+        writes = sequentiality_by_run_size(runs, kind=RunKind.WRITE)
+        read_points = reads.points()
+        write_points = writes.points()
+        assert len(read_points) == 1 and read_points[0][1] == 1.0
+        assert len(write_points) == 1 and write_points[0][1] < 0.5
+
+    def test_k_changes_metric(self):
+        """k=10 vs k=1 (small jumps allowed / not allowed)."""
+        builder = RunBuilder()
+        for i, block in enumerate([0, 1, 5, 6, 11, 12]):  # small jumps
+            builder.feed(read(i * 0.01, block * K, K, fh="c", file_size=10**7))
+        runs = builder.finish()
+        loose = sequentiality_by_run_size(runs, k=10).points()[0][1]
+        strict = sequentiality_by_run_size(runs, k=1).points()[0][1]
+        assert loose == 1.0
+        assert strict < 1.0
+
+    def test_empty_buckets_are_nan(self):
+        curve = sequentiality_by_run_size(self._runs())
+        assert any(math.isnan(v) for v in curve.averages)
+
+    def test_cumulative_percentages(self):
+        curves = cumulative_run_percentages(self._runs())
+        assert curves["total"][-1] == 100.0
+        assert curves["read"][-1] == 50.0
+        assert curves["write"][-1] == 50.0
+        # cumulative: non-decreasing
+        for series in curves.values():
+            assert all(b >= a for a, b in zip(series, series[1:]))

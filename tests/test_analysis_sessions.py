@@ -1,0 +1,84 @@
+"""Tests for session inference."""
+
+import pytest
+
+from repro.analysis.sessions import (
+    DEFAULT_IDLE_GAP,
+    Session,
+    duration_percentiles,
+    infer_sessions,
+)
+from tests.helpers import read
+
+
+def ops_at(uid, times):
+    out = []
+    for i, t in enumerate(times):
+        o = read(t, 0, 100, xid=i)
+        o.uid = uid
+        out.append(o)
+    return out
+
+
+class TestInference:
+    def test_single_session(self):
+        sessions = infer_sessions(ops_at(1, [0, 60, 120, 300]))
+        assert len(sessions) == 1
+        assert sessions[0].duration == 300
+        assert sessions[0].ops == 4
+
+    def test_gap_splits_sessions(self):
+        times = [0, 60, 120] + [120 + DEFAULT_IDLE_GAP + 1 + t for t in (0, 60, 90)]
+        sessions = infer_sessions(ops_at(1, times))
+        assert len(sessions) == 2
+
+    def test_min_ops_filters_noise(self):
+        sessions = infer_sessions(ops_at(1, [0.0, 5000.0]), min_ops=3)
+        assert sessions == []
+
+    def test_users_tracked_separately(self):
+        ops = ops_at(1, [0, 10, 20]) + ops_at(2, [5, 15, 25])
+        sessions = infer_sessions(ops)
+        assert {s.uid for s in sessions} == {1, 2}
+
+    def test_uidless_ops_ignored(self):
+        o = read(0.0, 0, 100)
+        o.uid = None
+        assert infer_sessions([o]) == []
+
+    def test_percentiles(self):
+        sessions = [
+            Session(uid=1, start=0, end=d, ops=5) for d in (100, 200, 300, 400)
+        ]
+        p = duration_percentiles(sessions)
+        assert p[0.5] == 300
+        assert p[0.25] == 200
+
+    def test_percentiles_empty(self):
+        assert duration_percentiles([]) == {}
+
+
+class TestEndToEnd:
+    def test_recovers_generator_session_scale(self):
+        """Inferred CAMPUS session durations should sit in the
+        generator's configured range (and the paper's 15min-1hr)."""
+        from repro.analysis.pairing import pair_all
+        from repro.simcore.clock import SECONDS_PER_DAY
+        from repro.workloads import (
+            CampusEmailWorkload,
+            CampusParams,
+            TracedSystem,
+        )
+
+        params = CampusParams(users=8, session_mean_duration=1500.0)
+        system = TracedSystem(seed=55, quota_bytes=params.quota_bytes)
+        CampusEmailWorkload(params).attach(system)
+        system.run(2 * SECONDS_PER_DAY)
+        ops, _ = pair_all(system.records())
+        sessions = infer_sessions(ops, min_ops=10)
+        assert len(sessions) > 10
+        p = duration_percentiles(sessions, (0.5,))
+        # median session within the paper's "fifteen minutes to an
+        # hour" band (generator mean 25 min; deliveries and POP checks
+        # blur the edges)
+        assert 300.0 < p[0.5] < 4200.0

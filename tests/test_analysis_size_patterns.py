@@ -1,0 +1,91 @@
+"""Tests for Figure 2's bytes-by-file-size analysis."""
+
+from repro.analysis.runs import RunBuilder
+from repro.analysis.size_patterns import (
+    FILE_SIZE_BUCKETS,
+    bytes_by_file_size,
+    large_file_byte_share,
+)
+from repro.fs.blockmap import BLOCK_SIZE
+from tests.helpers import read
+
+K = BLOCK_SIZE
+
+
+def make_runs():
+    builder = RunBuilder()
+    # 16k entire read of a small (16k) file
+    builder.feed(read(0.0, 0, 16 * 1024, fh="small", file_size=16 * 1024, eof=True))
+    # 3MB sequential read of a 4MB file
+    for i in range(12):
+        builder.feed(
+            read(10 + i * 0.01, i * 256 * 1024, 256 * 1024,
+                 fh="big", file_size=4_000_000)
+        )
+    # random read on a 2MB file
+    for i, offset in enumerate((0, 1_500_000, 300_000)):
+        builder.feed(
+            read(100 + i * 0.01, offset, K, fh="rand", file_size=2_000_000)
+        )
+    return builder.finish()
+
+
+class TestCurves:
+    def test_total_reaches_100(self):
+        curves = bytes_by_file_size(make_runs())
+        assert curves.total[-1] == 100.0
+
+    def test_categories_partition_total(self):
+        curves = bytes_by_file_size(make_runs())
+        shares = curves.final_shares()
+        assert abs(sum(shares.values()) - 100.0) < 1e-6
+
+    def test_curves_are_cumulative(self):
+        curves = bytes_by_file_size(make_runs())
+        for series in curves.series().values():
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_small_file_bytes_land_in_small_bucket(self):
+        curves = bytes_by_file_size(make_runs())
+        # by the 100k bucket only the 16k entire read has accumulated
+        idx_100k = next(
+            i for i, edge in enumerate(curves.buckets) if edge >= 100_000
+        )
+        expected = 100.0 * (16 * 1024) / curves.total_bytes
+        assert abs(curves.total[idx_100k] - expected) < 1e-6
+
+    def test_large_file_share(self):
+        curves = bytes_by_file_size(make_runs())
+        share = large_file_byte_share(curves, 1024 * 1024)
+        # the 3MB + random reads dominate
+        assert share > 90.0
+
+    def test_empty_runs(self):
+        curves = bytes_by_file_size([])
+        assert curves.total_bytes == 0
+        assert curves.total[-1] == 0.0
+
+    def test_bucket_span(self):
+        assert FILE_SIZE_BUCKETS[0] == 1024
+        assert FILE_SIZE_BUCKETS[-1] >= 50_000_000
+
+
+class TestSystemContrast:
+    def test_campus_vs_eecs_shape(self):
+        """The paper's contrast: CAMPUS bytes come from big (mailbox)
+        files; EECS from a mix with many small files.  Check on real
+        generator output."""
+        from repro.analysis.pairing import pair_all
+        from repro.workloads import (
+            CampusEmailWorkload,
+            CampusParams,
+            TracedSystem,
+        )
+
+        system = TracedSystem(seed=11)
+        CampusEmailWorkload(CampusParams(users=4)).attach(system)
+        system.run(8 * 3600.0)
+        ops, _ = pair_all(system.records())
+        runs = RunBuilder().feed_all(ops).finish()
+        curves = bytes_by_file_size(runs)
+        assert large_file_byte_share(curves, 1024 * 1024) > 50.0

@@ -1,0 +1,213 @@
+"""Tests for the anonymizer (paper Section 2)."""
+
+import random
+
+import pytest
+
+from repro.anonymize import Anonymizer, ConsistentMapper, default_rules
+from repro.anonymize.rules import AnonymizationRules, omit_rules
+from repro.errors import AnonymizationError
+from repro.nfs import NfsProc
+from repro.trace.record import Direction, TraceRecord
+
+
+def record(**kw):
+    base = dict(
+        time=1.0, direction=Direction.CALL, xid=1,
+        client="192.168.1.5", server="192.168.1.100",
+        proc=NfsProc.LOOKUP, uid=1234, gid=5678, name="thesis.tex",
+    )
+    base.update(kw)
+    return TraceRecord(**base)
+
+
+class TestConsistentMapper:
+    def test_consistent(self):
+        mapper = ConsistentMapper(random.Random(1), "n")
+        assert mapper.map("foo") == mapper.map("foo")
+
+    def test_distinct_values_distinct_tokens(self):
+        mapper = ConsistentMapper(random.Random(1), "n")
+        tokens = {mapper.map(f"value{i}") for i in range(1000)}
+        assert len(tokens) == 1000
+
+    def test_not_a_hash(self):
+        """Different keys give unrelated tokens for the same value —
+        the paper's defence against offline known-text attacks."""
+        a = ConsistentMapper(random.Random(1), "n").map("secret")
+        b = ConsistentMapper(random.Random(2), "n").map("secret")
+        assert a != b
+
+    def test_pin_override(self):
+        mapper = ConsistentMapper(random.Random(1), "n")
+        mapper.pin("CVS", "CVS")
+        assert mapper.map("CVS") == "CVS"
+
+    def test_pin_conflict_rejected(self):
+        mapper = ConsistentMapper(random.Random(1), "n")
+        token = mapper.map("a")
+        with pytest.raises(AnonymizationError):
+            mapper.pin("a", "different")
+        with pytest.raises(AnonymizationError):
+            mapper.pin("b", token)
+
+    def test_export_restore(self):
+        mapper = ConsistentMapper(random.Random(1), "n")
+        token = mapper.map("foo")
+        restored = ConsistentMapper.restore(mapper.export(), random.Random(99), "n")
+        assert restored.map("foo") == token
+
+    def test_exhaustion_detected(self):
+        mapper = ConsistentMapper(random.Random(1), "x", token_bits=2)
+        with pytest.raises(AnonymizationError):
+            for i in range(100):
+                mapper.map(f"v{i}")
+
+
+class TestNameAnonymization:
+    @pytest.fixture
+    def anon(self):
+        return Anonymizer(key=42)
+
+    def test_preserved_names_pass_through(self, anon):
+        for name in ("CVS", ".inbox", ".pinerc", ".cshrc"):
+            assert anon.anonymize_name(name) == name
+
+    def test_ordinary_name_is_hidden(self, anon):
+        out = anon.anonymize_name("payroll2001")
+        assert "payroll" not in out
+
+    def test_consistent_across_calls(self, anon):
+        assert anon.anonymize_name("mydata") == anon.anonymize_name("mydata")
+
+    def test_shared_suffix_shares_anonymized_suffix(self, anon):
+        a = anon.anonymize_name("alpha.c")
+        b = anon.anonymize_name("beta.c")
+        assert a.rsplit(".", 1)[1] == b.rsplit(".", 1)[1]
+        assert a.rsplit(".", 1)[0] != b.rsplit(".", 1)[0]
+
+    def test_different_suffixes_differ(self, anon):
+        a = anon.anonymize_name("alpha.c")
+        b = anon.anonymize_name("alpha.h")
+        assert a.rsplit(".", 1)[1] != b.rsplit(".", 1)[1]
+
+    def test_backup_suffix_relationship_preserved(self, anon):
+        """anon('mbox~') == anon('mbox') + '~' (paper Section 2)."""
+        assert anon.anonymize_name("mbox~") == anon.anonymize_name("mbox") + "~"
+
+    def test_rcs_suffix_relationship_preserved(self, anon):
+        assert anon.anonymize_name("driver,v") == anon.anonymize_name("driver") + ",v"
+
+    def test_emacs_prefix_relationship_preserved(self, anon):
+        out = anon.anonymize_name("#scratch#")
+        base = anon.anonymize_name("scratch")
+        assert out.startswith("#") and out.endswith("#")
+        assert base in out
+
+    def test_lock_component_survives(self, anon):
+        out = anon.anonymize_name("mailbox.lock")
+        assert out.endswith(".lock")
+        assert "mailbox" not in out
+
+    def test_dotfile_stays_dotted(self, anon):
+        out = anon.anonymize_name(".secret_rc")
+        assert out.startswith(".")
+        assert "secret" not in out
+
+    def test_path_prefix_sharing(self, anon):
+        a = anon.anonymize_path("/home/user1/mail")
+        b = anon.anonymize_path("/home/user1/notes")
+        a_parts, b_parts = a.split("/"), b.split("/")
+        assert a_parts[:3] == b_parts[:3]
+        assert a_parts[3] != b_parts[3]
+
+    def test_same_component_same_token_everywhere(self, anon):
+        a = anon.anonymize_path("/a/shared")
+        b = anon.anonymize_path("/b/shared")
+        assert a.split("/")[-1] == b.split("/")[-1]
+
+
+class TestIdAndHostAnonymization:
+    def test_uids_consistent_and_hidden(self):
+        anon = Anonymizer(key=1)
+        assert anon.anonymize_uid(1234) == anon.anonymize_uid(1234)
+        assert anon.anonymize_uid(1234) != 1234
+
+    def test_root_and_daemon_preserved(self):
+        anon = Anonymizer(key=1)
+        assert anon.anonymize_uid(0) == 0
+        assert anon.anonymize_uid(1) == 1
+        assert anon.anonymize_gid(0) == 0
+
+    def test_uid_gid_spaces_do_not_collide_with_wellknown(self):
+        anon = Anonymizer(key=1)
+        mapped = {anon.anonymize_uid(i) for i in range(2, 500)}
+        assert 0 not in mapped and 1 not in mapped
+
+    def test_hosts_consistent(self):
+        anon = Anonymizer(key=1)
+        a = anon.anonymize_host("10.2.3.4")
+        assert a == anon.anonymize_host("10.2.3.4")
+        assert a != anon.anonymize_host("10.2.3.5")
+
+    def test_different_keys_unrelated(self):
+        a = Anonymizer(key=1).anonymize_name("inboxfile")
+        b = Anonymizer(key=2).anonymize_name("inboxfile")
+        assert a != b
+
+
+class TestRecordAnonymization:
+    def test_sensitive_fields_replaced(self):
+        anon = Anonymizer(key=7)
+        out = anon.anonymize_record(record())
+        assert out.client != "192.168.1.5"
+        assert out.uid != 1234
+        assert "thesis" not in out.name
+
+    def test_structure_preserved(self):
+        anon = Anonymizer(key=7)
+        original = record(offset=8192, count=100)
+        out = anon.anonymize_record(original)
+        assert out.time == original.time
+        assert out.xid == original.xid
+        assert out.proc is original.proc
+        assert out.offset == 8192 and out.count == 100
+
+    def test_original_not_mutated(self):
+        anon = Anonymizer(key=7)
+        original = record()
+        anon.anonymize_record(original)
+        assert original.name == "thesis.tex"
+
+    def test_reply_matching_survives(self):
+        """Call/reply (client, xid) keys must still pair up."""
+        anon = Anonymizer(key=7)
+        call = record()
+        reply = record(direction=Direction.REPLY, name=None)
+        reply.status = __import__("repro.nfs", fromlist=["NfsStatus"]).NfsStatus.OK
+        assert (
+            anon.anonymize_record(call).key()
+            == anon.anonymize_record(reply).key()
+        )
+
+    def test_omit_mode_drops_everything(self):
+        anon = Anonymizer(key=7, rules=omit_rules())
+        out = anon.anonymize_record(record())
+        assert out.name is None
+        assert out.uid is None and out.gid is None
+        assert out.client == "-" and out.server == "-"
+
+    def test_stream_helper(self):
+        anon = Anonymizer(key=7)
+        out = list(anon.anonymize_stream([record(), record()]))
+        assert len(out) == 2
+        assert anon.records_processed == 2
+
+    def test_export_import_roundtrip(self):
+        anon = Anonymizer(key=7)
+        token = anon.anonymize_name("casefile")
+        uid = anon.anonymize_uid(555)
+        fresh = Anonymizer(key=7)
+        fresh.import_mappings(anon.export_mappings())
+        assert fresh.anonymize_name("casefile") == token
+        assert fresh.anonymize_uid(555) == uid

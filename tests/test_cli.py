@@ -1,0 +1,170 @@
+"""Tests for the command-line toolchain."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def campus_trace(tmp_path_factory):
+    """A small simulated trace file produced via the CLI itself."""
+    out = tmp_path_factory.mktemp("cli") / "campus.trace.gz"
+    code = main([
+        "simulate", "--system", "campus", "--days", "0.6",
+        "--users", "4", "--seed", "9", "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_creates_readable_trace(self, campus_trace):
+        from repro.trace import read_trace
+
+        records = read_trace(campus_trace)
+        assert len(records) > 100
+
+    def test_eecs_variant(self, tmp_path, capsys):
+        out = tmp_path / "eecs.trace"
+        code = main([
+            "simulate", "--system", "eecs", "--days", "0.3",
+            "--users", "2", "--seed", "3", "--out", str(out),
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_deterministic(self, tmp_path):
+        outs = []
+        for name in ("a.trace", "b.trace"):
+            out = tmp_path / name
+            main([
+                "simulate", "--system", "campus", "--days", "0.2",
+                "--users", "2", "--seed", "5", "--out", str(out),
+            ])
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]
+
+
+class TestAnonymize:
+    def test_anonymize_roundtrip(self, campus_trace, tmp_path, capsys):
+        out = tmp_path / "anon.trace.gz"
+        code = main([
+            "anonymize", "--key", "42",
+            "--in", str(campus_trace), "--out", str(out),
+        ])
+        assert code == 0
+        from repro.trace import read_trace
+
+        raw = read_trace(campus_trace)
+        anon = read_trace(out)
+        assert len(raw) == len(anon)
+        raw_clients = {r.client for r in raw}
+        anon_clients = {r.client for r in anon}
+        assert not (raw_clients & anon_clients)
+
+    def test_mappings_persist_consistency(self, campus_trace, tmp_path):
+        from repro.trace import read_trace
+
+        mappings = tmp_path / "map.json"
+        out1 = tmp_path / "a1.trace"
+        out2 = tmp_path / "a2.trace"
+        for out in (out1, out2):
+            code = main([
+                "anonymize", "--key", "42", "--mappings", str(mappings),
+                "--in", str(campus_trace), "--out", str(out),
+            ])
+            assert code == 0
+        assert json.loads(mappings.read_text())["names"]
+        assert out1.read_text() == out2.read_text()
+
+    def test_omit_mode(self, campus_trace, tmp_path):
+        from repro.trace import read_trace
+
+        out = tmp_path / "omit.trace"
+        main([
+            "anonymize", "--key", "1", "--omit",
+            "--in", str(campus_trace), "--out", str(out),
+        ])
+        anon = read_trace(out)
+        assert all(r.name is None for r in anon)
+        assert all(r.uid is None for r in anon)
+
+
+class TestAnalysisCommands:
+    def test_summary(self, campus_trace, capsys):
+        assert main(["summary", "--in", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "R/W ops ratio" in out
+        assert "Metadata fraction" in out
+
+    def test_runs(self, campus_trace, capsys):
+        code = main([
+            "runs", "--in", str(campus_trace),
+            "--window-ms", "10", "--jumps", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Reads (% total)" in out
+        assert "total runs:" in out
+
+    def test_lifetimes(self, campus_trace, capsys):
+        assert main(["lifetimes", "--in", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Total births" in out
+        assert "Lifetime CDF" in out
+
+    def test_report(self, campus_trace, capsys):
+        assert main(["report", "--in", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Dominant call type" in out
+        assert "Dominant death cause" in out
+
+    def test_names(self, campus_trace, capsys):
+        assert main(["names", "--in", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Name categories" in out
+        assert "lock" in out
+        assert "Prediction from filenames" in out
+
+    def test_analysis_works_on_anonymized_trace(self, campus_trace, tmp_path, capsys):
+        """simulate -> anonymize -> analyze composes."""
+        anon = tmp_path / "anon.trace"
+        main(["anonymize", "--key", "7", "--in", str(campus_trace),
+              "--out", str(anon)])
+        capsys.readouterr()
+        assert main(["summary", "--in", str(anon)]) == 0
+        assert "Total ops" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_convert_then_analyze(self, tmp_path, capsys):
+        dump = tmp_path / "dump.txt"
+        dump.write_text(
+            "1.0 30.0801 31.03f2 U C3 1a 6 read fh 6189 off 0 count 2000 "
+            "con = 1 len = 1\n"
+            "1.001 31.03f2 30.0801 U R3 1a 6 read OK ftype 1 size 2000 "
+            "count 2000 eof 1 con = 1 len = 1\n"
+        )
+        out = tmp_path / "converted.trace"
+        assert main(["convert", "--in", str(dump), "--out", str(out)]) == 0
+        assert "converted 2" in capsys.readouterr().out
+        assert main(["summary", "--in", str(out)]) == 0
+        assert "Total ops" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["summary", "--in", "/no/such/file.trace"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_empty_trace_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        assert main(["summary", "--in", str(empty)]) == 2

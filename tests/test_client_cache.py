@@ -1,0 +1,126 @@
+"""Tests for the weakly-consistent client cache."""
+
+import pytest
+
+from repro.client.cache import ClientCache
+from repro.nfs.attributes import FileAttributes, FileType
+from repro.nfs.filehandle import FileHandle
+
+
+def attrs(size=100, mtime=1.0, fileid=5):
+    return FileAttributes(
+        ftype=FileType.REGULAR, mode=0o644, uid=1, gid=1,
+        size=size, fileid=fileid, atime=0.0, mtime=mtime, ctime=0.0,
+    )
+
+
+FH = FileHandle(1, 5, 0)
+DIR = FileHandle(1, 2, 0)
+
+
+class TestAttributeCache:
+    def test_fresh_within_timeout(self):
+        cache = ClientCache(ac_timeout=3.0)
+        cache.update_attrs(FH, attrs(), now=10.0)
+        assert cache.attrs_fresh(FH, 12.9)
+        assert not cache.attrs_fresh(FH, 13.1)
+
+    def test_unknown_handle_not_fresh(self):
+        assert not ClientCache().attrs_fresh(FH, 0.0)
+
+    def test_mtime_change_invalidates_all_blocks(self):
+        """The CAMPUS inbox effect: one append invalidates the file."""
+        cache = ClientCache()
+        cache.update_attrs(FH, attrs(mtime=1.0), now=0.0)
+        for block in range(300):
+            cache.add_block(FH, block)
+        cache.update_attrs(FH, attrs(mtime=2.0), now=5.0)
+        assert cache.cached_blocks(FH) == 0
+        assert cache.invalidations == 1
+        assert cache.blocks_invalidated == 300
+
+    def test_same_mtime_keeps_blocks(self):
+        cache = ClientCache()
+        cache.update_attrs(FH, attrs(mtime=1.0), now=0.0)
+        cache.add_block(FH, 0)
+        cache.update_attrs(FH, attrs(mtime=1.0), now=5.0)
+        assert cache.cached_blocks(FH) == 1
+
+    def test_own_write_does_not_invalidate(self):
+        cache = ClientCache()
+        cache.update_attrs(FH, attrs(mtime=1.0), now=0.0)
+        cache.add_block(FH, 0)
+        cache.note_local_write(FH, attrs(mtime=2.0, size=200), now=1.0)
+        assert cache.cached_blocks(FH) == 1
+        assert cache.get_file(FH).attrs.size == 200
+
+    def test_forget_drops_everything(self):
+        cache = ClientCache()
+        cache.update_attrs(FH, attrs(), now=0.0)
+        cache.add_block(FH, 1)
+        cache.forget(FH)
+        assert cache.get_file(FH) is None
+        assert not cache.has_block(FH, 1)
+
+
+class TestNameCache:
+    def test_name_roundtrip(self):
+        cache = ClientCache(ac_timeout=3.0)
+        cache.cache_name(DIR, "inbox", FH, now=0.0)
+        assert cache.lookup_name(DIR, "inbox", 2.0) == FH
+
+    def test_name_expires_after_name_timeout(self):
+        cache = ClientCache(ac_timeout=3.0, name_timeout=30.0)
+        cache.cache_name(DIR, "inbox", FH, now=0.0)
+        assert cache.lookup_name(DIR, "inbox", 29.0) == FH
+        assert cache.lookup_name(DIR, "inbox", 30.5) is None
+
+    def test_name_outlives_attribute_timeout(self):
+        """The dnlc effect: the name stays resolvable after attributes
+        go stale, which is what turns re-opens into GETATTRs."""
+        cache = ClientCache(ac_timeout=3.0, name_timeout=30.0)
+        cache.cache_name(DIR, "inbox", FH, now=0.0)
+        assert cache.lookup_name(DIR, "inbox", 10.0) == FH
+
+    def test_forget_name(self):
+        cache = ClientCache()
+        cache.cache_name(DIR, "x", FH, now=0.0)
+        cache.forget_name(DIR, "x")
+        assert cache.lookup_name(DIR, "x", 0.0) is None
+
+    def test_miss_returns_none(self):
+        assert ClientCache().lookup_name(DIR, "nothing", 0.0) is None
+
+
+class TestBlockCache:
+    def test_block_roundtrip(self):
+        cache = ClientCache()
+        cache.update_attrs(FH, attrs(), now=0.0)
+        cache.add_block(FH, 7)
+        assert cache.has_block(FH, 7)
+        assert not cache.has_block(FH, 8)
+
+    def test_blocks_need_attrs_first(self):
+        cache = ClientCache()
+        cache.add_block(FH, 7)  # silently ignored: nothing to validate against
+        assert not cache.has_block(FH, 7)
+
+    def test_capacity_evicts_lru(self):
+        cache = ClientCache(capacity_blocks=3)
+        cache.update_attrs(FH, attrs(), now=0.0)
+        for block in (0, 1, 2):
+            cache.add_block(FH, block)
+        cache.has_block(FH, 0)  # touch 0: now 1 is LRU
+        cache.add_block(FH, 3)
+        assert cache.has_block(FH, 0)
+        assert not cache.has_block(FH, 1)
+
+    def test_eviction_spans_files(self):
+        other = FileHandle(1, 9, 0)
+        cache = ClientCache(capacity_blocks=2)
+        cache.update_attrs(FH, attrs(), now=0.0)
+        cache.update_attrs(other, attrs(fileid=9), now=0.0)
+        cache.add_block(FH, 0)
+        cache.add_block(other, 0)
+        cache.add_block(other, 1)
+        assert not cache.has_block(FH, 0)

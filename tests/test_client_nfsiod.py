@@ -1,0 +1,116 @@
+"""Tests for the nfsiod reordering model (paper Section 4.1.5)."""
+
+import random
+
+import pytest
+
+from repro.client.nfsiod import (
+    MAX_DELAY,
+    NfsiodPool,
+    count_reordered,
+    count_swapped,
+)
+from repro.nfs.rpc import Transport
+
+
+def wire_times(pool, n=4000, gap=0.001):
+    return [pool.dispatch(i * gap) for i in range(n)]
+
+
+class TestReorderCounters:
+    def test_ordered_stream_has_no_reordering(self):
+        assert count_reordered([1.0, 2.0, 3.0]) == 0
+        assert count_swapped([1.0, 2.0, 3.0]) == 0
+
+    def test_single_delayed_call_counts_once(self):
+        """One call overtaken by many is ONE reordered packet."""
+        times = [0.0, 10.0, 1.0, 2.0, 3.0, 4.0]
+        assert count_reordered(times) == 1
+        assert count_swapped(times) == 4  # blunter measure counts overtaken
+
+    def test_adjacent_swap(self):
+        assert count_reordered([1.0, 3.0, 2.0]) == 1
+
+    def test_empty(self):
+        assert count_reordered([]) == 0
+        assert count_swapped([]) == 0
+
+    def test_equal_times_are_in_order(self):
+        assert count_reordered([1.0, 1.0, 1.0]) == 0
+
+
+class TestNfsiodPool:
+    def test_single_daemon_never_reorders(self):
+        """Paper: 'When the client ran only one nfsiod, no call
+        reorderings occurred.'"""
+        pool = NfsiodPool(1, random.Random(1), transport=Transport.UDP)
+        assert count_reordered(wire_times(pool)) == 0
+
+    def test_multiple_daemons_reorder(self):
+        pool = NfsiodPool(8, random.Random(1), transport=Transport.UDP)
+        assert count_reordered(wire_times(pool)) > 0
+
+    def test_reordering_grows_with_daemon_count(self):
+        """Paper: 'as additional nfsiods were added, call reordering
+        became more frequent ... as many as 10%'."""
+        rates = {}
+        for count in (1, 2, 8):
+            total = reordered = 0
+            for seed in range(3):
+                pool = NfsiodPool(count, random.Random(seed), transport=Transport.UDP)
+                times = wire_times(pool)
+                reordered += count_reordered(times)
+                total += len(times)
+            rates[count] = reordered / total
+        assert rates[1] == 0.0
+        assert rates[1] < rates[2] < rates[8]
+        assert rates[8] <= 0.12  # paper's extreme case was ~10%
+
+    def test_udp_reorders_more_than_tcp(self):
+        """Paper: 'This effect is more common when UDP is used.'"""
+        udp_rate = tcp_rate = 0
+        for seed in range(3):
+            udp = NfsiodPool(8, random.Random(seed), transport=Transport.UDP)
+            tcp = NfsiodPool(8, random.Random(seed), transport=Transport.TCP)
+            udp_rate += count_reordered(wire_times(udp))
+            tcp_rate += count_reordered(wire_times(tcp))
+        assert udp_rate > tcp_rate
+
+    def test_delay_capped_at_one_second(self):
+        """Paper: 'some calls were delayed by as much as 1 second'."""
+        pool = NfsiodPool(
+            8, random.Random(5), stall_probability=0.5,
+            long_stall_fraction=1.0, long_stall_scale=5.0,
+        )
+        for i in range(2000):
+            issue = i * 0.0001
+            wire = pool.dispatch(issue)
+            assert wire - issue <= MAX_DELAY + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = NfsiodPool(4, random.Random(11))
+        b = NfsiodPool(4, random.Random(11))
+        assert wire_times(a, n=100) == wire_times(b, n=100)
+
+    def test_zero_daemons_rejected(self):
+        with pytest.raises(ValueError):
+            NfsiodPool(0, random.Random(0))
+
+    def test_reset(self):
+        pool = NfsiodPool(2, random.Random(0))
+        pool.dispatch(100.0)
+        pool.reset()
+        assert pool.dispatched == 0
+        assert pool.dispatch(0.0) < 100.0
+
+    def test_most_stalls_removable_by_small_window(self):
+        """Figure 1's premise: most reordering disappears with a
+        sorting window of only a few milliseconds."""
+        pool = NfsiodPool(8, random.Random(9), transport=Transport.UDP)
+        times = wire_times(pool, n=8000)
+        issue = [i * 0.001 for i in range(8000)]
+        displacements = sorted(
+            w - i for w, i in zip(times, issue)
+        )
+        p90 = displacements[int(0.90 * len(displacements))]
+        assert p90 < 0.010  # 90% of calls delayed under 10 ms

@@ -1,0 +1,140 @@
+"""Edge-case coverage across subsystems."""
+
+import pytest
+
+from repro.analysis.pairing import pair_all
+from repro.nfs import (
+    FileHandle,
+    NfsCall,
+    NfsProc,
+    NfsReply,
+)
+from repro.simcore import EventLoop
+from repro.trace import TraceWriter, read_trace
+from repro.trace.record import TraceRecord
+
+
+def call_rec(t, xid, client="c"):
+    return TraceRecord.from_call(
+        NfsCall(time=t, xid=xid, client=client, server="s",
+                proc=NfsProc.GETATTR, fh=FileHandle(1, 2, 0))
+    )
+
+
+def reply_rec(t, xid, client="c"):
+    return TraceRecord.from_reply(
+        NfsReply(time=t, xid=xid, client=client, server="s",
+                 proc=NfsProc.GETATTR)
+    )
+
+
+class TestPairingEdges:
+    def test_duplicate_xid_counts_as_retransmission(self):
+        """Two calls with the same xid before any reply: the first is
+        treated as lost/retransmitted, the second pairs."""
+        records = [
+            call_rec(1.0, 5),
+            call_rec(1.5, 5),
+            reply_rec(1.6, 5),
+        ]
+        ops, stats = pair_all(records)
+        assert len(ops) == 1
+        assert stats.unanswered_calls == 1
+        assert ops[0].time == 1.5
+
+    def test_xid_reuse_after_completion_is_fine(self):
+        """An xid can recycle once its first exchange completed."""
+        records = [
+            call_rec(1.0, 5),
+            reply_rec(1.1, 5),
+            call_rec(2.0, 5),
+            reply_rec(2.1, 5),
+        ]
+        ops, stats = pair_all(records)
+        assert len(ops) == 2
+        assert stats.orphan_replies == 0
+
+    def test_reply_before_call_is_orphan(self):
+        """Mirror reordering across the call/reply pair: the reply
+        cannot be decoded (the paper's undecodable-reply effect)."""
+        records = [reply_rec(1.0, 9), call_rec(1.1, 9)]
+        ops, stats = pair_all(records)
+        assert ops == []
+        assert stats.orphan_replies == 1
+        assert stats.unanswered_calls == 1
+
+
+class TestEventLoopEdges:
+    def test_cancel_from_within_event(self):
+        loop = EventLoop()
+        ran = []
+        later = loop.schedule(2.0, lambda: ran.append("later"))
+        loop.schedule(1.0, lambda: later.cancel())
+        loop.run()
+        assert ran == []
+
+    def test_heavy_interleaved_schedule_cancel(self):
+        loop = EventLoop()
+        ran = []
+        events = [
+            loop.schedule(float(i), lambda i=i: ran.append(i)) for i in range(100)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        loop.run()
+        assert ran == list(range(1, 100, 2))
+        assert loop.events_run == 50
+
+    def test_zero_delay_self_rescheduling_terminates_with_run_until(self):
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            loop.schedule_in(0.5, tick)
+
+        loop.schedule(0.0, tick)
+        loop.run_until(10.0)
+        assert count[0] == 21  # t = 0, 0.5, ..., 10.0
+
+
+class TestWriterEdges:
+    def test_out_of_window_records_stay_out_of_order(self, tmp_path):
+        """Records delayed beyond the sort window land late — the
+        writer is a bounded reorderer, not a full sort."""
+        path = tmp_path / "t.trace"
+        with TraceWriter(path, sort_window=5.0) as writer:
+            writer.write(call_rec(100.0, 1))
+            writer.write(call_rec(110.0, 2))  # flushes the 100.0 record
+            writer.write(call_rec(1.0, 3))  # arrives hopelessly late
+        times = [r.time for r in read_trace(path)]
+        assert times == [100.0, 1.0, 110.0] or times != sorted(times)
+
+    def test_tiny_window_still_writes_everything(self, tmp_path):
+        records = [call_rec(float(i), i) for i in range(20)]
+        path = tmp_path / "t.trace"
+        with TraceWriter(path, sort_window=0.0) as writer:
+            for record in records:
+                writer.write(record)
+        assert len(read_trace(path)) == 20
+
+
+class TestFsDeepPaths:
+    def test_deep_tree(self):
+        from repro.fs import SimFileSystem
+
+        fs = SimFileSystem()
+        path = "/" + "/".join(f"d{i}" for i in range(40))
+        fs.makedirs(path, 0.0)
+        assert fs.resolve(path).is_dir()
+
+    def test_hierarchy_path_depth_cap(self):
+        """path_of never loops forever on pathological parent chains."""
+        from repro.analysis.hierarchy import HierarchyReconstructor, KnownFile
+
+        h = HierarchyReconstructor()
+        # force a cycle: a's parent is b, b's parent is a
+        h._files["a"] = KnownFile(fh="a", parent_fh="b", name="x")
+        h._files["b"] = KnownFile(fh="b", parent_fh="a", name="y")
+        path = h.path_of("a", max_depth=10)
+        assert path is not None  # returned, did not hang

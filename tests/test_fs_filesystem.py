@@ -1,0 +1,245 @@
+"""Tests for the simulated file system."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsError_,
+    IsADirectoryError_,
+    NoSuchFileError,
+    NotADirectoryError_,
+    QuotaExceededError,
+    StaleHandleError,
+)
+from repro.fs import BLOCK_SIZE, SimFileSystem, block_count, block_range
+
+
+@pytest.fixture
+def fs():
+    return SimFileSystem(fsid=1)
+
+
+class TestBlockArithmetic:
+    def test_block_count_rounds_up(self):
+        assert block_count(0) == 0
+        assert block_count(1) == 1
+        assert block_count(BLOCK_SIZE) == 1
+        assert block_count(BLOCK_SIZE + 1) == 2
+
+    def test_block_range_spans_access(self):
+        assert list(block_range(0, BLOCK_SIZE)) == [0]
+        assert list(block_range(BLOCK_SIZE - 1, 2)) == [0, 1]
+        assert list(block_range(0, 0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            block_count(-1)
+        with pytest.raises(ValueError):
+            block_range(-1, 5)
+        with pytest.raises(ValueError):
+            block_range(0, -5)
+
+
+class TestNamespace:
+    def test_create_and_lookup(self, fs):
+        node = fs.create(fs.root, "inbox", 1.0, uid=100)
+        found = fs.lookup(fs.root, "inbox")
+        assert found is node
+        assert found.attrs.uid == 100
+        assert found.size == 0
+
+    def test_lookup_missing_raises(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.lookup(fs.root, "ghost")
+
+    def test_lookup_dot_and_dotdot(self, fs):
+        d = fs.mkdir(fs.root, "home", 1.0)
+        assert fs.lookup(d.handle, ".") is d
+        assert fs.lookup(d.handle, "..").fileid == fs.inode(fs.root).fileid
+
+    def test_lookup_through_file_rejected(self, fs):
+        f = fs.create(fs.root, "plain", 1.0)
+        with pytest.raises(NotADirectoryError_):
+            fs.lookup(f.handle, "x")
+
+    def test_exclusive_create_conflicts(self, fs):
+        fs.create(fs.root, "lockfile", 1.0, exclusive=True)
+        with pytest.raises(FileExistsError_):
+            fs.create(fs.root, "lockfile", 2.0, exclusive=True)
+
+    def test_nonexclusive_create_truncates(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 100, 2.0)
+        again = fs.create(fs.root, "f", 3.0)
+        assert again is f
+        assert f.size == 0
+
+    def test_mkdir_duplicate_rejected(self, fs):
+        fs.mkdir(fs.root, "d", 1.0)
+        with pytest.raises(FileExistsError_):
+            fs.mkdir(fs.root, "d", 2.0)
+
+    def test_remove(self, fs):
+        fs.create(fs.root, "tmp", 1.0)
+        fs.remove(fs.root, "tmp", 2.0)
+        with pytest.raises(NoSuchFileError):
+            fs.lookup(fs.root, "tmp")
+
+    def test_remove_directory_rejected(self, fs):
+        fs.mkdir(fs.root, "d", 1.0)
+        with pytest.raises(IsADirectoryError_):
+            fs.remove(fs.root, "d", 2.0)
+
+    def test_rmdir(self, fs):
+        fs.mkdir(fs.root, "d", 1.0)
+        fs.rmdir(fs.root, "d", 2.0)
+        assert "d" not in fs.readdir(fs.root)
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        d = fs.mkdir(fs.root, "d", 1.0)
+        fs.create(d.handle, "child", 2.0)
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rmdir(fs.root, "d", 3.0)
+
+    def test_stale_handle_after_remove(self, fs):
+        f = fs.create(fs.root, "gone", 1.0)
+        fs.remove(fs.root, "gone", 2.0)
+        with pytest.raises(StaleHandleError):
+            fs.getattr(f.handle)
+
+    def test_rename_moves_entry(self, fs):
+        src = fs.mkdir(fs.root, "src", 1.0)
+        dst = fs.mkdir(fs.root, "dst", 1.0)
+        f = fs.create(src.handle, "draft", 2.0)
+        fs.rename(src.handle, "draft", dst.handle, "sent", 3.0)
+        assert fs.lookup(dst.handle, "sent") is f
+        assert f.name == "sent"
+        with pytest.raises(NoSuchFileError):
+            fs.lookup(src.handle, "draft")
+
+    def test_rename_replaces_target(self, fs):
+        a = fs.create(fs.root, "a", 1.0)
+        fs.create(fs.root, "b", 1.0)
+        fs.rename(fs.root, "a", fs.root, "b", 2.0)
+        assert fs.lookup(fs.root, "b") is a
+
+    def test_symlink(self, fs):
+        ln = fs.symlink(fs.root, "link", "/target/path", 1.0)
+        assert ln.is_symlink()
+        assert ln.link_target == "/target/path"
+        assert ln.size == len("/target/path")
+
+    def test_readdir_in_insertion_order(self, fs):
+        for name in ("c", "a", "b"):
+            fs.create(fs.root, name, 1.0)
+        assert fs.readdir(fs.root) == ("c", "a", "b")
+
+
+class TestDataOps:
+    def test_write_extends_size(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 100, 2.0)
+        assert f.size == 100
+        fs.write(f.handle, 50, 100, 3.0)
+        assert f.size == 150
+
+    def test_write_past_eof_materializes_gap(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 100_000, 10, 2.0)
+        assert f.size == 100_010
+
+    def test_overwrite_does_not_grow(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 1000, 2.0)
+        fs.write(f.handle, 0, 500, 3.0)
+        assert f.size == 1000
+
+    def test_read_short_at_eof(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 100, 2.0)
+        got, eof = fs.read(f.handle, 50, 100, 3.0)
+        assert got == 50 and eof
+
+    def test_read_past_eof(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        got, eof = fs.read(f.handle, 10, 10, 2.0)
+        assert got == 0 and eof
+
+    def test_read_mid_file_not_eof(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 10_000, 2.0)
+        got, eof = fs.read(f.handle, 0, 100, 3.0)
+        assert got == 100 and not eof
+
+    def test_write_updates_mtime_read_updates_atime(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 10, 5.0)
+        assert f.attrs.mtime == 5.0
+        fs.read(f.handle, 0, 10, 7.0)
+        assert f.attrs.atime == 7.0
+        assert f.attrs.mtime == 5.0
+
+    def test_truncate_shrinks(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.write(f.handle, 0, 10_000, 2.0)
+        fs.truncate(f.handle, 100, 3.0)
+        assert f.size == 100
+
+    def test_truncate_extends(self, fs):
+        f = fs.create(fs.root, "f", 1.0)
+        fs.truncate(f.handle, 50_000, 2.0)
+        assert f.size == 50_000
+
+    def test_data_ops_on_directory_rejected(self, fs):
+        d = fs.mkdir(fs.root, "d", 1.0)
+        with pytest.raises(IsADirectoryError_):
+            fs.read(d.handle, 0, 10, 2.0)
+        with pytest.raises(IsADirectoryError_):
+            fs.write(d.handle, 0, 10, 2.0)
+
+
+class TestQuota:
+    def test_quota_blocks_growth(self):
+        fs = SimFileSystem(quota_bytes=1000)
+        f = fs.create(fs.root, "f", 1.0, uid=7)
+        fs.write(f.handle, 0, 900, 2.0)
+        with pytest.raises(QuotaExceededError):
+            fs.write(f.handle, 900, 200, 3.0)
+
+    def test_overwrite_within_quota_ok(self):
+        fs = SimFileSystem(quota_bytes=1000)
+        f = fs.create(fs.root, "f", 1.0, uid=7)
+        fs.write(f.handle, 0, 1000, 2.0)
+        fs.write(f.handle, 0, 1000, 3.0)  # overwrite, no growth
+
+    def test_remove_releases_quota(self):
+        fs = SimFileSystem(quota_bytes=1000)
+        f = fs.create(fs.root, "f", 1.0, uid=7)
+        fs.write(f.handle, 0, 1000, 2.0)
+        fs.remove(fs.root, "f", 3.0)
+        assert fs.usage(7) == 0
+        g = fs.create(fs.root, "g", 4.0, uid=7)
+        fs.write(g.handle, 0, 1000, 5.0)
+
+    def test_quotas_are_per_uid(self):
+        fs = SimFileSystem(quota_bytes=1000)
+        a = fs.create(fs.root, "a", 1.0, uid=1)
+        b = fs.create(fs.root, "b", 1.0, uid=2)
+        fs.write(a.handle, 0, 1000, 2.0)
+        fs.write(b.handle, 0, 1000, 2.0)  # independent quota
+
+
+class TestPathHelpers:
+    def test_makedirs_and_resolve(self, fs):
+        fs.makedirs("/home/user1/mail", 1.0, uid=100)
+        node = fs.resolve("/home/user1/mail")
+        assert node.is_dir()
+
+    def test_makedirs_idempotent(self, fs):
+        first = fs.makedirs("/a/b", 1.0)
+        second = fs.makedirs("/a/b", 2.0)
+        assert first is second
+
+    def test_resolve_missing_raises(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.resolve("/no/such/path")

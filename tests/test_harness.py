@@ -1,0 +1,72 @@
+"""Tests for the TracedSystem harness."""
+
+import pytest
+
+from repro.nfs.procedures import NfsVersion
+from repro.nfs.rpc import Transport
+from repro.workloads import TracedSystem
+
+
+class TestTracedSystem:
+    def test_add_client_is_idempotent(self):
+        system = TracedSystem(seed=1)
+        a = system.add_client("host1")
+        b = system.add_client("host1")
+        assert a is b
+        assert len(system.clients) == 1
+
+    def test_clients_configurable(self):
+        system = TracedSystem(seed=1)
+        client = system.add_client(
+            "ws1", transport=Transport.UDP, version=NfsVersion.V2,
+            nfsiod_count=2, ac_timeout=10.0, cache_blocks=128,
+        )
+        assert client.transport is Transport.UDP
+        assert client.version is NfsVersion.V2
+        assert client.nfsiods.count == 2
+        assert client.cache.ac_timeout == 10.0
+        assert client.cache.capacity_blocks == 128
+
+    def test_mirror_disabled_by_default(self):
+        system = TracedSystem(seed=1)
+        assert system.mirror.bandwidth is None
+
+    def test_mirror_configurable(self):
+        system = TracedSystem(seed=1, mirror_bandwidth=1e6, mirror_buffer=1024)
+        assert system.mirror.bandwidth == 1e6
+        assert system.mirror.buffer_bytes == 1024
+
+    def test_quota_passes_through(self):
+        system = TracedSystem(seed=1, quota_bytes=1000)
+        assert system.fs.quota_bytes == 1000
+
+    def test_run_advances_clock(self):
+        system = TracedSystem(seed=1)
+        system.run(500.0)
+        assert system.clock.now == 500.0
+
+    def test_traffic_lands_in_collector(self):
+        system = TracedSystem(seed=1)
+        client = system.add_client("c1")
+        system.fs.create(system.fs.root, "f", 0.0)
+        client.open("/f")
+        assert len(system.collector) > 0
+        records = system.records()
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_write_trace(self, tmp_path):
+        system = TracedSystem(seed=1)
+        client = system.add_client("c1")
+        system.fs.create(system.fs.root, "f", 0.0)
+        client.open("/f")
+        n = system.write_trace(tmp_path / "t.trace")
+        assert n == len(system.collector)
+
+    def test_independent_systems_do_not_interfere(self):
+        a = TracedSystem(seed=1)
+        b = TracedSystem(seed=1)
+        ca = a.add_client("x")
+        a.fs.create(a.fs.root, "f", 0.0)
+        ca.open("/f")
+        assert len(b.collector) == 0

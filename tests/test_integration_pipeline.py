@@ -1,0 +1,101 @@
+"""End-to-end pipeline: simulate -> trace file -> read back ->
+anonymize -> analyze, including the lossy-mirror path."""
+
+import pytest
+
+from repro.analysis.loss import effective_op_loss_rate
+from repro.analysis.pairing import pair_all
+from repro.analysis.runs import RunBuilder, classify_runs
+from repro.analysis.summary import summarize_trace
+from repro.anonymize import Anonymizer
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.trace import read_trace, write_trace
+from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+DAY = SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("pipeline")
+    system = TracedSystem(seed=77, quota_bytes=50 * 1024 * 1024)
+    CampusEmailWorkload(CampusParams(users=5)).attach(system)
+    system.run(DAY * 1.25)
+    raw_path = tmp / "raw.trace.gz"
+    system.write_trace(raw_path)
+    return system, raw_path, tmp
+
+
+class TestPipeline:
+    def test_trace_file_roundtrip_preserves_records(self, pipeline):
+        system, raw_path, _ = pipeline
+        reread = read_trace(raw_path)
+        assert len(reread) == len(system.collector.records)
+        original = system.records()
+        # the codec stores microsecond-resolution timestamps, like a
+        # real tracer; compare at that resolution
+        assert [round(r.time, 6) for r in reread] == [
+            round(r.time, 6) for r in original
+        ]
+        assert [r.xid for r in reread] == [r.xid for r in original]
+        assert [r.proc for r in reread] == [r.proc for r in original]
+
+    def test_analysis_identical_from_file(self, pipeline):
+        system, raw_path, _ = pipeline
+        live_ops, _ = pair_all(system.records())
+        file_ops, _ = pair_all(read_trace(raw_path))
+        live = summarize_trace(live_ops, 0, DAY * 1.25)
+        from_file = summarize_trace(file_ops, 0, DAY * 1.25)
+        assert live.total_ops == from_file.total_ops
+        assert live.bytes_read == from_file.bytes_read
+        assert live.ops_by_proc == from_file.ops_by_proc
+
+    def test_anonymized_roundtrip_preserves_analysis(self, pipeline):
+        system, raw_path, tmp = pipeline
+        anonymizer = Anonymizer(key=5150)
+        anon_path = tmp / "anon.trace.gz"
+        write_trace(
+            anon_path, anonymizer.anonymize_stream(read_trace(raw_path))
+        )
+        raw_ops, _ = pair_all(read_trace(raw_path))
+        anon_ops, _ = pair_all(read_trace(anon_path))
+        raw_runs = classify_runs(
+            RunBuilder().feed_all(raw_ops).finish(), jump_blocks=10
+        )
+        anon_runs = classify_runs(
+            RunBuilder().feed_all(anon_ops).finish(), jump_blocks=10
+        )
+        assert raw_runs.total_runs == anon_runs.total_runs
+        assert raw_runs.reads == anon_runs.reads
+        assert raw_runs.read_split == anon_runs.read_split
+
+    def test_no_raw_usernames_in_anonymized_file(self, pipeline):
+        system, raw_path, tmp = pipeline
+        anonymizer = Anonymizer(key=5150)
+        anon_path = tmp / "anon2.trace"
+        write_trace(
+            anon_path, anonymizer.anonymize_stream(read_trace(raw_path))
+        )
+        text = anon_path.read_text()
+        # home directories are cuNNNN; none may survive
+        assert "cu00" not in text
+        assert "pico." not in text  # composer stems are anonymized
+
+    def test_lossy_mirror_pipeline(self):
+        """With a constrained mirror, the trace pairs fewer ops and the
+        estimator reports loss, but analysis still runs."""
+        system = TracedSystem(
+            seed=88,
+            quota_bytes=50 * 1024 * 1024,
+            mirror_bandwidth=400_000.0,
+            mirror_buffer=64 * 1024,
+        )
+        CampusEmailWorkload(CampusParams(users=5)).attach(system)
+        system.run(DAY * 0.5)
+        assert system.mirror.packets_dropped > 0
+        ops, stats = pair_all(system.records())
+        assert stats.orphan_replies > 0 or stats.unanswered_calls > 0
+        assert effective_op_loss_rate(stats) > 0.0
+        summary = summarize_trace(ops, 0, DAY * 0.5)
+        assert summary.total_ops == stats.paired
+        assert summary.total_ops > 0

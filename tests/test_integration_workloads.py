@@ -1,0 +1,148 @@
+"""Integration tests: generators -> trace -> analysis, checking the
+paper's headline shape claims on real simulated traces."""
+
+import pytest
+
+from repro.analysis.characterize import characterize
+from repro.analysis.pairing import pair_all
+from repro.analysis.summary import summarize_trace
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.workloads import (
+    CampusEmailWorkload,
+    CampusParams,
+    EecsParams,
+    EecsResearchWorkload,
+    TracedSystem,
+)
+
+DAY = SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def campus():
+    """Two simulated days (Sunday+Monday) of a small CAMPUS."""
+    system = TracedSystem(seed=41, quota_bytes=50 * 1024 * 1024)
+    workload = CampusEmailWorkload(CampusParams(users=8))
+    workload.attach(system)
+    system.run(2 * DAY)
+    ops, stats = pair_all(system.records())
+    return system, workload, ops, stats
+
+
+@pytest.fixture(scope="module")
+def eecs():
+    """Two simulated days of a small EECS."""
+    system = TracedSystem(seed=42)
+    workload = EecsResearchWorkload(EecsParams(users=6))
+    workload.attach(system)
+    system.run(2 * DAY)
+    ops, stats = pair_all(system.records())
+    return system, workload, ops, stats
+
+
+class TestCampusShape:
+    def test_reads_dominate(self, campus):
+        _, _, ops, _ = campus
+        s = summarize_trace(ops, 0.0, 2 * DAY)
+        assert s.rw_op_ratio > 1.5
+        assert 1.5 < s.rw_byte_ratio < 6.0  # paper: ~2.7-3.0
+
+    def test_data_dominates_metadata(self, campus):
+        """Table 1: 'Most NFS calls are for data' on CAMPUS."""
+        _, _, ops, _ = campus
+        s = summarize_trace(ops, 0.0, 2 * DAY)
+        assert s.metadata_fraction < 0.5
+
+    def test_locks_taken_and_released(self, campus):
+        _, workload, _, _ = campus
+        assert workload.counters["locks.taken"] > 50
+        assert workload.counters["deliveries"] > 20
+
+    def test_no_unpaired_ops_without_mirror_loss(self, campus):
+        _, _, _, stats = campus
+        assert stats.orphan_replies == 0
+
+    def test_characterization(self, campus):
+        _, _, ops, _ = campus
+        # the paper's unique-file shares are per peak hour: use the
+        # Monday 11am-12pm window
+        peak = [o for o in ops if DAY + 11 * 3600 <= o.time < DAY + 12 * 3600]
+        c = characterize(ops, 0.0, 2 * DAY, peak_ops=peak)
+        assert c.dominant_call_type() == "data"
+        assert "reads outnumber" in c.read_write_balance()
+        assert c.dominant_death_cause() == "overwriting"
+        # >95% of bytes through mailboxes (paper 6.1.2)
+        assert c.mailbox_byte_share > 0.85
+        # lock files are the biggest unique-file category (paper ~50%)
+        assert c.lock_file_share > 0.25
+        assert c.mailbox_file_share > 0.05
+
+    def test_block_lifetimes_minutes_scale(self, campus):
+        """Table 1: 'Most blocks live for at least ten minutes'."""
+        _, _, ops, _ = campus
+        c = characterize(ops, 0.0, 2 * DAY)
+        assert c.median_block_lifetime is not None
+        assert c.median_block_lifetime > 120.0
+        assert c.fraction_blocks_dead_within_1s < 0.35
+
+
+class TestEecsShape:
+    def test_writes_outnumber_reads(self, eecs):
+        _, _, ops, _ = eecs
+        s = summarize_trace(ops, 0.0, 2 * DAY)
+        assert s.rw_op_ratio < 1.0
+        assert s.rw_byte_ratio < 1.0
+
+    def test_metadata_dominates(self, eecs):
+        """Table 1: 'Most NFS calls are for metadata' on EECS."""
+        _, _, ops, _ = eecs
+        s = summarize_trace(ops, 0.0, 2 * DAY)
+        assert s.metadata_fraction > 0.45
+        assert s.attribute_check_fraction > 0.40
+
+    def test_characterization(self, eecs):
+        _, _, ops, _ = eecs
+        c = characterize(ops, 0.0, 2 * DAY)
+        assert c.dominant_call_type() == "metadata"
+        assert "writes outnumber" in c.read_write_balance()
+
+    def test_fast_block_deaths(self, eecs):
+        """Table 1/Fig 3: most EECS blocks die quickly; >50% under a
+        second in the paper."""
+        _, _, ops, _ = eecs
+        c = characterize(ops, 0.0, 2 * DAY)
+        assert c.fraction_blocks_dead_within_1s > 0.3
+        assert c.median_block_lifetime is not None
+        assert c.median_block_lifetime < 600.0
+
+    def test_death_cause_mix(self, eecs):
+        """Table 4: EECS deaths are a mix of overwrites and deletes."""
+        _, _, ops, _ = eecs
+        c = characterize(ops, 0.0, 2 * DAY)
+        assert c.death_overwrite_fraction > 0.15
+        assert c.death_delete_fraction > 0.15
+
+    def test_applet_churn_exists(self, eecs):
+        _, workload, _, _ = eecs
+        assert workload.counters["applets"] > 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def build():
+            system = TracedSystem(seed=99)
+            CampusEmailWorkload(CampusParams(users=3)).attach(system)
+            system.run(4 * 3600.0)
+            return [(r.time, r.direction, str(r.proc), r.xid)
+                    for r in system.records()]
+
+        assert build() == build()
+
+    def test_different_seed_different_trace(self):
+        def build(seed):
+            system = TracedSystem(seed=seed)
+            CampusEmailWorkload(CampusParams(users=3)).attach(system)
+            system.run(4 * 3600.0)
+            return [(r.time, r.xid) for r in system.records()]
+
+        assert build(1) != build(2)

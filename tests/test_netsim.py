@@ -1,0 +1,99 @@
+"""Tests for the network path and mirror port."""
+
+import random
+
+from repro.fs import SimFileSystem
+from repro.netsim import MirrorPort, NetworkPath, wire_size
+from repro.nfs import NfsCall, NfsProc, NfsReply
+from repro.server import NfsServer
+from repro.trace import TraceCollector
+
+
+def make_call(t=0.0, proc=NfsProc.GETATTR, xid=1, **kw):
+    return NfsCall(
+        time=t, xid=xid, client="10.0.0.1", server="10.0.0.100", proc=proc, **kw
+    )
+
+
+class TestWireSize:
+    def test_write_call_carries_payload(self):
+        small = wire_size(make_call(proc=NfsProc.GETATTR))
+        big = wire_size(make_call(proc=NfsProc.WRITE, count=8192))
+        assert big > small + 8000
+
+    def test_read_reply_carries_payload(self):
+        reply = NfsReply(
+            time=0.0, xid=1, client="c", server="s",
+            proc=NfsProc.READ, count=8192,
+        )
+        bare = NfsReply(time=0.0, xid=1, client="c", server="s", proc=NfsProc.GETATTR)
+        assert wire_size(reply) > wire_size(bare) + 8000
+
+    def test_read_call_is_header_sized(self):
+        call = make_call(proc=NfsProc.READ, count=8192)
+        assert wire_size(call) < 1000
+
+
+class TestNetworkPath:
+    def test_reply_time_after_call_time(self):
+        server = NfsServer(SimFileSystem())
+        path = NetworkPath(server, random.Random(1))
+        reply = path(make_call(t=10.0, fh=server.fs.root))
+        assert reply.time > 10.0
+        assert reply.time - 10.0 < 0.01
+
+    def test_taps_see_calls_and_replies(self):
+        server = NfsServer(SimFileSystem())
+        collector = TraceCollector()
+        path = NetworkPath(server, random.Random(1), taps=[collector])
+        path(make_call(fh=server.fs.root))
+        assert collector.calls_seen == 1
+        assert collector.replies_seen == 1
+
+
+class TestMirrorPort:
+    def test_unlimited_mirror_never_drops(self):
+        """The EECS configuration: monitor as fast as the server port."""
+        collector = TraceCollector()
+        mirror = MirrorPort(bandwidth=None, taps=[collector])
+        for i in range(1000):
+            mirror.on_call(make_call(t=i * 1e-6, xid=i))
+        assert mirror.packets_dropped == 0
+        assert collector.calls_seen == 1000
+
+    def test_overloaded_mirror_drops(self):
+        """The CAMPUS configuration: bursts exceed the mirror port."""
+        collector = TraceCollector()
+        mirror = MirrorPort(
+            bandwidth=1_000_000, buffer_bytes=4096, taps=[collector]
+        )
+        # a burst of large write packets at effectively the same instant
+        for i in range(200):
+            mirror.on_call(
+                make_call(t=1e-9 * i, xid=i, proc=NfsProc.WRITE, count=8192)
+            )
+        assert mirror.packets_dropped > 0
+        assert collector.calls_seen < 200
+
+    def test_loss_is_bursty_not_uniform(self):
+        """Spaced-out traffic must survive; only bursts lose packets."""
+        mirror = MirrorPort(bandwidth=1_000_000, buffer_bytes=4096)
+        for i in range(100):
+            mirror.on_call(make_call(t=float(i), xid=i, proc=NfsProc.WRITE, count=800))
+        assert mirror.packets_dropped == 0
+
+    def test_drop_rate_property(self):
+        mirror = MirrorPort(bandwidth=None)
+        assert mirror.drop_rate == 0.0
+        mirror.on_call(make_call())
+        assert mirror.drop_rate == 0.0
+
+    def test_call_and_reply_drop_counters(self):
+        mirror = MirrorPort(bandwidth=100, buffer_bytes=200)
+        mirror.on_call(make_call(t=0.0, proc=NfsProc.WRITE, count=8192))
+        reply = NfsReply(
+            time=0.0, xid=2, client="c", server="s", proc=NfsProc.READ, count=8192
+        )
+        mirror.on_reply(reply)
+        assert mirror.calls_dropped + mirror.replies_dropped == mirror.packets_dropped
+        assert mirror.packets_dropped >= 1

@@ -1,0 +1,169 @@
+"""Tests for the NFS protocol model (procedures, handles, attributes, rpc)."""
+
+import pytest
+
+from repro.nfs import (
+    FileAttributes,
+    FileHandle,
+    FileType,
+    HandleAllocator,
+    NfsCall,
+    NfsProc,
+    NfsReply,
+    NfsStatus,
+    NfsVersion,
+    RpcChannel,
+    Transport,
+    is_data_proc,
+    is_metadata_proc,
+)
+from repro.nfs.procedures import (
+    ATTRIBUTE_CHECK_PROCS,
+    DATA_PROCS,
+    METADATA_PROCS,
+    NAMESPACE_PROCS,
+    valid_for_version,
+)
+
+
+class TestProcedureClassification:
+    def test_read_write_are_data(self):
+        assert is_data_proc(NfsProc.READ)
+        assert is_data_proc(NfsProc.WRITE)
+
+    def test_attribute_calls_are_metadata(self):
+        for proc in (NfsProc.GETATTR, NfsProc.LOOKUP, NfsProc.ACCESS):
+            assert is_metadata_proc(proc)
+
+    def test_data_and_metadata_disjoint(self):
+        assert not (DATA_PROCS & METADATA_PROCS)
+
+    def test_namespace_disjoint_from_data(self):
+        assert not (NAMESPACE_PROCS & DATA_PROCS)
+
+    def test_attribute_checks_subset_of_metadata(self):
+        assert ATTRIBUTE_CHECK_PROCS <= METADATA_PROCS
+
+    def test_every_proc_has_wire_name(self):
+        for proc in NfsProc:
+            assert str(proc) == proc.value
+
+    def test_v2_excludes_v3_only_procs(self):
+        assert not valid_for_version(NfsProc.ACCESS, NfsVersion.V2)
+        assert not valid_for_version(NfsProc.READDIRPLUS, NfsVersion.V2)
+        assert valid_for_version(NfsProc.READ, NfsVersion.V2)
+
+    def test_v3_includes_everything(self):
+        assert all(valid_for_version(p, NfsVersion.V3) for p in NfsProc)
+
+
+class TestFileHandle:
+    def test_token_roundtrip(self):
+        fh = FileHandle(fsid=3, fileid=12345, generation=7)
+        assert FileHandle.from_token(fh.token()) == fh
+
+    def test_token_is_20_hex_chars(self):
+        token = FileHandle(1, 2, 3).token()
+        assert len(token) == 20
+        int(token, 16)  # parses as hex
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError):
+            FileHandle.from_token("deadbeef")
+
+    def test_handles_are_hashable_identifiers(self):
+        a = FileHandle(1, 2, 0)
+        b = FileHandle(1, 2, 0)
+        c = FileHandle(1, 2, 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestHandleAllocator:
+    def test_root_is_fileid_one(self):
+        alloc = HandleAllocator(fsid=9)
+        assert alloc.root() == FileHandle(9, 1, 0)
+
+    def test_allocation_gives_unique_fileids(self):
+        alloc = HandleAllocator(1)
+        handles = [alloc.allocate() for _ in range(100)]
+        assert len({h.fileid for h in handles}) == 100
+
+    def test_reuse_bumps_generation(self):
+        alloc = HandleAllocator(1)
+        first = alloc.allocate()
+        recycled = alloc.reuse(first.fileid)
+        assert recycled.fileid == first.fileid
+        assert recycled.generation == first.generation + 1
+        assert recycled != first
+
+
+class TestFileAttributes:
+    def _attrs(self, **kw):
+        base = dict(
+            ftype=FileType.REGULAR, mode=0o644, uid=10, gid=20,
+            size=100, fileid=5, atime=1.0, mtime=2.0, ctime=3.0,
+        )
+        base.update(kw)
+        return FileAttributes(**base)
+
+    def test_touched_updates_only_given_fields(self):
+        attrs = self._attrs()
+        newer = attrs.touched(size=200, mtime=9.0)
+        assert newer.size == 200 and newer.mtime == 9.0
+        assert newer.atime == attrs.atime and newer.uid == attrs.uid
+
+    def test_original_unchanged(self):
+        attrs = self._attrs()
+        attrs.touched(size=999)
+        assert attrs.size == 100
+
+    def test_type_predicates(self):
+        assert self._attrs().is_regular()
+        assert self._attrs(ftype=FileType.DIRECTORY).is_dir()
+        assert not self._attrs(ftype=FileType.SYMLINK).is_regular()
+
+
+class TestRpcChannel:
+    def _call(self, xid):
+        return NfsCall(
+            time=0.0, xid=xid, client="c1", server="s1", proc=NfsProc.GETATTR
+        )
+
+    def test_xids_strictly_increase(self):
+        chan = RpcChannel("c1", "s1", Transport.UDP)
+        xids = [chan.next_xid() for _ in range(10)]
+        assert xids == sorted(xids) and len(set(xids)) == 10
+
+    def test_match_pairs_reply_with_call(self):
+        chan = RpcChannel("c1", "s1", Transport.TCP)
+        call = self._call(chan.next_xid())
+        chan.register(call)
+        reply = NfsReply(
+            time=1.0, xid=call.xid, client="c1", server="s1", proc=NfsProc.GETATTR
+        )
+        assert chan.match(reply) is call
+        assert chan.outstanding == 0
+
+    def test_unmatched_reply_returns_none(self):
+        chan = RpcChannel("c1", "s1", Transport.UDP)
+        reply = NfsReply(
+            time=1.0, xid=999, client="c1", server="s1", proc=NfsProc.READ
+        )
+        assert chan.match(reply) is None
+
+    def test_status_wire_roundtrip(self):
+        for status in NfsStatus:
+            assert NfsStatus.from_wire(str(status)) is status
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            NfsStatus.from_wire("NFS3ERR_BOGUS")
+
+    def test_reply_ok_predicate(self):
+        ok = NfsReply(time=0, xid=1, client="c", server="s", proc=NfsProc.READ)
+        bad = NfsReply(
+            time=0, xid=1, client="c", server="s", proc=NfsProc.READ,
+            status=NfsStatus.NOENT,
+        )
+        assert ok.ok() and not bad.ok()

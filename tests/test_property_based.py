@@ -1,0 +1,298 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reorder import reorder_window_sort
+from repro.analysis.runs import RunBuilder
+from repro.analysis.sequentiality import sequentiality_metric
+from repro.anonymize import Anonymizer
+from repro.client.nfsiod import count_reordered, count_swapped
+from repro.fs.blockmap import BLOCK_SIZE, block_count, block_range
+from repro.simcore.rng import RngRegistry, derive_seed
+from tests.helpers import read
+
+
+# -- block arithmetic -----------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_block_count_inverts_size(size):
+    """block_count is the minimal cover: (n-1) blocks never suffice."""
+    n = block_count(size)
+    assert n * BLOCK_SIZE >= size
+    if n > 0:
+        assert (n - 1) * BLOCK_SIZE < size
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=0, max_value=2**24),
+)
+def test_block_range_covers_access(offset, count):
+    blocks = list(block_range(offset, count))
+    if count == 0:
+        assert blocks == []
+    else:
+        assert blocks[0] * BLOCK_SIZE <= offset
+        assert (blocks[-1] + 1) * BLOCK_SIZE >= offset + count
+        assert blocks == list(range(blocks[0], blocks[-1] + 1))
+
+
+# -- sequentiality metric ---------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=200))
+def test_metric_bounded(blocks):
+    metric = sequentiality_metric(blocks)
+    assert 0.0 <= metric <= 1.0
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=300))
+def test_consecutive_runs_have_metric_one(start, length):
+    blocks = list(range(start, start + length))
+    assert sequentiality_metric(blocks, k=1) == 1.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=100),
+    st.integers(min_value=1, max_value=20),
+)
+def test_metric_monotone_in_k(blocks, k):
+    """A looser k never lowers the metric."""
+    assert sequentiality_metric(blocks, k=k + 1) >= sequentiality_metric(blocks, k=k)
+
+
+# -- reorder counters ----------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=200))
+def test_reordered_bounds(times):
+    reordered = count_reordered(times)
+    swapped = count_swapped(times)
+    assert 0 <= reordered <= max(0, len(times) - 1)
+    assert reordered <= swapped <= len(times)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=100))
+def test_sorted_stream_never_reordered(times):
+    assert count_reordered(sorted(times)) == 0
+
+
+# -- reorder window sort ------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10.0, allow_nan=False),
+            st.integers(min_value=0, max_value=100),
+        ),
+        max_size=60,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_window_sort_is_permutation(items, window):
+    ops = [
+        read(t, 0, 100, xid=xid) for t, xid in sorted(items, key=lambda i: i[0])
+    ]
+    out = reorder_window_sort(ops, window)
+    assert sorted(id(o) for o in out) == sorted(id(o) for o in ops)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_infinite_window_fully_sorts(seed):
+    rng = random.Random(seed)
+    ops = []
+    t = 0.0
+    for xid in rng.sample(range(50), 50):
+        ops.append(read(t, 0, 100, xid=xid))
+        t += rng.random() * 0.01
+    out = reorder_window_sort(ops, 1e9)
+    xids = [o.xid for o in out]
+    assert xids == sorted(xids)
+
+
+# -- run builder ---------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),  # block offset
+            st.integers(min_value=1, max_value=8),  # block count
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_runs_partition_accesses(accesses):
+    """Every fed access lands in exactly one run."""
+    builder = RunBuilder()
+    t = 0.0
+    for offset_blocks, count_blocks in accesses:
+        builder.feed(
+            read(
+                t,
+                offset_blocks * BLOCK_SIZE,
+                count_blocks * BLOCK_SIZE,
+                file_size=10**9,
+            )
+        )
+        t += 1.0
+    runs = builder.finish()
+    total = sum(len(run.accesses) for run in runs)
+    assert total == len(accesses)
+    for run in runs:
+        times = [a.time for a in run.accesses]
+        assert times == sorted(times)
+
+
+# -- trace codec ----------------------------------------------------------------------
+
+_wirename = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="._-~#,"
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+@given(
+    t=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    xid=st.integers(min_value=0, max_value=2**31),
+    name=st.one_of(st.none(), _wirename),
+    offset=st.one_of(st.none(), st.integers(0, 2**40)),
+    count=st.one_of(st.none(), st.integers(0, 2**24)),
+    uid=st.one_of(st.none(), st.integers(0, 2**31)),
+)
+@settings(max_examples=300)
+def test_trace_line_roundtrip(t, xid, name, offset, count, uid):
+    """Any well-formed record survives serialize -> parse exactly
+    (timestamps at the format's microsecond resolution)."""
+    from repro.nfs.procedures import NfsProc
+    from repro.trace.record import TraceRecord, record_from_line, record_to_line
+
+    record = TraceRecord(
+        time=round(t, 6), direction="C", xid=xid,
+        client="10.0.0.1", server="10.0.0.9", proc=NfsProc.READ,
+        name=name, offset=offset, count=count, uid=uid,
+    )
+    parsed = record_from_line(record_to_line(record))
+    assert parsed.xid == record.xid
+    assert parsed.name == record.name
+    assert parsed.offset == record.offset
+    assert parsed.count == record.count
+    assert parsed.uid == record.uid
+    assert abs(parsed.time - record.time) < 1e-6
+
+
+# -- block lifetime conservation --------------------------------------------------------
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("write"), st.integers(0, 20), st.integers(1, 6)),
+            st.tuples(st.just("trunc"), st.integers(0, 20), st.just(0)),
+            st.tuples(st.just("remove"), st.just(0), st.just(0)),
+        ),
+        max_size=40,
+    )
+)
+def test_lifetime_conservation(events):
+    """Every phase-1 birth is accounted for exactly once: as a counted
+    death or in the end surplus."""
+    from repro.analysis.lifetimes import BlockLifetimeAnalyzer
+    from tests.helpers import create, setattr_size, write as w, remove as rm
+
+    analyzer = BlockLifetimeAnalyzer(0.0, 1000.0, 2000.0)
+    analyzer.observe(create(1.0, "d", "f", "f1"))
+    t = 2.0
+    size = 0
+    alive = True
+    for kind, a, b in events:
+        t += 5.0
+        if t >= 1000.0:
+            break
+        if not alive:
+            analyzer.observe(create(t, "d", "f", "f1"))
+            alive = True
+            size = 0
+            continue
+        if kind == "write":
+            offset, count = a * BLOCK_SIZE, b * BLOCK_SIZE
+            analyzer.observe(
+                w(t, offset, count, fh="f1", post_size=max(size, offset + count))
+            )
+            size = max(size, offset + count)
+        elif kind == "trunc":
+            new_size = a * BLOCK_SIZE
+            analyzer.observe(setattr_size(t, "f1", new_size))
+            size = new_size
+        else:
+            analyzer.observe(rm(t, "d", "f"))
+            alive = False
+    report = analyzer.report()
+    assert report.total_deaths + report.end_surplus == report.total_births
+
+
+# -- rng registry ----------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**63), st.text(max_size=30))
+def test_derive_seed_stable_and_bounded(seed, name):
+    a = derive_seed(seed, name)
+    assert a == derive_seed(seed, name)
+    assert 0 <= a < 2**64
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+def test_registry_streams_reproducible(seed, name):
+    a = RngRegistry(seed).stream(name).random()
+    b = RngRegistry(seed).stream(name).random()
+    assert a == b
+
+
+# -- anonymizer ---------------------------------------------------------------------
+
+_name_strategy = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="._-"
+    ),
+    min_size=1,
+    max_size=24,
+).filter(lambda s: s not in (".", "..") and not s.startswith("#"))
+
+
+@given(_name_strategy)
+@settings(max_examples=200)
+def test_anonymize_name_consistent(name):
+    anon = Anonymizer(key=7)
+    assert anon.anonymize_name(name) == anon.anonymize_name(name)
+
+
+@given(_name_strategy, _name_strategy)
+def test_anonymize_name_injective(a, b):
+    """Distinct names with distinct shapes never collide."""
+    anon = Anonymizer(key=7)
+    out_a, out_b = anon.anonymize_name(a), anon.anonymize_name(b)
+    if a != b:
+        # identical outputs only permitted when both names are
+        # preserved forms mapping to themselves
+        if out_a == out_b:
+            assert out_a in (a, b)
+
+
+@given(_name_strategy)
+@settings(max_examples=200)
+def test_backup_affix_relationship_always_holds(name):
+    anon = Anonymizer(key=3)
+    assert anon.anonymize_name(name + "~") == anon.anonymize_name(name) + "~"
+
+
+@given(st.lists(_name_strategy, min_size=1, max_size=6))
+def test_path_prefix_preservation(parts):
+    anon = Anonymizer(key=9)
+    path = "/" + "/".join(parts)
+    out = anon.anonymize_path(path)
+    assert out.startswith("/")
+    assert len(out.split("/")) == len(path.split("/"))
+    # anonymizing again yields the identical path (consistency)
+    assert anon.anonymize_path(path) == out

@@ -1,0 +1,68 @@
+"""Tests for the table/figure text renderers."""
+
+import math
+
+from repro.report import ascii_plot, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        out = format_table(
+            ["Metric", "CAMPUS", "EECS"],
+            [["Total ops", 26.7, 4.44], ["R/W ratio", 2.68, 0.56]],
+            title="Table 2",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Metric" in lines[2]
+        assert "26.7" in out and "0.56" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["A", "B"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        data_lines = lines[2:]
+        positions = [line.index("1") if "1" in line else None for line in data_lines]
+        # the B column starts at the same offset in every row
+        b_starts = [line.rstrip()[len("longer"):].strip() for line in data_lines]
+        assert all(b_starts)
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["A"], [[math.nan]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_numbers_get_commas(self):
+        out = format_table(["A"], [[1234567.0]])
+        assert "1,234,567" in out
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        out = format_series(
+            "window_ms",
+            [0, 5, 10],
+            {"CAMPUS": [0.0, 0.1, 0.12], "EECS": [0.0, 0.08, 0.09]},
+            title="Figure 1",
+        )
+        assert "Figure 1" in out
+        assert "CAMPUS" in out and "EECS" in out
+        assert "0.120" in out
+
+    def test_nan_values(self):
+        out = format_series("x", [1], {"y": [math.nan]})
+        assert "-" in out.splitlines()[-1]
+
+
+class TestAsciiPlot:
+    def test_plot_has_expected_shape(self):
+        out = ascii_plot([0, 1, 2, 3, 4, 5], height=4, label="ops")
+        lines = out.splitlines()
+        assert lines[0].startswith("ops")
+        assert len(lines) == 1 + 4 + 1  # header + rows + axis
+        assert "#" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot([math.nan], label="x")
+
+    def test_flat_series(self):
+        out = ascii_plot([5.0, 5.0, 5.0])
+        assert "#" in out

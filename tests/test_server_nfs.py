@@ -1,0 +1,119 @@
+"""Tests for NFS server request processing."""
+
+import pytest
+
+from repro.fs import SimFileSystem
+from repro.nfs import NfsCall, NfsProc, NfsStatus
+from repro.server import NfsServer
+
+
+@pytest.fixture
+def server():
+    return NfsServer(SimFileSystem(fsid=1))
+
+
+def call(server, proc, t=1.0, xid=1, **kw):
+    return server.process(
+        NfsCall(
+            time=t, xid=xid, client="10.0.0.1", server="10.0.0.100",
+            proc=proc, **kw,
+        )
+    )
+
+
+class TestServerHappyPath:
+    def test_create_then_lookup(self, server):
+        root = server.fs.root
+        created = call(server, NfsProc.CREATE, fh=root, name="inbox")
+        assert created.ok()
+        assert created.fh is not None
+        looked = call(server, NfsProc.LOOKUP, fh=root, name="inbox", xid=2)
+        assert looked.ok()
+        assert looked.fh == created.fh
+
+    def test_write_then_getattr_reflects_size(self, server):
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f").fh
+        wrote = call(server, NfsProc.WRITE, fh=fh, offset=0, count=5000, xid=2)
+        assert wrote.ok() and wrote.count == 5000
+        attrs = call(server, NfsProc.GETATTR, fh=fh, xid=3).attributes
+        assert attrs.size == 5000
+
+    def test_read_reports_eof(self, server):
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f").fh
+        call(server, NfsProc.WRITE, fh=fh, offset=0, count=100, xid=2)
+        got = call(server, NfsProc.READ, fh=fh, offset=0, count=8192, xid=3)
+        assert got.ok() and got.count == 100 and got.eof
+
+    def test_setattr_truncates(self, server):
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f").fh
+        call(server, NfsProc.WRITE, fh=fh, offset=0, count=9999, xid=2)
+        reply = call(server, NfsProc.SETATTR, fh=fh, size=0, xid=3)
+        assert reply.ok() and reply.attributes.size == 0
+
+    def test_mkdir_and_readdir(self, server):
+        root = server.fs.root
+        call(server, NfsProc.MKDIR, fh=root, name="home")
+        call(server, NfsProc.CREATE, fh=root, name="f", xid=2)
+        listing = call(server, NfsProc.READDIRPLUS, fh=root, xid=3)
+        assert listing.data_names == ("home", "f")
+
+    def test_remove(self, server):
+        root = server.fs.root
+        call(server, NfsProc.CREATE, fh=root, name="tmp")
+        reply = call(server, NfsProc.REMOVE, fh=root, name="tmp", xid=2)
+        assert reply.ok()
+        missing = call(server, NfsProc.LOOKUP, fh=root, name="tmp", xid=3)
+        assert missing.status is NfsStatus.NOENT
+
+    def test_rename(self, server):
+        root = server.fs.root
+        call(server, NfsProc.CREATE, fh=root, name="old")
+        reply = call(
+            server, NfsProc.RENAME, fh=root, name="old",
+            target_fh=root, target_name="new", xid=2,
+        )
+        assert reply.ok()
+        assert call(server, NfsProc.LOOKUP, fh=root, name="new", xid=3).ok()
+
+    def test_access_and_commit_return_attrs(self, server):
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f").fh
+        assert call(server, NfsProc.ACCESS, fh=fh, xid=2).attributes is not None
+        assert call(server, NfsProc.COMMIT, fh=fh, xid=3).attributes is not None
+
+    def test_null_is_trivially_ok(self, server):
+        assert call(server, NfsProc.NULL, fh=None).ok()
+
+
+class TestServerErrors:
+    def test_lookup_missing_is_noent_not_exception(self, server):
+        reply = call(server, NfsProc.LOOKUP, fh=server.fs.root, name="ghost")
+        assert reply.status is NfsStatus.NOENT
+
+    def test_stale_handle_after_remove(self, server):
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f").fh
+        call(server, NfsProc.REMOVE, fh=root, name="f", xid=2)
+        reply = call(server, NfsProc.GETATTR, fh=fh, xid=3)
+        assert reply.status is NfsStatus.STALE
+
+    def test_quota_maps_to_dquot(self):
+        server = NfsServer(SimFileSystem(quota_bytes=100))
+        root = server.fs.root
+        fh = call(server, NfsProc.CREATE, fh=root, name="f", uid=5).fh
+        reply = call(server, NfsProc.WRITE, fh=fh, offset=0, count=200, xid=2, uid=5)
+        assert reply.status is NfsStatus.DQUOT
+
+    def test_reply_echoes_call_identity(self, server):
+        reply = call(server, NfsProc.GETATTR, fh=server.fs.root, xid=77)
+        assert reply.xid == 77
+        assert reply.client == "10.0.0.1"
+        assert reply.proc is NfsProc.GETATTR
+
+    def test_calls_processed_counter(self, server):
+        for xid in range(5):
+            call(server, NfsProc.GETATTR, fh=server.fs.root, xid=xid)
+        assert server.calls_processed == 5

@@ -1,0 +1,127 @@
+"""Tests for trace replay through the read-ahead models."""
+
+import pytest
+
+from repro.fs.blockmap import BLOCK_SIZE
+from repro.server import SequentialityMetricHeuristic, StrictSequentialHeuristic
+from repro.server.replay import (
+    compare_heuristics,
+    extract_read_streams,
+    replay,
+)
+from tests.helpers import read
+
+K = BLOCK_SIZE
+
+
+def sequential_reads(fh, n, t0=0.0, swap_pairs=()):
+    """n sequential block reads on fh, with given index pairs swapped."""
+    order = list(range(n))
+    for a, b in swap_pairs:
+        order[a], order[b] = order[b], order[a]
+    return [
+        read(t0 + i * 0.001, blk * K, K, fh=fh, file_size=n * K)
+        for i, blk in enumerate(order)
+    ]
+
+
+class TestExtractStreams:
+    def test_blocks_in_wire_order(self):
+        ops = sequential_reads("f1", 20, swap_pairs=((3, 4),))
+        streams = extract_read_streams(ops, min_blocks=1)
+        assert len(streams) == 1
+        assert streams[0].blocks[3] == 4 and streams[0].blocks[4] == 3
+
+    def test_small_files_dropped(self):
+        ops = sequential_reads("tiny", 4)
+        assert extract_read_streams(ops, min_blocks=16) == []
+
+    def test_multiple_files(self):
+        ops = sequential_reads("a", 20) + sequential_reads("b", 30, t0=100.0)
+        streams = extract_read_streams(ops, min_blocks=16)
+        assert {s.fh for s in streams} == {"a", "b"}
+
+    def test_file_blocks_from_post_size(self):
+        ops = sequential_reads("f1", 20)
+        streams = extract_read_streams(ops, min_blocks=1)
+        assert streams[0].file_blocks == 20
+
+    def test_failed_and_write_ops_ignored(self):
+        from repro.nfs.messages import NfsStatus
+        from tests.helpers import write
+
+        bad = read(0.0, 0, K, fh="f1", file_size=K)
+        bad.status = NfsStatus.IO
+        ops = [bad, write(1.0, 0, K, fh="f1")]
+        assert extract_read_streams(ops, min_blocks=1) == []
+
+
+class TestReplay:
+    def test_replay_totals(self):
+        ops = sequential_reads("f1", 64)
+        streams = extract_read_streams(ops)
+        result = replay(streams, StrictSequentialHeuristic)
+        assert result.files == 1
+        assert result.demand_blocks == 64
+        assert result.disk_time > 0
+
+    def test_metric_wins_on_reordered_trace(self):
+        """The Section 6.4 conclusion, on trace-shaped input."""
+        swaps = tuple((i, i + 1) for i in range(5, 250, 25))
+        ops = sequential_reads("f1", 256, swap_pairs=swaps)
+        streams = extract_read_streams(ops)
+        results = compare_heuristics(
+            streams,
+            {
+                "strict": StrictSequentialHeuristic,
+                "metric": SequentialityMetricHeuristic,
+            },
+        )
+        assert results["metric"].disk_time < results["strict"].disk_time
+
+    def test_heuristics_tie_on_clean_trace(self):
+        ops = sequential_reads("f1", 256)
+        streams = extract_read_streams(ops)
+        results = compare_heuristics(
+            streams,
+            {
+                "strict": StrictSequentialHeuristic,
+                "metric": SequentialityMetricHeuristic,
+            },
+        )
+        assert results["metric"].disk_time == pytest.approx(
+            results["strict"].disk_time, rel=0.05
+        )
+
+    def test_empty_streams(self):
+        result = replay([], StrictSequentialHeuristic)
+        assert result.files == 0
+        assert result.mean_service_ms_per_block == 0.0
+
+    def test_replay_on_simulated_campus_trace(self):
+        """End to end: simulate, extract streams, compare heuristics."""
+        from repro.analysis.pairing import pair_all
+        from repro.workloads import (
+            CampusEmailWorkload,
+            CampusParams,
+            TracedSystem,
+        )
+
+        system = TracedSystem(seed=91, quota_bytes=50 * 1024 * 1024)
+        CampusEmailWorkload(CampusParams(users=4)).attach(system)
+        system.run(86400.0)
+        ops, _ = pair_all(system.records())
+        streams = extract_read_streams(ops, min_blocks=32)
+        assert streams  # mailbox scans qualify
+        results = compare_heuristics(
+            streams,
+            {
+                "strict": StrictSequentialHeuristic,
+                "metric": SequentialityMetricHeuristic,
+            },
+        )
+        # the metric heuristic is never worse on email-scan traffic
+        assert (
+            results["metric"].disk_time
+            <= results["strict"].disk_time * 1.02
+        )

@@ -1,0 +1,86 @@
+"""Tests for repro.simcore.clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.simcore import clock
+from repro.simcore.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance_to(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(5.0)
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_backwards_rejected(self):
+        c = SimClock(10.0)
+        with pytest.raises(ClockError):
+            c.advance_to(9.0)
+
+    def test_advance_by(self):
+        c = SimClock(1.0)
+        c.advance_by(2.5)
+        assert c.now == 3.5
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance_by(-0.1)
+
+
+class TestCalendar:
+    def test_epoch_is_sunday(self):
+        assert clock.day_name(0.0) == "Sun"
+
+    def test_day_progression(self):
+        names = [clock.day_name(d * clock.SECONDS_PER_DAY) for d in range(7)]
+        assert names == ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"]
+
+    def test_week_wraps(self):
+        assert clock.day_name(7 * clock.SECONDS_PER_DAY) == "Sun"
+
+    def test_hour_of_day(self):
+        assert clock.hour_of_day(0.0) == 0
+        assert clock.hour_of_day(9 * 3600.0) == 9
+        assert clock.hour_of_day(23 * 3600.0 + 3599) == 23
+
+    def test_hour_of_week(self):
+        monday_9am = clock.SECONDS_PER_DAY + 9 * 3600.0
+        assert clock.hour_of_week(monday_9am) == 33
+
+    def test_weekday_detection(self):
+        assert not clock.is_weekday(0.0)  # Sunday
+        assert clock.is_weekday(clock.SECONDS_PER_DAY)  # Monday
+        assert clock.is_weekday(5 * clock.SECONDS_PER_DAY)  # Friday
+        assert not clock.is_weekday(6 * clock.SECONDS_PER_DAY)  # Saturday
+
+    def test_peak_hours_match_paper_window(self):
+        monday = clock.SECONDS_PER_DAY
+        assert clock.is_peak_hour(monday + 9 * 3600.0)
+        assert clock.is_peak_hour(monday + 17 * 3600.0 + 1800)
+        assert not clock.is_peak_hour(monday + 18 * 3600.0)
+        assert not clock.is_peak_hour(monday + 8 * 3600.0 + 3599)
+
+    def test_peak_hours_exclude_weekends(self):
+        sunday_noon = 12 * 3600.0
+        assert not clock.is_peak_hour(sunday_noon)
+
+    def test_custom_peak_window(self):
+        monday = clock.SECONDS_PER_DAY
+        assert clock.is_peak_hour(monday + 8 * 3600.0, start_hour=8, end_hour=10)
+        assert not clock.is_peak_hour(monday + 10 * 3600.0, start_hour=8, end_hour=10)

@@ -1,0 +1,91 @@
+"""Tests for repro.simcore.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import EventLoop, SimClock
+
+
+class TestEventLoop:
+    def test_runs_events_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_tracks_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(4.5, lambda: seen.append(loop.clock.now))
+        loop.run()
+        assert seen == [4.5]
+
+    def test_cannot_schedule_into_past(self):
+        loop = EventLoop(SimClock(10.0))
+        with pytest.raises(SimulationError):
+            loop.schedule(5.0, lambda: None)
+
+    def test_schedule_in_is_relative(self):
+        loop = EventLoop(SimClock(10.0))
+        seen = []
+        loop.schedule_in(2.0, lambda: seen.append(loop.clock.now))
+        loop.run()
+        assert seen == [12.0]
+
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule(1.0, lambda: ran.append(1))
+        event.cancel()
+        loop.run()
+        assert ran == []
+        assert loop.events_run == 0
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        ran = []
+        loop.schedule(1.0, lambda: ran.append(1))
+        loop.schedule(5.0, lambda: ran.append(5))
+        loop.run_until(3.0)
+        assert ran == [1]
+        assert loop.clock.now == 3.0
+        assert loop.pending == 1
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        loop = EventLoop()
+        loop.run_until(100.0)
+        assert loop.clock.now == 100.0
+
+    def test_events_can_schedule_more_events(self):
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule_in(1.0, lambda: order.append("chained"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert order == ["first", "chained"]
+        assert loop.clock.now == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.events_run == 5

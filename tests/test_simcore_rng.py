@@ -1,0 +1,62 @@
+"""Tests for repro.simcore.rng."""
+
+from repro.simcore.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_name_changes_seed(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+    def test_root_changes_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(2**40, "stream") < 2**64
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_are_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("arrivals")
+        b = RngRegistry(7).stream("arrivals")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_are_independent(self):
+        """Creating and consuming one stream must not perturb another."""
+        solo = RngRegistry(7)
+        solo_draws = [solo.stream("main").random() for _ in range(5)]
+
+        busy = RngRegistry(7)
+        busy.stream("other").random()  # interleaved consumer
+        busy_draws = []
+        for _ in range(5):
+            busy_draws.append(busy.stream("main").random())
+            busy.stream("other").random()
+        assert solo_draws == busy_draws
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("s")
+        b = RngRegistry(2).stream("s")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic_and_distinct(self):
+        parent = RngRegistry(9)
+        child1 = parent.fork("host1")
+        child2 = RngRegistry(9).fork("host1")
+        assert child1.stream("s").random() == child2.stream("s").random()
+        assert parent.fork("host1").seed != parent.fork("host2").seed
+
+    def test_negative_seed_normalized(self):
+        assert RngRegistry(-5).seed == 5
+
+    def test_names_tracks_creation_order(self):
+        rngs = RngRegistry(0)
+        rngs.stream("b")
+        rngs.stream("a")
+        assert rngs.names() == ["b", "a"]

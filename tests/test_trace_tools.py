@@ -1,0 +1,104 @@
+"""Tests for trace filter/slice/merge utilities."""
+
+import pytest
+
+from repro.nfs import FileHandle, NfsCall, NfsProc
+from repro.trace import write_trace
+from repro.trace.record import TraceRecord
+from repro.trace.reader import read_trace
+from repro.trace.tools import (
+    filter_records,
+    merge_traces,
+    slice_trace,
+    trace_span,
+)
+
+
+def rec(t, client="c1", xid=1):
+    return TraceRecord.from_call(
+        NfsCall(
+            time=t, xid=xid, client=client, server="s",
+            proc=NfsProc.GETATTR, fh=FileHandle(1, 2, 0),
+        )
+    )
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.trace"
+    records = [rec(float(i), client=f"c{i % 2}", xid=i) for i in range(10)]
+    write_trace(path, records)
+    return path
+
+
+class TestFilter:
+    def test_time_window(self):
+        records = [rec(float(i)) for i in range(10)]
+        out = list(filter_records(records, start=3.0, end=7.0))
+        assert [r.time for r in out] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_client_filter(self):
+        records = [rec(1.0, client="a"), rec(2.0, client="b")]
+        out = list(filter_records(records, clients={"b"}))
+        assert len(out) == 1 and out[0].client == "b"
+
+    def test_predicate(self):
+        records = [rec(1.0, xid=1), rec(2.0, xid=2)]
+        out = list(filter_records(records, predicate=lambda r: r.xid == 2))
+        assert len(out) == 1
+
+    def test_no_filters_passes_all(self):
+        records = [rec(float(i)) for i in range(5)]
+        assert len(list(filter_records(records))) == 5
+
+
+class TestSlice:
+    def test_slice_by_time(self, trace_file, tmp_path):
+        out = tmp_path / "slice.trace"
+        n = slice_trace(trace_file, out, start=2.0, end=5.0)
+        assert n == 3
+        assert [r.time for r in read_trace(out)] == [2.0, 3.0, 4.0]
+
+    def test_slice_by_client(self, trace_file, tmp_path):
+        out = tmp_path / "c0.trace"
+        n = slice_trace(trace_file, out, clients={"c0"})
+        assert n == 5
+        assert all(r.client == "c0" for r in read_trace(out))
+
+
+class TestMerge:
+    def test_merge_interleaves_by_time(self, tmp_path):
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b.trace"
+        write_trace(a, [rec(0.0, xid=1), rec(2.0, xid=2)])
+        write_trace(b, [rec(1.0, client="c2", xid=1), rec(3.0, client="c2", xid=2)])
+        out = tmp_path / "merged.trace"
+        n = merge_traces([a, b], out)
+        assert n == 4
+        times = [r.time for r in read_trace(out)]
+        assert times == sorted(times)
+
+    def test_merge_single(self, trace_file, tmp_path):
+        out = tmp_path / "one.trace"
+        assert merge_traces([trace_file], out) == 10
+
+    def test_merged_split_equals_original(self, trace_file, tmp_path):
+        """slice per client then merge: identical record set."""
+        c0 = tmp_path / "c0.trace"
+        c1 = tmp_path / "c1.trace"
+        slice_trace(trace_file, c0, clients={"c0"})
+        slice_trace(trace_file, c1, clients={"c1"})
+        merged = tmp_path / "m.trace"
+        merge_traces([c0, c1], merged)
+        assert read_trace(merged) == read_trace(trace_file)
+
+
+class TestSpan:
+    def test_span(self, trace_file):
+        first, last, count = trace_span(trace_file)
+        assert first == 0.0 and last == 9.0 and count == 10
+
+    def test_empty(self, tmp_path):
+        empty = tmp_path / "e.trace"
+        empty.write_text("")
+        assert trace_span(empty) == (0.0, 0.0, 0)

@@ -1,0 +1,137 @@
+"""Tests for workload infrastructure: diurnal model, users, namespaces."""
+
+import random
+
+import pytest
+
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.workloads import namespaces
+from repro.workloads.diurnal import DiurnalModel, flat_model
+from repro.workloads.users import UserPopulation
+
+
+class TestDiurnalModel:
+    def test_peak_is_weekday_business_hours(self):
+        model = DiurnalModel()
+        monday_11am = SECONDS_PER_DAY + 11 * 3600.0
+        monday_4am = SECONDS_PER_DAY + 4 * 3600.0
+        assert model.multiplier(monday_11am) == model.peak
+        assert model.multiplier(monday_4am) < 0.2 * model.peak
+
+    def test_weekend_suppressed(self):
+        model = DiurnalModel()
+        sunday_11am = 11 * 3600.0
+        monday_11am = SECONDS_PER_DAY + 11 * 3600.0
+        assert model.multiplier(sunday_11am) < 0.5 * model.multiplier(monday_11am)
+
+    def test_floor_respected(self):
+        model = DiurnalModel(floor=0.05)
+        assert all(m >= 0.05 for m in model.hourly_profile())
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalModel(weekday_shape=(1.0,) * 10)
+
+    def test_arrivals_concentrate_in_peak(self):
+        model = DiurnalModel()
+        rng = random.Random(1)
+        t = 0.0
+        peak = offpeak = 0
+        for _ in range(2000):
+            t = model.next_arrival(t, 600.0, rng)
+            hour = (t % SECONDS_PER_DAY) / 3600.0
+            day = int(t // SECONDS_PER_DAY) % 7
+            if day in (1, 2, 3, 4, 5) and 9 <= hour < 18:
+                peak += 1
+            else:
+                offpeak += 1
+        # peak window is 45/168 of the week but should get most arrivals
+        assert peak > offpeak
+
+    def test_flat_model_uniform(self):
+        model = flat_model()
+        profile = model.hourly_profile()
+        assert min(profile) == max(profile)
+
+    def test_arrivals_strictly_advance(self):
+        model = DiurnalModel()
+        rng = random.Random(2)
+        t = 0.0
+        for _ in range(100):
+            nxt = model.next_arrival(t, 60.0, rng)
+            assert nxt > t
+            t = nxt
+
+
+class TestUserPopulation:
+    def test_size_and_identity(self):
+        pop = UserPopulation(20, random.Random(1))
+        assert len(pop) == 20
+        uids = {u.uid for u in pop}
+        assert len(uids) == 20
+        homes = {u.home for u in pop}
+        assert len(homes) == 20
+
+    def test_activity_normalized(self):
+        pop = UserPopulation(200, random.Random(1))
+        mean = sum(u.activity for u in pop) / len(pop)
+        assert abs(mean - 1.0) < 1e-9
+
+    def test_activity_skewed(self):
+        pop = UserPopulation(200, random.Random(1))
+        heavy = pop.heavy_users(0.1)
+        heavy_load = sum(u.activity for u in heavy)
+        assert heavy_load > 0.2 * len(pop)  # top 10% carry >20%
+
+    def test_pick_prefers_heavy_users(self):
+        pop = UserPopulation(50, random.Random(1))
+        rng = random.Random(2)
+        picks = [pop.pick(rng) for _ in range(2000)]
+        heaviest = max(pop, key=lambda u: u.activity)
+        lightest = min(pop, key=lambda u: u.activity)
+        n_heavy = sum(1 for p in picks if p is heaviest)
+        n_light = sum(1 for p in picks if p is lightest)
+        assert n_heavy > n_light
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(0, random.Random(1))
+
+
+class TestNamespaces:
+    def test_lock_name(self):
+        assert namespaces.lock_name(".inbox") == ".inbox.lock"
+
+    def test_generated_names_classify_correctly(self):
+        rng = random.Random(5)
+        assert namespaces.classify_name(
+            namespaces.composer_temp_name(rng)
+        ) == namespaces.CATEGORY_COMPOSER
+        assert namespaces.classify_name(
+            namespaces.browser_cache_name(rng)
+        ) == namespaces.CATEGORY_CACHE
+        assert namespaces.classify_name(
+            namespaces.applet_name(rng)
+        ) == namespaces.CATEGORY_APPLET
+        src = namespaces.source_name(rng, 3)
+        assert namespaces.classify_name(src) == namespaces.CATEGORY_SOURCE
+        assert namespaces.classify_name(
+            namespaces.object_name(src)
+        ) == namespaces.CATEGORY_OBJECT
+        assert namespaces.classify_name(
+            namespaces.backup_name(src)
+        ) == namespaces.CATEGORY_BACKUP
+        assert namespaces.classify_name(
+            namespaces.autosave_name(src)
+        ) == namespaces.CATEGORY_BACKUP
+
+    def test_object_name_derivation(self):
+        assert namespaces.object_name("main.c") == "main.o"
+
+    def test_dot_files_have_size_ranges(self):
+        for name, (low, high) in namespaces.DOT_FILES.items():
+            assert name.startswith(".")
+            assert 0 < low < high
+
+    def test_inbox_is_mailbox_category(self):
+        assert namespaces.classify_name(".inbox") == namespaces.CATEGORY_MAILBOX
