@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.perf import bench_timer, flush_all
 from repro.analysis.pairing import PairedOp, PairingStats, pair_all
 from repro.simcore.clock import SECONDS_PER_DAY
 from repro.workloads import (
@@ -34,6 +35,11 @@ ANALYSIS_START = 0.0
 ANALYSIS_END = WEEK
 
 
+#: Extra top-level fields for each bench's BENCH_*.json, filled in as
+#: the session fixtures finish their runs.
+_bench_extra: dict[str, dict] = {}
+
+
 class SimulatedWeek:
     """One system's simulated week plus its paired operation stream."""
 
@@ -43,7 +49,8 @@ class SimulatedWeek:
         self.workload = workload
         self.ops: list[PairedOp]
         self.pairing: PairingStats
-        self.ops, self.pairing = pair_all(system.records())
+        with bench_timer(f"{name.lower()}_week").phase("pair"):
+            self.ops, self.pairing = pair_all(system.records())
 
     def window(self, start: float, end: float) -> list[PairedOp]:
         """Ops with call time in [start, end)."""
@@ -58,23 +65,34 @@ class SimulatedWeek:
         ]
 
 
+def _simulate_week(name: str, system: TracedSystem, workload) -> SimulatedWeek:
+    workload.attach(system)
+    # run 10h past the week so Friday's 24h block-lifetime end margin
+    # (which reaches Sunday 9am) is fully covered
+    with bench_timer(f"{name.lower()}_week").phase("simulate"):
+        system.run(WEEK + 10 * 3600.0)
+    _bench_extra[f"{name.lower()}_week"] = {
+        "events": system.loop.events_run,
+        "sim_seconds": system.clock.now,
+        "sim_wall_ratio": system.metrics.get("loop.sim_wall_ratio").value,
+    }
+    return SimulatedWeek(name, system, workload)
+
+
 @pytest.fixture(scope="session")
 def campus_week() -> SimulatedWeek:
     """A week of the CAMPUS email workload."""
     system = TracedSystem(seed=1001, quota_bytes=50 * 1024 * 1024)
-    workload = CampusEmailWorkload(CampusParams(users=24))
-    workload.attach(system)
-    # run 10h past the week so Friday's 24h block-lifetime end margin
-    # (which reaches Sunday 9am) is fully covered
-    system.run(WEEK + 10 * 3600.0)
-    return SimulatedWeek("CAMPUS", system, workload)
+    return _simulate_week("CAMPUS", system, CampusEmailWorkload(CampusParams(users=24)))
 
 
 @pytest.fixture(scope="session")
 def eecs_week() -> SimulatedWeek:
     """A week of the EECS research workload."""
     system = TracedSystem(seed=2002)
-    workload = EecsResearchWorkload(EecsParams(users=5))
-    workload.attach(system)
-    system.run(WEEK + 10 * 3600.0)
-    return SimulatedWeek("EECS", system, workload)
+    return _simulate_week("EECS", system, EecsResearchWorkload(EecsParams(users=5)))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Seed the BENCH_*.json perf trajectory from this session's timers."""
+    flush_all(**_bench_extra)

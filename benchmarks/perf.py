@@ -1,0 +1,58 @@
+"""Shared per-phase timing for the benchmark harness.
+
+Every bench session that simulates a traced system records how long
+each phase took (simulate, pair, analyze, ...) through one module-wide
+:class:`~repro.obs.timers.PhaseTimer` per system, and writes the
+result to ``BENCH_<name>.json`` next to this file when the session
+ends.  The JSON files are the perf trajectory: committed snapshots can
+be diffed across PRs to catch simulation slowdowns the way RESULTS.txt
+catches accuracy drift.
+
+Schema (one file per simulated system)::
+
+    {
+      "bench": "campus_week",
+      "events": 123456,
+      "sim_seconds": 640800.0,
+      "sim_wall_ratio": 98765.4,
+      "phases": [{"name": "simulate", "seconds": 12.3, "entries": 1}, ...],
+      "total_seconds": 12.5
+    }
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import PhaseTimer
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+_timers: dict[str, PhaseTimer] = {}
+
+
+def bench_timer(name: str) -> PhaseTimer:
+    """The session-wide timer for benchmark ``name`` (created on first use)."""
+    timer = _timers.get(name)
+    if timer is None:
+        timer = _timers[name] = PhaseTimer()
+    return timer
+
+
+def write_bench_json(name: str, **extra) -> Path:
+    """Write ``BENCH_<name>.json`` from the timer for ``name``."""
+    return bench_timer(name).write_json(
+        BENCH_DIR / f"BENCH_{name}.json", bench=name, **extra
+    )
+
+
+def flush_all(**extra_by_name) -> list[Path]:
+    """Write every registered timer's JSON file; returns the paths.
+
+    ``extra_by_name`` maps a bench name to a dict of extra top-level
+    fields for that file (e.g. event counts from the finished system).
+    """
+    return [
+        write_bench_json(name, **extra_by_name.get(name, {}))
+        for name in sorted(_timers)
+    ]

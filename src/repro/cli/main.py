@@ -28,8 +28,9 @@ from repro.analysis.runs import RunBuilder, classify_runs
 from repro.analysis.summary import summarize_trace
 from repro.anonymize import Anonymizer, default_rules
 from repro.anonymize.rules import omit_rules
+from repro.obs import EventLog, PhaseTimer, to_prom_text
 from repro.report import format_table
-from repro.simcore.clock import SECONDS_PER_DAY
+from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.trace import TraceReader, TraceWriter
 from repro.workloads import (
     CampusEmailWorkload,
@@ -56,7 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--mirror-bandwidth", type=float, default=None,
                      help="mirror port bytes/s (default: lossless)")
     sim.add_argument("--out", required=True)
+    sim.add_argument("--metrics-out", default=None,
+                     help="write the end-of-run metrics snapshot here "
+                          "(.prom -> Prometheus text, else JSON)")
+    sim.add_argument("--events-out", default=None,
+                     help="write a JSON-lines event log of the run here")
+    sim.add_argument("--progress", action="store_true",
+                     help="print periodic sim-time/ops progress to stderr")
     sim.set_defaults(func=cmd_simulate)
+
+    stats = sub.add_parser(
+        "stats", help="trace-level statistics (records, op mix, loss)"
+    )
+    stats.add_argument("trace", help="trace file to summarize")
+    stats.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    stats.set_defaults(func=cmd_stats)
 
     anon = sub.add_parser("anonymize", help="anonymize a trace for sharing")
     anon.add_argument("--key", type=int, required=True,
@@ -159,22 +175,144 @@ def cmd_simulate(args) -> int:
             seed=args.seed, mirror_bandwidth=args.mirror_bandwidth
         )
         workload = EecsResearchWorkload(params)
+    # the metrics window matches the trace window below: the warm-up
+    # Sunday is simulated but not counted, so the snapshot agrees with
+    # analyses run over the written trace
+    system.start_measurement(SECONDS_PER_DAY)
+    end = (1.0 + args.days) * SECONDS_PER_DAY
+    event_log = EventLog(args.events_out) if args.events_out else None
+    timer = PhaseTimer()
+    if args.progress:
+        _schedule_progress(system, end, event_log)
     workload.attach(system)
+    if event_log is not None:
+        event_log.emit("simulate.start", system=args.system, seed=args.seed,
+                       days=args.days, users=params.users)
     # the simulated week begins on a quiet Sunday; run through it so
     # the requested window starts Monday 00:00 with caches warm
-    system.run((1.0 + args.days) * SECONDS_PER_DAY)
+    with timer.phase("simulate"):
+        system.run(end)
     count = 0
-    with TraceWriter(args.out) as writer:
-        for record in system.collector.sorted_records():
-            if record.time >= SECONDS_PER_DAY:
-                writer.write(record)
-                count += 1
+    with timer.phase("write_trace"):
+        with TraceWriter(args.out) as writer:
+            for record in system.collector.sorted_records():
+                if record.time >= SECONDS_PER_DAY:
+                    writer.write(record)
+                    count += 1
+    if args.metrics_out:
+        snapshot = system.metrics.snapshot()
+        if args.metrics_out.endswith(".prom"):
+            Path(args.metrics_out).write_text(to_prom_text(system.metrics))
+        else:
+            Path(args.metrics_out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    if event_log is not None:
+        event_log.emit("simulate.done", time=system.clock.now, records=count,
+                       drop_rate=system.mirror.drop_rate,
+                       wall_seconds=round(timer.total, 3),
+                       phases=timer.as_dict()["phases"])
+        event_log.close()
     drop = system.mirror.drop_rate
     print(
         f"wrote {count} records to {args.out} "
         f"({args.days:g} day(s) from Monday 00:00, {params.users} users, "
         f"mirror loss {drop:.1%})"
     )
+    return 0
+
+
+#: Simulated seconds between --progress reports.
+PROGRESS_INTERVAL = SECONDS_PER_HOUR
+
+
+def _schedule_progress(system, end: float, event_log=None) -> None:
+    """Arrange periodic progress lines on stderr while simulating."""
+    loop = system.loop
+
+    def tick() -> None:
+        loop.sync_metrics()
+        now = loop.clock.now
+        wall = loop.wall_seconds
+        speed = now / wall if wall > 0 else float("inf")
+        line = (
+            f"[repro] sim {now / SECONDS_PER_DAY:6.2f}d  "
+            f"events {loop.events_run:>9,}  "
+            f"records {len(system.collector):>9,}  "
+            f"wall {wall:7.1f}s  speed {speed:,.0f}x"
+        )
+        print(line, file=sys.stderr)
+        if event_log is not None:
+            event_log.emit("progress", time=now, events=loop.events_run,
+                           records=len(system.collector),
+                           wall_seconds=round(wall, 3))
+        if now + PROGRESS_INTERVAL <= end:
+            loop.schedule_in(PROGRESS_INTERVAL, tick)
+
+    loop.schedule(PROGRESS_INTERVAL, tick)
+
+
+def cmd_stats(args) -> int:
+    """Trace-level statistics: record mix, per-procedure ops, loss."""
+    from collections import Counter as TallyCounter
+
+    with TraceReader(args.trace) as reader:
+        records = list(reader)
+    if not records:
+        raise ValueError(f"no records in {args.trace}")
+    calls: TallyCounter = TallyCounter()
+    replies: TallyCounter = TallyCounter()
+    for record in records:
+        (calls if record.is_call() else replies)[record.proc.value] += 1
+    ops, stats = pair_all(records)
+    paired: TallyCounter = TallyCounter(op.proc.value for op in ops)
+    errors: TallyCounter = TallyCounter(
+        op.proc.value for op in ops if not op.ok()
+    )
+    first = min(r.time for r in records)
+    last = max(r.time for r in records)
+    clients = {r.client for r in records if r.is_call()}
+    if args.json:
+        print(json.dumps({
+            "trace": args.trace,
+            "records": len(records),
+            "first_time": first,
+            "last_time": last,
+            "span_seconds": last - first,
+            "clients": len(clients),
+            "calls": dict(sorted(calls.items())),
+            "replies": dict(sorted(replies.items())),
+            "paired": dict(sorted(paired.items())),
+            "errors": dict(sorted(errors.items())),
+            "orphan_replies": stats.orphan_replies,
+            "unanswered_calls": stats.unanswered_calls,
+            "estimated_loss_rate": stats.estimated_loss_rate,
+        }, indent=2))
+        return 0
+    rows = [
+        [proc, calls[proc], replies.get(proc, 0), paired.get(proc, 0),
+         errors.get(proc, 0)]
+        for proc in sorted(set(calls) | set(replies))
+    ]
+    rows.append(["total", sum(calls.values()), sum(replies.values()),
+                 sum(paired.values()), sum(errors.values())])
+    print(format_table(
+        ["Procedure", "Calls", "Replies", "Paired", "Errors"],
+        rows,
+        title=f"Stats of {args.trace}",
+    ))
+    print()
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ["Records", len(records)],
+            ["Clients", len(clients)],
+            ["First timestamp", f"{first:.3f}"],
+            ["Last timestamp", f"{last:.3f}"],
+            ["Span (days)", f"{(last - first) / SECONDS_PER_DAY:.3f}"],
+            ["Orphan replies", stats.orphan_replies],
+            ["Unanswered calls", stats.unanswered_calls],
+            ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
+        ],
+    ))
     return 0
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.nfs.attributes import FileAttributes
 from repro.nfs.filehandle import FileHandle
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -52,6 +53,8 @@ class ClientCache:
         ac_timeout: float = 3.0,
         name_timeout: float = 30.0,
         capacity_blocks: int = 65536,
+        metrics: MetricsRegistry | None = None,
+        host: str = "client",
     ) -> None:
         self.ac_timeout = ac_timeout
         #: Lookup results live longer than attributes (the dnlc), so a
@@ -64,8 +67,40 @@ class ClientCache:
         self._names: dict[tuple[FileHandle, str], tuple[FileHandle, float]] = {}
         #: global block LRU: (fh, block) -> None
         self._lru: OrderedDict[tuple[FileHandle, int], None] = OrderedDict()
-        self.invalidations = 0
-        self.blocks_invalidated = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # per-block tallies stay plain integers; _sync publishes them
+        self._n_invalidations = 0
+        self._n_blocks_invalidated = 0
+        self._n_evictions = 0
+        self._blocks_hw = 0
+        self._m_invalidations = self.metrics.counter(
+            "client.cache_invalidations", host=host
+        )
+        self._m_blocks_invalidated = self.metrics.counter(
+            "client.blocks_invalidated", host=host
+        )
+        self._m_cached_blocks = self.metrics.gauge("client.cached_blocks", host=host)
+        self._m_evictions = self.metrics.counter("client.block_evictions", host=host)
+        self.metrics.add_sync(self._sync)
+
+    def _sync(self) -> None:
+        self._m_invalidations.inc(self._n_invalidations - self._m_invalidations.value)
+        self._m_blocks_invalidated.inc(
+            self._n_blocks_invalidated - self._m_blocks_invalidated.value
+        )
+        self._m_evictions.inc(self._n_evictions - self._m_evictions.value)
+        self._m_cached_blocks.set(self._blocks_hw)  # ratchet the high-water mark
+        self._m_cached_blocks.set(len(self._lru))
+
+    @property
+    def invalidations(self) -> int:
+        """File-granularity invalidation events so far."""
+        return self._n_invalidations
+
+    @property
+    def blocks_invalidated(self) -> int:
+        """Cached blocks discarded by invalidations."""
+        return self._n_blocks_invalidated
 
     # -- attribute cache -----------------------------------------------------
 
@@ -159,6 +194,9 @@ class ClientCache:
             old_entry = self._files.get(old_fh)
             if old_entry is not None:
                 old_entry.blocks.discard(old_block)
+            self._n_evictions += 1
+        if len(self._lru) > self._blocks_hw:
+            self._blocks_hw = len(self._lru)
 
     def cached_blocks(self, fh: FileHandle) -> int:
         """Number of cached blocks for ``fh``."""
@@ -168,8 +206,8 @@ class ClientCache:
     # -- internals ---------------------------------------------------------------
 
     def _invalidate_blocks(self, entry: CachedFile) -> None:
-        self.invalidations += 1
-        self.blocks_invalidated += len(entry.blocks)
+        self._n_invalidations += 1
+        self._n_blocks_invalidated += len(entry.blocks)
         for block in entry.blocks:
             self._lru.pop((entry.fh, block), None)
         entry.blocks.clear()

@@ -32,6 +32,7 @@ from repro.nfs.filehandle import FileHandle
 from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
 from repro.nfs.procedures import NfsProc, NfsVersion
 from repro.nfs.rpc import RpcChannel, Transport
+from repro.obs.metrics import MetricsRegistry
 from repro.simcore.clock import SimClock
 
 Exchange = Callable[[NfsCall], NfsReply]
@@ -49,6 +50,9 @@ class OpenFile:
     sequential_streak: int = 0
     wrote: bool = False
     attrs: FileAttributes | None = field(default=None, repr=False)
+    #: blocks fetched by read-ahead for this stream and not yet read;
+    #: a later cache hit on one of them counts as "readahead used"
+    prefetched: set[int] | None = field(default=None, repr=False)
 
     @property
     def size(self) -> int:
@@ -76,6 +80,7 @@ class NfsClient:
         cache_blocks: int = 65536,
         readahead_blocks: int = 4,
         op_gap: float = 0.0003,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
         self.server_addr = server_addr
@@ -87,16 +92,50 @@ class NfsClient:
         self.transport = transport
         self.readahead_blocks = readahead_blocks
         self.op_gap = op_gap
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = ClientCache(
             ac_timeout=ac_timeout,
             name_timeout=name_timeout,
             capacity_blocks=cache_blocks,
+            metrics=self.metrics,
+            host=host,
         )
         self.channel = RpcChannel(host, server_addr, transport)
-        self.nfsiods = NfsiodPool(nfsiod_count, rng, transport=transport)
+        self.nfsiods = NfsiodPool(
+            nfsiod_count, rng, transport=transport,
+            metrics=self.metrics, host=host,
+        )
         self._cursor = 0.0
-        self.reads_absorbed = 0
-        self.calls_sent = 0
+        # per-block/per-call tallies stay plain integers; _sync_metrics
+        # publishes them into the registry before any read
+        self._n_calls_sent = 0
+        self._n_absorbed = 0
+        self._n_read_misses = 0
+        self._n_ra_issued = 0
+        self._n_ra_used = 0
+        self._m_calls_sent = self.metrics.counter("client.calls_sent", host=host)
+        self._m_absorbed = self.metrics.counter("client.reads_absorbed", host=host)
+        self._m_read_misses = self.metrics.counter("client.read_misses", host=host)
+        self._m_ra_issued = self.metrics.counter("client.readahead_issued", host=host)
+        self._m_ra_used = self.metrics.counter("client.readahead_used", host=host)
+        self.metrics.add_sync(self._sync_metrics)
+
+    def _sync_metrics(self) -> None:
+        self._m_calls_sent.inc(self._n_calls_sent - self._m_calls_sent.value)
+        self._m_absorbed.inc(self._n_absorbed - self._m_absorbed.value)
+        self._m_read_misses.inc(self._n_read_misses - self._m_read_misses.value)
+        self._m_ra_issued.inc(self._n_ra_issued - self._m_ra_issued.value)
+        self._m_ra_used.inc(self._n_ra_used - self._m_ra_used.value)
+
+    @property
+    def reads_absorbed(self) -> int:
+        """Block reads served from the client cache."""
+        return self._n_absorbed
+
+    @property
+    def calls_sent(self) -> int:
+        """NFS calls this client put on the wire."""
+        return self._n_calls_sent
 
     # -- public POSIX-ish interface -------------------------------------------
 
@@ -152,8 +191,13 @@ class NfsClient:
             block_start = block * BLOCK_SIZE
             want = min(BLOCK_SIZE, size - block_start)
             if self.cache.has_block(of.fh, block):
-                self.reads_absorbed += 1
+                self._n_absorbed += 1
+                prefetched = of.prefetched
+                if prefetched and block in prefetched:
+                    prefetched.discard(block)
+                    self._n_ra_used += 1
             else:
+                self._n_read_misses += 1
                 reply = self._rpc(
                     NfsProc.READ,
                     uid=of.uid, gid=of.gid, fh=of.fh,
@@ -364,8 +408,12 @@ class NfsClient:
                 NfsProc.READ, uid=of.uid, gid=of.gid, fh=of.fh,
                 offset=start, count=want, asynchronous=True,
             )
+            self._n_ra_issued += 1
             if reply.ok():
                 self.cache.add_block(of.fh, ahead)
+                if of.prefetched is None:
+                    of.prefetched = set()
+                of.prefetched.add(ahead)
 
     def _rpc(
         self,
@@ -402,7 +450,7 @@ class NfsClient:
         self.channel.register(call)
         reply = self.exchange(call)
         self.channel.match(reply)
-        self.calls_sent += 1
+        self._n_calls_sent += 1
         gap = self.op_gap * (0.5 + self.rng.random())
         if asynchronous:
             # reads/writes are pipelined through the nfsiods: the

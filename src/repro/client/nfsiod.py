@@ -24,6 +24,7 @@ import bisect
 import random
 
 from repro.nfs.rpc import Transport
+from repro.obs.metrics import MetricsRegistry
 
 #: Paper: "some calls were delayed by as much as 1 second".
 MAX_DELAY = 1.0
@@ -43,6 +44,8 @@ class NfsiodPool:
         stall_scale: float = 0.004,
         long_stall_fraction: float = 0.05,
         long_stall_scale: float = 0.120,
+        metrics: MetricsRegistry | None = None,
+        host: str = "client",
     ) -> None:
         """
         Args:
@@ -75,7 +78,26 @@ class NfsiodPool:
         self.long_stall_fraction = long_stall_fraction
         self.long_stall_scale = long_stall_scale
         self._free_at = [0.0] * count
-        self.dispatched = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # per-dispatch tallies stay plain integers; _sync publishes them
+        self._n_dispatched = 0
+        self._busy_now = 0
+        self._busy_hw = 0
+        self._m_dispatched = self.metrics.counter("client.nfsiod_dispatched", host=host)
+        #: Busy daemons observed at each dispatch; the high-water mark
+        #: is the request-queue depth the pool actually reached.
+        self._m_busy = self.metrics.gauge("client.nfsiod_busy", host=host)
+        self.metrics.add_sync(self._sync)
+
+    def _sync(self) -> None:
+        self._m_dispatched.inc(self._n_dispatched - self._m_dispatched.value)
+        self._m_busy.set(self._busy_hw)  # ratchet the high-water mark
+        self._m_busy.set(self._busy_now)
+
+    @property
+    def dispatched(self) -> int:
+        """Calls handed to the pool so far."""
+        return self._n_dispatched
 
     def dispatch(self, issue_time: float) -> float:
         """Assign a call to a daemon; returns its wire (transmit) time.
@@ -84,9 +106,23 @@ class NfsiodPool:
         order.  With more daemons, a stalled daemon holds its call
         while idle daemons transmit later calls first.
         """
-        self.dispatched += 1
-        daemon = min(range(self.count), key=self._free_at.__getitem__)
-        start = max(issue_time, self._free_at[daemon])
+        self._n_dispatched += 1
+        free_at = self._free_at
+        # one scan finds the earliest-free daemon and counts busy ones
+        daemon = 0
+        earliest = free_at[0]
+        busy = 1 if earliest > issue_time else 0
+        for i in range(1, self.count):
+            t = free_at[i]
+            if t > issue_time:
+                busy += 1
+            if t < earliest:
+                earliest = t
+                daemon = i
+        self._busy_now = busy
+        if busy > self._busy_hw:
+            self._busy_hw = busy
+        start = max(issue_time, earliest)
         service = self.base_service * (0.5 + self.rng.random())
         if self.count > 1 and self.rng.random() < self.stall_probability:
             if self.rng.random() < self.long_stall_fraction:
@@ -94,13 +130,17 @@ class NfsiodPool:
             else:
                 service += self.rng.expovariate(1.0 / self.stall_scale)
         wire_time = min(start + service, issue_time + MAX_DELAY)
-        self._free_at[daemon] = wire_time
+        free_at[daemon] = wire_time
         return wire_time
 
     def reset(self) -> None:
         """Forget daemon busy state (between experiments)."""
         self._free_at = [0.0] * self.count
-        self.dispatched = 0
+        self._n_dispatched = 0
+        self._busy_now = 0
+        self._busy_hw = 0
+        self._m_dispatched.reset()
+        self._m_busy.reset()
 
 
 def count_reordered(wire_times: list[float]) -> int:

@@ -17,7 +17,13 @@ import random
 
 from repro.nfs.messages import NfsCall, NfsReply
 from repro.nfs.procedures import NfsProc
+from repro.obs.metrics import Histogram, MetricsRegistry, log_buckets
 from repro.server.nfs_server import NfsServer
+
+#: Service-time buckets: 100 µs to ~0.1 s, factor 2 — tight around the
+#: simulator's sub-millisecond latency model so the histogram actually
+#: resolves the distribution.
+SERVICE_TIME_BUCKETS = log_buckets(1e-4, 2.0, 11)
 
 #: RPC + NFS header overhead per message, bytes (approximate; only
 #: relative sizes matter for the mirror's bandwidth model).
@@ -59,12 +65,20 @@ class NetworkPath:
         *,
         base_latency: float = 0.0008,
         taps: list | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.server = server
         self.rng = rng
         self.base_latency = base_latency
         self.taps = list(taps) if taps else []
         self.exchanges = 0
+        #: Per-procedure service-time histograms live under the server
+        #: namespace: the latency is assigned here, but it models the
+        #: server's service + round trip and that is where readers will
+        #: look for it.  Defaults to the server's own registry.
+        self.metrics = metrics if metrics is not None else server.metrics
+        self.measure_from = 0.0
+        self._m_service: dict[NfsProc, Histogram] = {}
 
     def add_tap(self, tap) -> None:
         """Install a packet tap (e.g. a mirror port)."""
@@ -78,6 +92,16 @@ class NetworkPath:
         reply = self.server.process(call)
         latency = self.base_latency * (0.5 + self.rng.random())
         reply.time = call.time + latency
+        if call.time >= self.measure_from:
+            histogram = self._m_service.get(call.proc)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "server.service_time_seconds",
+                    bounds=SERVICE_TIME_BUCKETS,
+                    proc=call.proc.value,
+                )
+                self._m_service[call.proc] = histogram
+            histogram.observe(latency)
         for tap in self.taps:
             tap.on_reply(reply)
         return reply

@@ -14,12 +14,19 @@ load-dependent*, exactly the paper's failure mode, not i.i.d. random.
 Because replies cannot be decoded without their calls, dropping a call
 effectively loses the pair; the loss *estimator* for that effect lives
 in :mod:`repro.analysis.loss`.
+
+Metrics (under ``mirror.*``): ``mirror.packets_seen``,
+``mirror.forwarded``, ``mirror.drops{kind=call|reply}``, and the
+``mirror.backlog_bytes`` gauge whose high-water mark records the worst
+buffer occupancy of the run — the §4.1.4 burst behavior, directly
+inspectable.
 """
 
 from __future__ import annotations
 
 from repro.netsim.link import wire_size
 from repro.nfs.messages import NfsCall, NfsReply
+from repro.obs.metrics import MetricsRegistry
 
 
 class MirrorPort:
@@ -30,6 +37,7 @@ class MirrorPort:
             limit entirely (the EECS configuration).
         buffer_bytes: switch buffer dedicated to the mirror port.
         taps: downstream taps (normally one TraceCollector).
+        metrics: registry to surface the mirror counters in.
     """
 
     def __init__(
@@ -38,23 +46,75 @@ class MirrorPort:
         bandwidth: float | None = 125_000_000.0,
         buffer_bytes: int = 512 * 1024,
         taps: list | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.bandwidth = bandwidth
         self.buffer_bytes = buffer_bytes
         self.taps = list(taps) if taps else []
         self._backlog = 0.0
         self._last_time = 0.0
-        self.packets_seen = 0
-        self.packets_dropped = 0
-        self.calls_dropped = 0
-        self.replies_dropped = 0
+        self.measure_from = 0.0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # per-packet counts stay plain integers; _sync publishes them
+        # into the registry before any read (see MetricsRegistry.add_sync)
+        self._n_seen = 0
+        self._n_forwarded = 0
+        self._n_call_drops = 0
+        self._n_reply_drops = 0
+        self._backlog_hw = 0.0
+        self._m_seen = self.metrics.counter("mirror.packets_seen")
+        self._m_forwarded = self.metrics.counter("mirror.forwarded")
+        self._m_call_drops = self.metrics.counter("mirror.drops", kind="call")
+        self._m_reply_drops = self.metrics.counter("mirror.drops", kind="reply")
+        self._m_backlog = self.metrics.gauge("mirror.backlog_bytes")
+        self.metrics.add_sync(self._sync)
+
+    def _sync(self) -> None:
+        self._m_seen.inc(self._n_seen - self._m_seen.value)
+        self._m_forwarded.inc(self._n_forwarded - self._m_forwarded.value)
+        self._m_call_drops.inc(self._n_call_drops - self._m_call_drops.value)
+        self._m_reply_drops.inc(self._n_reply_drops - self._m_reply_drops.value)
+        self._m_backlog.set(self._backlog_hw)  # ratchet the high-water mark
+        self._m_backlog.set(self._backlog)
+
+    # -- counter views (kept as attributes-of-record for existing callers) ----
+
+    @property
+    def packets_seen(self) -> int:
+        """Packets offered to the mirror egress."""
+        return self._n_seen
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets lost to buffer overflow (calls + replies)."""
+        return self._n_call_drops + self._n_reply_drops
+
+    @property
+    def calls_dropped(self) -> int:
+        """Call packets lost."""
+        return self._n_call_drops
+
+    @property
+    def replies_dropped(self) -> int:
+        """Reply packets lost."""
+        return self._n_reply_drops
+
+    @property
+    def drops(self) -> int:
+        """Total dropped packets (alias of ``packets_dropped``)."""
+        return self.packets_dropped
+
+    @property
+    def backlog_high_water(self) -> float:
+        """Worst buffer occupancy (bytes) seen so far."""
+        return max(self._backlog_hw, self._backlog)
 
     @property
     def drop_rate(self) -> float:
         """Fraction of observed packets dropped so far."""
-        if self.packets_seen == 0:
+        if self._n_seen == 0:
             return 0.0
-        return self.packets_dropped / self.packets_seen
+        return self.packets_dropped / self._n_seen
 
     def add_tap(self, tap) -> None:
         """Install a downstream tap."""
@@ -62,29 +122,48 @@ class MirrorPort:
 
     def on_call(self, call: NfsCall) -> None:
         """Offer a call packet to the mirror egress."""
-        if self._admit(call.time, wire_size(call)):
+        if self.bandwidth is None:  # lossless: skip the queue model
+            if call.time >= self.measure_from:
+                self._n_seen += 1
+                self._n_forwarded += 1
             for tap in self.taps:
                 tap.on_call(call)
-        else:
-            self.calls_dropped += 1
+        elif self._admit(call.time, wire_size(call)):
+            for tap in self.taps:
+                tap.on_call(call)
+        elif call.time >= self.measure_from:
+            self._n_call_drops += 1
 
     def on_reply(self, reply: NfsReply) -> None:
         """Offer a reply packet to the mirror egress."""
-        if self._admit(reply.time, wire_size(reply)):
+        if self.bandwidth is None:
+            if reply.time >= self.measure_from:
+                self._n_seen += 1
+                self._n_forwarded += 1
             for tap in self.taps:
                 tap.on_reply(reply)
-        else:
-            self.replies_dropped += 1
+        elif self._admit(reply.time, wire_size(reply)):
+            for tap in self.taps:
+                tap.on_reply(reply)
+        elif reply.time >= self.measure_from:
+            self._n_reply_drops += 1
 
     def _admit(self, time: float, size: int) -> bool:
-        self.packets_seen += 1
+        measured = time >= self.measure_from
+        if measured:
+            self._n_seen += 1
         if self.bandwidth is None:
+            if measured:
+                self._n_forwarded += 1
             return True
         elapsed = max(0.0, time - self._last_time)
         self._last_time = max(self._last_time, time)
         self._backlog = max(0.0, self._backlog - elapsed * self.bandwidth)
         if self._backlog + size > self.buffer_bytes:
-            self.packets_dropped += 1
             return False
         self._backlog += size
+        if measured:
+            self._n_forwarded += 1
+            if self._backlog > self._backlog_hw:
+                self._backlog_hw = self._backlog
         return True

@@ -1,0 +1,45 @@
+"""Observability for the simulator itself.
+
+The paper's method is watching a system from the outside; this package
+lets you watch the *simulator* the same way.  Four zero-dependency
+pieces:
+
+* :mod:`repro.obs.metrics` — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (fixed log-scale buckets), and the
+  :class:`MetricsRegistry` every simulated component registers into
+  (``server.*``, ``client.*``, ``mirror.*``, ``loop.*``, ``trace.*``).
+* :mod:`repro.obs.promtext` — Prometheus-style text exposition plus a
+  parser, so snapshots are diffable across runs.
+* :mod:`repro.obs.eventlog` — a structured JSON-lines event stream.
+* :mod:`repro.obs.timers` — wall-clock phase timers for benchmarks and
+  the CLI.
+
+See ``docs/OBSERVABILITY.md`` for the metric namespace and examples.
+"""
+
+from repro.obs.eventlog import EventLog
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_sample_name,
+    log_buckets,
+)
+from repro.obs.promtext import parse_prom_text, to_prom_text
+from repro.obs.timers import PhaseTimer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventLog",
+    "PhaseTimer",
+    "DEFAULT_TIME_BUCKETS",
+    "format_sample_name",
+    "log_buckets",
+    "parse_prom_text",
+    "to_prom_text",
+]

@@ -1,0 +1,70 @@
+"""Structured JSON-lines event log.
+
+Where metrics answer "how many", the event log answers "what happened
+when": one JSON object per line, each carrying a monotonically
+increasing ``seq``, the event name, and arbitrary fields.  Analyses and
+humans alike can replay a run's phase transitions, drop bursts, or
+progress ticks from the log with nothing but ``json.loads`` per line.
+
+With no sink the log accumulates events in memory (``events``), which
+is what unit tests and short interactive runs want; given a path or a
+file object it streams instead and keeps nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+
+class EventLog:
+    """Append-only structured event stream."""
+
+    def __init__(self, sink: str | Path | IO[str] | None = None) -> None:
+        self._seq = 0
+        self.events: list[dict[str, Any]] = []
+        self._owns_sink = isinstance(sink, (str, Path))
+        self._sink: IO[str] | None
+        if self._owns_sink:
+            self._sink = open(sink, "w", encoding="utf-8")
+        else:
+            self._sink = sink  # a file-like object, or None for in-memory
+
+    def emit(self, event: str, *, time: float | None = None, **fields: Any) -> dict:
+        """Record one event; returns the logged object.
+
+        ``time`` is simulated seconds when the event belongs to the
+        simulation's timeline; leave it None for host-side events.
+        """
+        record: dict[str, Any] = {"seq": self._seq, "event": event}
+        if time is not None:
+            record["time"] = time
+        record.update(fields)
+        self._seq += 1
+        if self._sink is not None:
+            json.dump(record, self._sink, separators=(",", ":"), sort_keys=True)
+            self._sink.write("\n")
+        else:
+            self.events.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return self._seq
+
+    def flush(self) -> None:
+        """Flush the underlying sink, if any."""
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Close a sink this log opened itself (no-op otherwise)."""
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

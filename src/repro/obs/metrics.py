@@ -1,0 +1,337 @@
+"""Zero-dependency metrics primitives.
+
+The simulator is itself a measured system: every component registers
+counters, gauges, and histograms into one :class:`MetricsRegistry` so a
+run can be inspected the same way the paper inspected the live servers
+(per-procedure mixes, loss counters, queue depths).  Three deliberate
+constraints keep the hot path cheap and the output reproducible:
+
+* instruments are plain Python objects updated by attribute access —
+  no locks, no string formatting, no allocation per update;
+* histograms use *fixed* log-scale buckets chosen at construction, so
+  two runs of the same configuration produce byte-identical snapshots;
+* ``snapshot()`` returns a plain dict with deterministically ordered
+  keys, suitable for ``json.dump`` and for diffing across runs.
+
+Metric names are dotted namespaces (``server.calls``, ``mirror.drops``);
+labels distinguish instances (``proc=read``, ``host=10.0.0.1``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Iterator
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: dict[str, str]) -> Labels:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_sample_name(name: str, labels: Labels) -> str:
+    """Render ``name{k=v,...}`` the way snapshots key their entries."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (resettable between phases)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (between experiment phases)."""
+        self.value = 0
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Gauge:
+    """An instantaneous value, with a high-water mark.
+
+    The high-water mark makes transient peaks (mirror buffer occupancy,
+    nfsiod queue depth) visible in an end-of-run snapshot even though
+    the gauge itself has drained back down.
+    """
+
+    __slots__ = ("name", "labels", "value", "high_water")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge; the high-water mark only ratchets upward."""
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge and its high-water mark."""
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def snapshot_value(self):
+        return {"value": self.value, "high_water": self.high_water}
+
+
+def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced bucket upper bounds: start, start*factor, ...
+
+    Bounds are rounded to a short decimal representation so snapshots
+    stay readable and stable across platforms.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("log_buckets requires start>0, factor>1, count>=1")
+    return tuple(float(f"{start * factor ** i:.6g}") for i in range(count))
+
+
+#: Default histogram bounds: 1 µs to ~1000 s in factor-of-4 steps —
+#: wide enough for every latency the simulator produces, coarse enough
+#: that snapshots stay small.
+DEFAULT_TIME_BUCKETS = log_buckets(1e-6, 4.0, 16)
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus-style cumulative export).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    overflow.  Internally counts are stored per-bucket (not cumulative)
+    so ``observe`` is a bisect plus one integer increment.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "overflow", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name}: bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        idx = bisect_left(self.bounds, value)
+        if idx == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[idx] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative (le, count) pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self.overflow))
+        return out
+
+    def reset(self) -> None:
+        """Forget all observations; bucket bounds are kept."""
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot_value(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": [
+                ["+Inf" if math.isinf(le) else le, n] for le, n in self.cumulative()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one simulated world.
+
+    ``counter()``/``gauge()``/``histogram()`` are get-or-create: asking
+    twice for the same (name, labels) returns the same object, so
+    components can grab instruments lazily on hot paths.  A name is
+    bound to one instrument kind; re-registering it as another kind is
+    an error, as is registering two instruments that would collide on
+    the same (name, labels) sample.
+
+    Components on per-packet paths may keep plain integers and publish
+    them through a hook registered with :meth:`add_sync`; every read
+    entry point (``get``/``value``/``total``/``snapshot``/iteration)
+    runs the hooks first, so lazily-synced instruments are always
+    current when observed.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._sync_hooks: list[Callable[[], None]] = []
+
+    def add_sync(self, hook: Callable[[], None]) -> None:
+        """Register a hook that publishes deferred updates before reads."""
+        self._sync_hooks.append(hook)
+
+    def sync(self) -> None:
+        """Run all registered sync hooks (idempotent between updates)."""
+        for hook in self._sync_hooks:
+            hook()
+
+    # -- registration ---------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram ``name{labels}``.
+
+        ``bounds`` applies on first creation only; a later mismatch in
+        bounds for the same instrument raises.
+        """
+        key = (name, _labelkey(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if existing.kind != "histogram":
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if bounds is not None and tuple(bounds) != existing.bounds:
+                raise ValueError(f"histogram {name!r} re-registered with new bounds")
+            return existing
+        self._check_kind(name, "histogram")
+        instrument = Histogram(
+            name, key[1], bounds if bounds is not None else DEFAULT_TIME_BUCKETS
+        )
+        self._instruments[key] = instrument
+        return instrument
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, str]):
+        key = (name, _labelkey(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if existing.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._check_kind(name, cls.kind)
+        instrument = cls(name, key[1])
+        self._instruments[key] = instrument
+        return instrument
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        bound = self._kinds.get(name)
+        if bound is not None and bound != kind:
+            raise ValueError(
+                f"metric name {name!r} is a {bound}; cannot re-register as {kind}"
+            )
+        self._kinds[name] = kind
+
+    # -- consumption ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Instruments in deterministic (name, labels) order."""
+        self.sync()
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str, **labels: str):
+        """The instrument at (name, labels), or None."""
+        self.sync()
+        return self._instruments.get((name, _labelkey(labels)))
+
+    def value(self, name: str, **labels: str):
+        """Shortcut: the scalar value of a counter/gauge (0 if absent)."""
+        instrument = self.get(name, **labels)
+        if instrument is None:
+            return 0
+        return instrument.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across all label sets."""
+        self.sync()
+        return sum(
+            i.value
+            for (n, _), i in self._instruments.items()
+            if n == name and i.kind == "counter"
+        )
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-serializable, sorted dict.
+
+        Counters map to their value, gauges to ``{value, high_water}``,
+        histograms to ``{count, sum, buckets}``.  Key order (and thus
+        serialized form) is deterministic for a given set of
+        instruments, making snapshots diffable across runs.
+        """
+        return {
+            format_sample_name(i.name, i.labels): i.snapshot_value() for i in self
+        }
+
+    def reset(self) -> None:
+        """Reset every instrument (e.g. at an analysis-window boundary).
+
+        Deferred updates are synced first, so delta-publishing hooks
+        resume counting from the reset point, not from zero.
+        """
+        self.sync()
+        for instrument in self._instruments.values():
+            instrument.reset()

@@ -1,0 +1,100 @@
+"""Prometheus-style text exposition of a metrics registry.
+
+The point is *diffability*: two runs of the same configuration render
+to byte-identical text, so ``diff a.prom b.prom`` shows exactly which
+counters moved.  Dotted metric names are rendered with underscores
+(``server.calls`` -> ``server_calls``) per Prometheus naming rules; the
+parser reverses nothing — it returns samples keyed exactly as printed,
+so ``parse_prom_text(to_prom_text(reg))`` round-trips sample for
+sample.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import Labels, MetricsRegistry
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return f"{{{inner}}}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prom_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        if name not in typed:
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            typed.add(name)
+        if instrument.kind == "counter":
+            lines.append(f"{name}{_prom_labels(instrument.labels)} {_fmt(instrument.value)}")
+        elif instrument.kind == "gauge":
+            lines.append(f"{name}{_prom_labels(instrument.labels)} {_fmt(instrument.value)}")
+            lines.append(
+                f"{name}_high_water{_prom_labels(instrument.labels)} "
+                f"{_fmt(instrument.high_water)}"
+            )
+        else:  # histogram
+            for le, count in instrument.cumulative():
+                label = "+Inf" if math.isinf(le) else _fmt(le)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(instrument.labels, (('le', label),))} "
+                    f"{count}"
+                )
+            lines.append(
+                f"{name}_sum{_prom_labels(instrument.labels)} {_fmt(instrument.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(instrument.labels)} {instrument.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prom_text(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{sample_key: value}``.
+
+    Sample keys are ``name{k="v",...}`` exactly as printed (label order
+    preserved), so the dict round-trips what :func:`to_prom_text`
+    produced.  ``# TYPE``/``# HELP`` comment lines are skipped.
+    """
+    samples: dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed exposition line: {raw!r}")
+        if value == "+Inf":
+            parsed = math.inf
+        elif value == "-Inf":
+            parsed = -math.inf
+        else:
+            parsed = float(value)
+        if key in samples:
+            raise ValueError(f"duplicate sample {key!r}")
+        samples[key] = parsed
+    return samples

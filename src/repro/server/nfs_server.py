@@ -13,6 +13,7 @@ from repro.errors import FsError
 from repro.fs.filesystem import SimFileSystem
 from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
 from repro.nfs.procedures import NfsProc
+from repro.obs.metrics import Counter, MetricsRegistry
 
 
 class NfsServer:
@@ -21,12 +22,53 @@ class NfsServer:
     The server is stateless between calls, like real NFSv2/v3: every
     call carries the handles it needs.  ``process`` executes the call
     at the call's own timestamp.
+
+    Per-procedure call counts (``server.calls{proc=...}``) and
+    per-status reply counts (``server.replies{status=...}``) land in
+    ``metrics``; tallies are kept as plain dict-of-int on the hot path
+    and published into registry counters by a sync hook, so the
+    per-call cost is one dict update.
+    Calls with wire time before ``measure_from`` are processed normally
+    but not counted, letting a warm-up period be excluded from the
+    snapshot by the same wire-time boundary a trace window uses.
     """
 
-    def __init__(self, fs: SimFileSystem, *, name: str = "nfs-server") -> None:
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        *,
+        name: str = "nfs-server",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.fs = fs
         self.name = name
-        self.calls_processed = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.measure_from = 0.0
+        # per-call tallies stay plain integers; _sync publishes them
+        self._c_calls: dict[NfsProc, int] = {}
+        self._c_replies: dict[NfsStatus, int] = {}
+        self._m_calls: dict[NfsProc, Counter] = {}
+        self._m_replies: dict[NfsStatus, Counter] = {}
+        self.metrics.add_sync(self._sync)
+
+    def _sync(self) -> None:
+        for proc, n in self._c_calls.items():
+            counter = self._m_calls.get(proc)
+            if counter is None:
+                counter = self.metrics.counter("server.calls", proc=proc.value)
+                self._m_calls[proc] = counter
+            counter.inc(n - counter.value)
+        for status, n in self._c_replies.items():
+            counter = self._m_replies.get(status)
+            if counter is None:
+                counter = self.metrics.counter("server.replies", status=status.value)
+                self._m_replies[status] = counter
+            counter.inc(n - counter.value)
+
+    @property
+    def calls_processed(self) -> int:
+        """Total calls processed (sum of ``server.calls`` counters)."""
+        return sum(self._c_calls.values())
 
     def process(self, call: NfsCall) -> NfsReply:
         """Execute ``call`` and build its reply.
@@ -35,11 +77,16 @@ class NfsServer:
         status reply rather than raising, matching how a hardened
         server behaves on malformed requests.
         """
-        self.calls_processed += 1
+        measured = call.time >= self.measure_from
+        if measured:
+            try:
+                self._c_calls[call.proc] += 1
+            except KeyError:
+                self._c_calls[call.proc] = 1
         try:
-            return self._dispatch(call)
+            reply = self._dispatch(call)
         except FsError as exc:
-            return NfsReply(
+            reply = NfsReply(
                 time=call.time,
                 xid=call.xid,
                 client=call.client,
@@ -48,6 +95,12 @@ class NfsServer:
                 version=call.version,
                 status=NfsStatus.from_wire(exc.nfs_status),
             )
+        if measured:
+            try:
+                self._c_replies[reply.status] += 1
+            except KeyError:
+                self._c_replies[reply.status] = 1
+        return reply
 
     # -- dispatch -----------------------------------------------------------
 

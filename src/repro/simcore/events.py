@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
 from repro.simcore.clock import SimClock
 
 
@@ -46,11 +48,22 @@ class EventLoop:
         loop.run_until(3600.0)
     """
 
-    def __init__(self, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.clock = clock if clock is not None else SimClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_run = 0
+        self._wall_seconds = 0.0
+        self._run_started: float | None = None
+        self._m_events = self.metrics.counter("loop.events")
+        self._m_synced = 0
+        self.metrics.add_sync(self.sync_metrics)
 
     @property
     def events_run(self) -> int:
@@ -61,6 +74,37 @@ class EventLoop:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host seconds spent inside ``run_until``/``run`` so far.
+
+        Live while a run is in progress, so a progress callback fired
+        from inside the loop sees the time spent up to itself.
+        """
+        running = (
+            time.monotonic() - self._run_started
+            if self._run_started is not None
+            else 0.0
+        )
+        return self._wall_seconds + running
+
+    def sync_metrics(self) -> None:
+        """Publish loop state into the registry.
+
+        The dispatch loop keeps plain-integer counters and syncs them
+        here (at the end of each run and at progress ticks) so the
+        per-event cost of instrumentation is zero.  ``loop.sim_wall_ratio``
+        is how many simulated seconds each host second bought — the
+        "runs as fast as the hardware allows" number.
+        """
+        self._m_events.inc(self._events_run - self._m_synced)
+        self._m_synced = self._events_run
+        wall = self.wall_seconds
+        self.metrics.gauge("loop.pending").set(len(self._heap))
+        self.metrics.gauge("loop.wall_seconds").set(wall)
+        if wall > 0.0:
+            self.metrics.gauge("loop.sim_wall_ratio").set(self.clock.now / wall)
 
     def schedule(self, when: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to run at simulated time ``when``.
@@ -102,18 +146,36 @@ class EventLoop:
         The clock finishes at ``end`` even if the last event fired earlier,
         so a following phase sees a consistent simulated time.
         """
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.when > end:
-                break
-            self.step()
-        if end > self.clock.now:
-            self.clock.advance_to(end)
+        outermost = self._run_started is None
+        if outermost:
+            self._run_started = time.monotonic()
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.when > end:
+                    break
+                self.step()
+            if end > self.clock.now:
+                self.clock.advance_to(end)
+        finally:
+            if outermost:
+                self._wall_seconds += time.monotonic() - self._run_started
+                self._run_started = None
+            self.sync_metrics()
 
     def run(self) -> None:
         """Run until the event queue drains completely."""
-        while self.step():
-            pass
+        outermost = self._run_started is None
+        if outermost:
+            self._run_started = time.monotonic()
+        try:
+            while self.step():
+                pass
+        finally:
+            if outermost:
+                self._wall_seconds += time.monotonic() - self._run_started
+                self._run_started = None
+            self.sync_metrics()

@@ -3,16 +3,23 @@
 Installed as a tap on a network path (usually behind a
 :class:`~repro.netsim.mirror.MirrorPort`), it converts every observed
 call/reply into a :class:`TraceRecord`.  Records accumulate in memory
-in capture order; ``sorted_records()`` returns them in wire-timestamp
-order, which is the order a real capture file would have after the
-sniffer's internal reordering buffer.
+in capture order; ``sorted_records()`` — and ``write()`` — return them
+in wire-timestamp order, which is the order a real capture file would
+have after the sniffer's internal reordering buffer.  The sort is
+computed once and cached until the next capture.
+
+Metrics (under ``trace.*``): records and approximate wire bytes
+captured, per direction.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from repro.netsim.link import HEADER_BYTES
 from repro.nfs.messages import NfsCall, NfsReply
+from repro.nfs.procedures import NfsProc
+from repro.obs.metrics import MetricsRegistry
 from repro.trace.record import TraceRecord
 from repro.trace.writer import TraceWriter
 
@@ -20,41 +27,94 @@ from repro.trace.writer import TraceWriter
 class TraceCollector:
     """Accumulates trace records from a live simulation."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
         self.records: list[TraceRecord] = []
-        self.calls_seen = 0
-        self.replies_seen = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.measure_from = 0.0
+        # per-packet tallies stay plain integers; _sync publishes them
+        self._n_calls = 0
+        self._n_replies = 0
+        self._n_bytes = 0
+        self._m_calls = self.metrics.counter("trace.records", direction="call")
+        self._m_replies = self.metrics.counter("trace.records", direction="reply")
+        self._m_bytes = self.metrics.counter("trace.bytes")
+        self.metrics.add_sync(self._sync)
+        self._sorted: list[TraceRecord] | None = None
+
+    def _sync(self) -> None:
+        self._m_calls.inc(self._n_calls - self._m_calls.value)
+        self._m_replies.inc(self._n_replies - self._m_replies.value)
+        self._m_bytes.inc(self._n_bytes - self._m_bytes.value)
+
+    @property
+    def calls_seen(self) -> int:
+        """Call packets captured."""
+        return self._n_calls
+
+    @property
+    def replies_seen(self) -> int:
+        """Reply packets captured."""
+        return self._n_replies
 
     # -- tap interface (called by the network path / mirror port) ------------
 
     def on_call(self, call: NfsCall) -> None:
         """Capture one call packet."""
         self.records.append(TraceRecord.from_call(call))
-        self.calls_seen += 1
+        self._sorted = None
+        if call.time >= self.measure_from:
+            self._n_calls += 1
+            # wire_size(call), inlined for the per-packet path
+            size = HEADER_BYTES
+            if call.proc is NfsProc.WRITE and call.count:
+                size += call.count
+            if call.name:
+                size += len(call.name)
+            self._n_bytes += size
 
     def on_reply(self, reply: NfsReply) -> None:
         """Capture one reply packet."""
         self.records.append(TraceRecord.from_reply(reply))
-        self.replies_seen += 1
+        self._sorted = None
+        if reply.time >= self.measure_from:
+            self._n_replies += 1
+            size = HEADER_BYTES
+            if reply.proc is NfsProc.READ and reply.count:
+                size += reply.count
+            self._n_bytes += size
 
     # -- consumption -----------------------------------------------------------
 
     def sorted_records(self) -> list[TraceRecord]:
-        """All records in wire-timestamp order (stable for ties)."""
-        return sorted(self.records, key=lambda r: r.time)
+        """All records in wire-timestamp order (stable for ties).
+
+        The returned list is cached and shared — treat it as read-only.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(self.records, key=lambda r: r.time)
+        return self._sorted
 
     def write(self, path: str | Path) -> int:
-        """Write the capture to ``path``; returns the record count."""
+        """Write the capture to ``path`` in wire-timestamp order.
+
+        Returns the record count.
+        """
+        records = self.sorted_records()
         with TraceWriter(path) as writer:
-            for record in self.records:
+            for record in records:
                 writer.write(record)
-        return len(self.records)
+        return len(records)
 
     def clear(self) -> None:
         """Drop all captured records (between experiment phases)."""
         self.records.clear()
-        self.calls_seen = 0
-        self.replies_seen = 0
+        self._sorted = None
+        self._n_calls = 0
+        self._n_replies = 0
+        self._n_bytes = 0
+        self._m_calls.reset()
+        self._m_replies.reset()
+        self._m_bytes.reset()
 
     def __len__(self) -> int:
         return len(self.records)

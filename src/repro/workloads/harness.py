@@ -14,6 +14,7 @@ from repro.netsim.link import NetworkPath
 from repro.netsim.mirror import MirrorPort
 from repro.nfs.procedures import NfsVersion
 from repro.nfs.rpc import Transport
+from repro.obs.metrics import MetricsRegistry
 from repro.server.nfs_server import NfsServer
 from repro.simcore.events import EventLoop
 from repro.simcore.rng import RngRegistry
@@ -43,19 +44,27 @@ class TracedSystem:
         server_addr: str = "10.0.0.100",
     ) -> None:
         self.rngs = RngRegistry(seed)
+        #: One registry for the whole world; every component surfaces
+        #: its counters here.  ``system.metrics.snapshot()`` is the
+        #: uniform way to read them all.
+        self.metrics = MetricsRegistry()
         self.fs = SimFileSystem(fsid=1, quota_bytes=quota_bytes)
-        self.server = NfsServer(self.fs)
+        self.server = NfsServer(self.fs, metrics=self.metrics)
         self.server_addr = server_addr
-        self.collector = TraceCollector()
+        self.collector = TraceCollector(metrics=self.metrics)
         self.mirror = MirrorPort(
             bandwidth=mirror_bandwidth,
             buffer_bytes=mirror_buffer,
             taps=[self.collector],
+            metrics=self.metrics,
         )
         self.network = NetworkPath(
-            self.server, self.rngs.stream("network.latency"), taps=[self.mirror]
+            self.server,
+            self.rngs.stream("network.latency"),
+            taps=[self.mirror],
+            metrics=self.metrics,
         )
-        self.loop = EventLoop()
+        self.loop = EventLoop(metrics=self.metrics)
         self.clients: dict[str, NfsClient] = {}
 
     @property
@@ -93,9 +102,26 @@ class TracedSystem:
             name_timeout=name_timeout,
             cache_blocks=cache_blocks,
             readahead_blocks=readahead_blocks,
+            metrics=self.metrics,
         )
         self.clients[host] = client
         return client
+
+    def start_measurement(self, t0: float) -> None:
+        """Exclude packets with wire time before ``t0`` from the metrics.
+
+        Traffic before ``t0`` is still simulated, forwarded, and
+        captured — only the ``server.*``, ``mirror.*``, and ``trace.*``
+        instruments ignore it.  This aligns the snapshot with a trace
+        windowed at the same wire-time boundary (e.g. skipping a
+        warm-up day), so ``server.calls{proc=...}`` equals the paired
+        per-procedure counts an analysis derives from the written
+        trace.  Client- and loop-level metrics are not windowed.
+        """
+        self.server.measure_from = t0
+        self.network.measure_from = t0
+        self.mirror.measure_from = t0
+        self.collector.measure_from = t0
 
     def run(self, until: float) -> None:
         """Run the simulation to ``until`` simulated seconds."""

@@ -155,6 +155,87 @@ class TestConvert:
         assert "Total ops" in capsys.readouterr().out
 
 
+class TestStats:
+    def test_tables(self, campus_trace, capsys):
+        assert main(["stats", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Procedure" in out
+        assert "total" in out
+        assert "Estimated capture loss" in out
+
+    def test_json(self, campus_trace, capsys):
+        assert main(["stats", str(campus_trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] > 100
+        assert sum(doc["calls"].values()) + sum(doc["replies"].values()) == (
+            doc["records"]
+        )
+        assert doc["orphan_replies"] == 0
+        assert doc["unanswered_calls"] == 0
+
+    def test_empty_trace_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 2
+
+
+class TestMetricsOut:
+    def _simulate(self, tmp_path, capsys, *extra):
+        trace = tmp_path / "t.trc"
+        code = main([
+            "simulate", "--system", "campus", "--days", "0.2",
+            "--users", "2", "--seed", "5", "--out", str(trace), *extra,
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return trace
+
+    def test_snapshot_matches_trace_calls(self, tmp_path, capsys):
+        """server.calls{proc=...} must equal the trace's call records."""
+        from collections import Counter as Tally
+
+        from repro.trace import read_trace
+
+        metrics = tmp_path / "m.json"
+        trace = self._simulate(tmp_path, capsys, "--metrics-out", str(metrics))
+        snap = json.loads(metrics.read_text())
+        tally = Tally(r.proc.value for r in read_trace(trace) if r.is_call())
+        for proc, count in tally.items():
+            assert snap[f"server.calls{{proc={proc}}}"] == count
+        metric_total = sum(
+            v for k, v in snap.items() if k.startswith("server.calls{")
+        )
+        assert metric_total == sum(tally.values())
+
+    def test_prom_format(self, tmp_path, capsys):
+        from repro.obs import parse_prom_text
+
+        metrics = tmp_path / "m.prom"
+        self._simulate(tmp_path, capsys, "--metrics-out", str(metrics))
+        samples = parse_prom_text(metrics.read_text())
+        assert any(k.startswith("server_calls{") for k in samples)
+        assert "loop_events" in samples
+
+    def test_events_out(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        self._simulate(tmp_path, capsys, "--events-out", str(events))
+        lines = [json.loads(line) for line in events.read_text().splitlines()]
+        assert lines[0]["event"] == "simulate.start"
+        assert lines[-1]["event"] == "simulate.done"
+        assert lines[-1]["records"] > 0
+
+    def test_progress_lines_on_stderr(self, tmp_path, capsys):
+        trace = tmp_path / "t.trc"
+        code = main([
+            "simulate", "--system", "campus", "--days", "0.2",
+            "--users", "2", "--seed", "5", "--out", str(trace), "--progress",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[repro] sim" in err
+        assert "speed" in err
+
+
 class TestErrors:
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["summary", "--in", "/no/such/file.trace"]) == 2
