@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.perf import bench_timer, flush_all
+from benchmarks.perf import bench_extra, bench_timer, flush_all
 from repro.analysis.pairing import PairedOp, PairingStats, pair_all
 from repro.simcore.clock import SECONDS_PER_DAY
 from repro.workloads import (
@@ -33,11 +33,6 @@ WEEK = 7 * DAY
 #: by the benches (the simulated Sunday warms the caches up).
 ANALYSIS_START = 0.0
 ANALYSIS_END = WEEK
-
-
-#: Extra top-level fields for each bench's BENCH_*.json, filled in as
-#: the session fixtures finish their runs.
-_bench_extra: dict[str, dict] = {}
 
 
 class SimulatedWeek:
@@ -71,11 +66,12 @@ def _simulate_week(name: str, system: TracedSystem, workload) -> SimulatedWeek:
     # (which reaches Sunday 9am) is fully covered
     with bench_timer(f"{name.lower()}_week").phase("simulate"):
         system.run(WEEK + 10 * 3600.0)
-    _bench_extra[f"{name.lower()}_week"] = {
-        "events": system.loop.events_run,
-        "sim_seconds": system.clock.now,
-        "sim_wall_ratio": system.metrics.get("loop.sim_wall_ratio").value,
-    }
+    bench_extra(
+        f"{name.lower()}_week",
+        events=system.loop.events_run,
+        sim_seconds=system.clock.now,
+        sim_wall_ratio=system.metrics.get("loop.sim_wall_ratio").value,
+    )
     return SimulatedWeek(name, system, workload)
 
 
@@ -95,4 +91,4 @@ def eecs_week() -> SimulatedWeek:
 
 def pytest_sessionfinish(session, exitstatus):
     """Seed the BENCH_*.json perf trajectory from this session's timers."""
-    flush_all(**_bench_extra)
+    flush_all()

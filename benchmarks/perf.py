@@ -16,8 +16,13 @@ Schema (one file per simulated system)::
       "sim_seconds": 640800.0,
       "sim_wall_ratio": 98765.4,
       "phases": [{"name": "simulate", "seconds": 12.3, "entries": 1}, ...],
+      "codec": {"decode_ratio": 3.5, "binary_decode_mb_s": 28.1, ...},
+      "pair_jobs": {"jobs_1_seconds": 1.9, ...},
       "total_seconds": 12.5
     }
+
+``codec``/``pair_jobs`` appear when the codec bench ran in the session
+(see ``bench_codec.py``); docs/PERFORMANCE.md explains every field.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.obs import PhaseTimer
 BENCH_DIR = Path(__file__).resolve().parent
 
 _timers: dict[str, PhaseTimer] = {}
+_extras: dict[str, dict] = {}
 
 
 def bench_timer(name: str) -> PhaseTimer:
@@ -37,6 +43,11 @@ def bench_timer(name: str) -> PhaseTimer:
     if timer is None:
         timer = _timers[name] = PhaseTimer()
     return timer
+
+
+def bench_extra(name: str, **fields) -> None:
+    """Merge extra top-level fields into benchmark ``name``'s JSON."""
+    _extras.setdefault(name, {}).update(fields)
 
 
 def write_bench_json(name: str, **extra) -> Path:
@@ -50,9 +61,12 @@ def flush_all(**extra_by_name) -> list[Path]:
     """Write every registered timer's JSON file; returns the paths.
 
     ``extra_by_name`` maps a bench name to a dict of extra top-level
-    fields for that file (e.g. event counts from the finished system).
+    fields for that file, merged over anything recorded via
+    :func:`bench_extra` during the session.
     """
+    for name, fields in extra_by_name.items():
+        bench_extra(name, **fields)
     return [
-        write_bench_json(name, **extra_by_name.get(name, {}))
+        write_bench_json(name, **_extras.get(name, {}))
         for name in sorted(_timers)
     ]

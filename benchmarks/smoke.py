@@ -1,0 +1,136 @@
+"""Scaled-down campus bench for CI's bench-smoke job.
+
+Simulates two CAMPUS days at reduced scale, exercises the text and
+binary codecs and the parallel pairing fan-out, writes a
+``BENCH_smoke.json`` snapshot (uploaded as a CI artifact), and gates
+on machine-comparable ratios against the committed baseline
+(``BENCH_smoke_baseline.json``): a metric more than 30% below baseline
+fails the job.  The wide margin absorbs runner noise; absolute wall
+seconds are recorded for humans but never gated, since CI hardware
+varies.
+
+Usage::
+
+    python benchmarks/smoke.py --out benchmarks/BENCH_smoke.json
+    python benchmarks/smoke.py --write-baseline   # refresh the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE = BENCH_DIR / "BENCH_smoke_baseline.json"
+
+#: Gated metrics: all are same-machine ratios, so they transfer across
+#: hardware.  Higher is better for every one of them.
+GATED = ("sim_wall_ratio", "decode_ratio", "binary_size_ratio")
+
+#: Fail when a gated metric drops more than this far below baseline.
+TOLERANCE = 0.30
+
+DAY = 86400.0
+
+
+def run_bench() -> dict:
+    from repro.analysis.parallel import parallel_pair
+    from repro.trace import read_trace, write_trace
+    from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+    system = TracedSystem(seed=1001, quota_bytes=50 * 1024 * 1024)
+    CampusEmailWorkload(CampusParams(users=8)).attach(system)
+    started = time.perf_counter()
+    system.run(2 * DAY)
+    simulate_seconds = time.perf_counter() - started
+    records = system.records()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        text = Path(tmp) / "smoke.trace"
+        binary = Path(tmp) / "smoke.rtb"
+        started = time.perf_counter()
+        write_trace(text, records)
+        encode_text = time.perf_counter() - started
+        started = time.perf_counter()
+        write_trace(binary, records)
+        encode_binary = time.perf_counter() - started
+
+        started = time.perf_counter()
+        n_text = len(read_trace(text))
+        decode_text = time.perf_counter() - started
+        started = time.perf_counter()
+        n_binary = len(read_trace(binary))
+        decode_binary = time.perf_counter() - started
+        assert n_text == n_binary == len(records)
+
+        started = time.perf_counter()
+        sequential = parallel_pair(binary, jobs=1, chunk_records=16384)
+        pair_seconds = time.perf_counter() - started
+        fanned = parallel_pair(binary, jobs=2, chunk_records=16384)
+        assert sequential == fanned, "jobs=2 diverged from jobs=1"
+
+        text_bytes = text.stat().st_size
+        binary_bytes = binary.stat().st_size
+
+    return {
+        "bench": "smoke",
+        "records": len(records),
+        "ops": len(sequential[0]),
+        "simulate_seconds": round(simulate_seconds, 3),
+        "encode_text_seconds": round(encode_text, 3),
+        "encode_binary_seconds": round(encode_binary, 3),
+        "decode_text_seconds": round(decode_text, 3),
+        "decode_binary_seconds": round(decode_binary, 3),
+        "pair_seconds": round(pair_seconds, 3),
+        "sim_wall_ratio": round(2 * DAY / simulate_seconds, 1),
+        "decode_ratio": round(decode_text / decode_binary, 2),
+        "binary_size_ratio": round(text_bytes / binary_bytes, 2),
+    }
+
+
+def check(result: dict, baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping the gate")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for metric in GATED:
+        base = baseline.get(metric)
+        current = result.get(metric)
+        if base is None or current is None:
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(f"{metric}: {current} (baseline {base}, floor {floor:.2f}) {verdict}")
+        if current < floor:
+            failures.append(metric)
+    if failures:
+        print(f"bench-smoke regression gate failed: {', '.join(failures)}")
+        return 1
+    print("bench-smoke gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(BENCH_DIR / "BENCH_smoke.json"))
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="store this run as the committed baseline")
+    args = parser.parse_args(argv)
+    result = run_bench()
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.write_baseline:
+        Path(args.baseline).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+    return check(result, Path(args.baseline))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

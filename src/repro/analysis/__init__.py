@@ -9,6 +9,8 @@ Pipeline building blocks:
 
 * :mod:`pairing` — match calls to replies (and count what the mirror
   port lost, Section 4.1.4).
+* :mod:`parallel` — chunked multiprocessing fan-out for decode+pair,
+  with a deterministic boundary merge (``repro analyze --jobs N``).
 * :mod:`hierarchy` — reconstruct the active file-system tree from
   lookup traffic (Section 4.1.1).
 * :mod:`reorder` — the reorder-window sort and swapped-access
@@ -28,6 +30,7 @@ Pipeline building blocks:
 """
 
 from repro.analysis.pairing import PairedOp, pair_records, pair_all, PairingStats
+from repro.analysis.parallel import ChunkSpec, parallel_pair, plan_chunks
 from repro.analysis.hierarchy import HierarchyReconstructor
 from repro.analysis.reorder import reorder_window_sort, swapped_fraction
 from repro.analysis.runs import Run, RunBuilder, classify_runs
@@ -51,6 +54,9 @@ __all__ = [
     "pair_records",
     "pair_all",
     "PairingStats",
+    "ChunkSpec",
+    "parallel_pair",
+    "plan_chunks",
     "HierarchyReconstructor",
     "reorder_window_sort",
     "swapped_fraction",

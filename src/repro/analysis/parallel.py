@@ -1,0 +1,415 @@
+"""Parallel analysis fan-out over trace chunks.
+
+Decode + pairing dominate analysis wall time, and both parallelize:
+the trace is split into *content-derived* chunks (fixed record count,
+boundary nudged so records sharing one timestamp stay together), each
+chunk is decoded and paired by a worker, and a deterministic merge
+resolves the call/reply pairs that straddle chunk boundaries.
+
+Chunk planning depends only on the trace — never on the worker count —
+so ``jobs=1`` and ``jobs=N`` walk identical chunk lists through
+identical merge code and produce identical results, byte for byte.
+``jobs=1`` runs the same code path inline without a pool.
+
+Workers never receive record objects: a :class:`ChunkSpec` carries a
+path plus a byte range, and each worker seeks and decodes its own
+slice.  For the binary container that needs the string table as it
+stood at the chunk boundary (ids are assigned by definition order), so
+the planner's index pass collects it; text chunks are self-contained.
+
+The paired operation list is built once and reused by every analysis
+(summary, runs, characterization) instead of re-pairing per analysis —
+see :func:`repro.cli.main.cmd_analyze`.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from struct import Struct
+from typing import Iterable
+
+from repro.errors import TraceFormatError
+from repro.obs.gcpause import paused_gc
+from repro.obs.metrics import MetricsRegistry
+from repro.trace.binfmt import (
+    _FRAME_HEAD,
+    _RECORD_TAG,
+    _STRING_TAG,
+    _VERSION_STRUCT,
+    FORMAT_VERSION,
+    MAGIC,
+    BinaryTraceDecoder,
+    is_binary_trace_path,
+    open_binary_for_read,
+)
+from repro.nfs.messages import NfsStatus
+from repro.trace.record import Direction, TraceRecord, record_from_line
+from repro.analysis.pairing import PairedOp, PairingStats, _merge
+
+#: Nominal records per chunk.  Small enough that a week-scale trace
+#: yields plenty of chunks to balance over, large enough that per-chunk
+#: overhead (seek, fork, pickle of the partials) stays negligible.
+DEFAULT_CHUNK_RECORDS = 65536
+
+_TIME_STRUCT = Struct("<d")
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One self-contained slice of a trace file.
+
+    ``offset``/``nbytes`` are in *decompressed* stream coordinates for
+    ``.gz`` inputs (workers seek through the gzip stream).  ``strings``
+    is the binary string table as of ``offset``; empty for text.
+    """
+
+    path: str
+    binary: bool
+    offset: int
+    nbytes: int
+    records: int
+    strings: tuple[str, ...] = ()
+
+
+@dataclass
+class PairedChunk:
+    """A worker's partial result: pairs plus boundary leftovers."""
+
+    ops: list[PairedOp] = field(default_factory=list)
+    tail_calls: list[TraceRecord] = field(default_factory=list)
+    head_orphans: list[TraceRecord] = field(default_factory=list)
+    calls: int = 0
+    replies: int = 0
+    paired: int = 0
+    errors: int = 0
+    retransmissions: int = 0  # duplicate-xid calls (content-derived)
+    wall_seconds: float = 0.0
+
+
+def plan_chunks(
+    path: str | Path, *, chunk_records: int = DEFAULT_CHUNK_RECORDS
+) -> list[ChunkSpec]:
+    """Index a trace into chunk specs (content-derived boundaries)."""
+    path = str(path)
+    if is_binary_trace_path(path):
+        return _plan_binary(path, chunk_records)
+    return _plan_text(path, chunk_records)
+
+
+def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
+    # A light frame scan: no record objects, just frame heads, string
+    # payloads (future chunk seeds) and each record's leading f64 time.
+    frame_head = _FRAME_HEAD
+    frame_head_size = frame_head.size
+    unpack_time = _TIME_STRUCT.unpack_from
+    specs: list[ChunkSpec] = []
+    strings: list[str] = []
+    fileobj = open_binary_for_read(path)
+    try:
+        header = fileobj.read(len(MAGIC) + _VERSION_STRUCT.size)
+        if header[: len(MAGIC)] != MAGIC:
+            raise TraceFormatError(f"not a binary trace (magic {header[:4]!r})")
+        (version,) = _VERSION_STRUCT.unpack_from(header, len(MAGIC))
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"binary trace format v{version}; "
+                f"this reader speaks v{FORMAT_VERSION}"
+            )
+        offset = len(header)
+        chunk_start = offset
+        chunk_strings = 0  # len(strings) at chunk_start
+        count = 0
+        last_time = None
+        file_read = fileobj.read
+        chunk_size = 1 << 20
+        buf = b""
+        pos = 0
+        while True:
+            if len(buf) - pos < frame_head_size:
+                buf = buf[pos:] + file_read(chunk_size)
+                pos = 0
+                if not buf:
+                    break
+                if len(buf) < frame_head_size:
+                    raise TraceFormatError("truncated frame header")
+            tag, length = frame_head.unpack_from(buf, pos)
+            body = pos + frame_head_size
+            end = body + length
+            if end > len(buf):
+                tail = buf[pos:]
+                need = frame_head_size + length - len(tail)
+                buf = tail + file_read(
+                    need if need > chunk_size else chunk_size
+                )
+                pos = 0
+                body = frame_head_size
+                end = body + length
+                if len(buf) < end:
+                    raise TraceFormatError("truncated frame payload")
+            if tag == _RECORD_TAG:
+                (when,) = unpack_time(buf, body)
+                if count >= chunk_records and when != last_time:
+                    specs.append(
+                        ChunkSpec(
+                            path=path,
+                            binary=True,
+                            offset=chunk_start,
+                            nbytes=offset - chunk_start,
+                            records=count,
+                            strings=tuple(strings[:chunk_strings]),
+                        )
+                    )
+                    chunk_start = offset
+                    chunk_strings = len(strings)
+                    count = 0
+                count += 1
+                last_time = when
+            elif tag == _STRING_TAG:
+                strings.append(buf[body:end].decode("utf-8"))
+            else:
+                raise TraceFormatError(f"unknown frame tag 0x{tag:02x}")
+            offset += frame_head_size + length
+            pos = end
+        if offset > chunk_start:
+            specs.append(
+                ChunkSpec(
+                    path=path,
+                    binary=True,
+                    offset=chunk_start,
+                    nbytes=offset - chunk_start,
+                    records=count,
+                    strings=tuple(strings[:chunk_strings]),
+                )
+            )
+    finally:
+        fileobj.close()
+    return specs
+
+
+def _open_raw(path: str):
+    """Byte-stream open, gzip-transparent (offsets are decompressed)."""
+    if path.endswith(".gz"):
+        import gzip
+
+        return io.BufferedReader(gzip.open(path, "rb"))
+    return open(path, "rb")
+
+
+def _plan_text(path: str, chunk_records: int) -> list[ChunkSpec]:
+    specs: list[ChunkSpec] = []
+    offset = 0
+    chunk_start = 0
+    count = 0
+    last_time = None
+    with _open_raw(path) as fileobj:
+        for line in fileobj:
+            stripped = line.strip()
+            if stripped and not stripped.startswith(b"#"):
+                try:
+                    when = float(stripped.split(b" ", 1)[0])
+                except ValueError:
+                    when = last_time  # malformed: the worker will complain
+                if count >= chunk_records and when != last_time:
+                    specs.append(
+                        ChunkSpec(
+                            path=path,
+                            binary=False,
+                            offset=chunk_start,
+                            nbytes=offset - chunk_start,
+                            records=count,
+                        )
+                    )
+                    chunk_start = offset
+                    count = 0
+                count += 1
+                last_time = when
+            offset += len(line)
+    if offset > chunk_start:
+        specs.append(
+            ChunkSpec(
+                path=path,
+                binary=False,
+                offset=chunk_start,
+                nbytes=offset - chunk_start,
+                records=count,
+            )
+        )
+    return specs
+
+
+def decode_chunk(spec: ChunkSpec) -> list[TraceRecord]:
+    """Decode one chunk's records (worker side; strict)."""
+    if spec.binary:
+        with open_binary_for_read(spec.path) as fileobj:
+            fileobj.seek(spec.offset)
+            payload = fileobj.read(spec.nbytes)
+        decoder = BinaryTraceDecoder(
+            io.BytesIO(payload), expect_header=False, strings=spec.strings
+        )
+        with paused_gc():
+            return list(decoder)
+    with _open_raw(spec.path) as fileobj:
+        fileobj.seek(spec.offset)
+        payload = fileobj.read(spec.nbytes)
+    records = []
+    append = records.append
+    with paused_gc():
+        for raw in payload.decode("utf-8").splitlines():
+            raw = raw.strip()
+            if raw and not raw.startswith("#"):
+                append(record_from_line(raw))
+    return records
+
+
+def _init_worker() -> None:
+    """Pool worker setup: no cyclic GC in one-shot batch children.
+
+    A collection in a forked worker walks the whole inherited parent
+    heap, and the refcount writes turn shared copy-on-write pages into
+    private copies — a page storm that can dwarf the chunk's own work.
+    The worker exits after its chunks, so leaks cannot accumulate.
+    """
+    import gc
+
+    gc.disable()
+
+
+def pair_chunk(spec: ChunkSpec) -> PairedChunk:
+    """Decode and pair one chunk (worker side)."""
+    started = _time.perf_counter()
+    partial = _pair_partial(decode_chunk(spec))
+    partial.wall_seconds = _time.perf_counter() - started
+    return partial
+
+
+def _pair_partial(records: Iterable[TraceRecord]) -> PairedChunk:
+    """Pair what can be paired locally; return the rest as leftovers.
+
+    Mirrors :func:`repro.analysis.pairing.pair_records` except that
+    boundary effects are *returned* instead of charged: an unmatched
+    reply may have its call in an earlier chunk, an outstanding call
+    its reply in a later one.  The merge settles both.
+    """
+    partial = PairedChunk()
+    outstanding: dict[tuple[str, int], TraceRecord] = {}
+    pop = outstanding.pop
+    ops = partial.ops
+    add_op = ops.append
+    orphans = partial.head_orphans
+    ok_status = NfsStatus.OK
+    call_dir = Direction.CALL
+    calls = replies = paired = errors = retrans = 0
+    for record in records:
+        if record.direction == call_dir:
+            calls += 1
+            key = (record.client, record.xid)
+            if key in outstanding:
+                retrans += 1  # retransmission: keep the newest
+            outstanding[key] = record
+        else:
+            replies += 1
+            call = pop((record.client, record.xid), None)
+            if call is None:
+                orphans.append(record)
+                continue
+            op = _merge(call, record)
+            paired += 1
+            if op.status is not ok_status:
+                errors += 1
+            add_op(op)
+    partial.calls = calls
+    partial.replies = replies
+    partial.paired = paired
+    partial.errors = errors
+    partial.retransmissions = retrans
+    partial.tail_calls = list(outstanding.values())
+    return partial
+
+
+def _leftover_sort_key(record: TraceRecord):
+    # calls before replies at equal times, then stable identity order
+    return (
+        record.time,
+        0 if record.direction == Direction.CALL else 1,
+        record.client,
+        record.xid,
+    )
+
+
+def _op_sort_key(op: PairedOp):
+    return (op.time, op.client, op.xid)
+
+
+def parallel_pair(
+    path: str | Path,
+    *,
+    jobs: int = 1,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[list[PairedOp], PairingStats]:
+    """Pair a whole trace, fanning chunks over a process pool.
+
+    Returns ``(ops, stats)`` like
+    :func:`repro.analysis.pairing.pair_all`.  Results are identical for
+    every ``jobs`` value: the chunk plan is content-derived and the
+    merge is deterministic.  Boundary-crossing pairs are resolved by a
+    final pairing pass over each chunk's unmatched tail calls and head
+    replies; anything still unmatched is charged as capture loss.
+    """
+    started = _time.perf_counter()
+    specs = plan_chunks(path, chunk_records=chunk_records)
+    if jobs > 1 and len(specs) > 1:
+        with multiprocessing.Pool(
+            processes=min(jobs, len(specs)), initializer=_init_worker
+        ) as pool:
+            # the parent unpickles hundreds of thousands of returned
+            # ops; pause its cyclic GC like pair_all does
+            with paused_gc():
+                partials = pool.map(pair_chunk, specs)
+    else:
+        partials = [pair_chunk(spec) for spec in specs]
+
+    leftovers: list[TraceRecord] = []
+    for partial in partials:
+        leftovers.extend(partial.tail_calls)
+        leftovers.extend(partial.head_orphans)
+    leftovers.sort(key=_leftover_sort_key)
+    boundary = _pair_partial(leftovers)
+
+    stats = PairingStats(
+        calls=sum(p.calls for p in partials),
+        replies=sum(p.replies for p in partials),
+        paired=sum(p.paired for p in partials) + boundary.paired,
+        orphan_replies=len(boundary.head_orphans),
+        unanswered_calls=(
+            sum(p.retransmissions for p in partials)
+            + boundary.retransmissions
+            + len(boundary.tail_calls)
+        ),
+        errors=sum(p.errors for p in partials) + boundary.errors,
+    )
+    with paused_gc():
+        ops = sorted(
+            (op for partial in partials for op in partial.ops),
+            key=_op_sort_key,
+        )
+        if boundary.ops:
+            ops.extend(boundary.ops)
+            ops.sort(key=_op_sort_key)
+
+    if metrics is not None:
+        wall = _time.perf_counter() - started
+        busy = sum(p.wall_seconds for p in partials)
+        pool_size = min(jobs, len(specs)) if jobs > 1 else 1
+        metrics.gauge("analysis.pool.jobs").set(pool_size)
+        metrics.gauge("analysis.pool.chunks").set(len(specs))
+        metrics.gauge("analysis.pool.utilization").set(
+            busy / (pool_size * wall) if wall > 0 else 0.0
+        )
+        metrics.counter("analysis.pool.records").inc(stats.calls + stats.replies)
+        metrics.counter("analysis.pool.ops").inc(len(ops))
+    return ops, stats

@@ -31,7 +31,7 @@ from repro.anonymize.rules import omit_rules
 from repro.obs import EventLog, PhaseTimer, to_prom_text
 from repro.report import format_table
 from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
-from repro.trace import TraceReader, TraceWriter
+from repro.trace import TraceReader, TraceWriter, is_binary_trace_path
 from repro.workloads import (
     CampusEmailWorkload,
     CampusParams,
@@ -112,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_window_args(report)
     report.set_defaults(func=cmd_report)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="summary + runs + characterization in one pass "
+             "(pairs once, optionally in parallel)",
+    )
+    _add_window_args(analyze)
+    analyze.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for decode+pairing; "
+                              "results are identical for every value")
+    analyze.add_argument("--window-ms", type=float, default=10.0,
+                         help="reorder window (paper: 10 CAMPUS, 5 EECS)")
+    analyze.add_argument("--jumps", type=int, default=10,
+                         help="seek tolerance in blocks (1 = strict)")
+    analyze.add_argument("--metrics-out", default=None,
+                         help="write pool/codec metrics snapshot here "
+                              "(.prom -> Prometheus text, else JSON)")
+    analyze.set_defaults(func=cmd_analyze)
+
     names = sub.add_parser(
         "names", help="filename-category statistics and prediction (Sec 6.3)"
     )
@@ -119,10 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
     names.set_defaults(func=cmd_names)
 
     convert = sub.add_parser(
-        "convert", help="convert an Ellard/SNIA nfsdump file to this format"
+        "convert",
+        help="convert between trace formats "
+             "(nfsdump import, native text<->binary)",
     )
+    convert.add_argument("--from", dest="source_format", default="auto",
+                         choices=("auto", "nfsdump", "native"),
+                         help="input format (auto: sniff the first line)")
     convert.add_argument("--in", dest="input", required=True)
-    convert.add_argument("--out", required=True)
+    convert.add_argument("--out", required=True,
+                         help=".rtb/.rtb.gz writes the binary container, "
+                              "anything else the text format")
     convert.set_defaults(func=cmd_convert)
 
     return parser
@@ -345,54 +370,58 @@ def _load_ops(args):
     return ops, stats, start, end
 
 
+def _summary_text(input_path, ops, stats, start, end) -> str:
+    s = summarize_trace(ops, start, end)
+    return format_table(
+        ["Metric", "Value"],
+        [
+            ["Window (days)", f"{s.days:.3f}"],
+            ["Total ops", s.total_ops],
+            ["Ops/day", f"{s.ops_per_day:,.0f}"],
+            ["Read ops/day", f"{s.read_ops_per_day:,.0f}"],
+            ["Write ops/day", f"{s.write_ops_per_day:,.0f}"],
+            ["GB read/day", f"{s.gb_read_per_day:.4f}"],
+            ["GB written/day", f"{s.gb_written_per_day:.4f}"],
+            ["R/W bytes ratio", f"{s.rw_byte_ratio:.3f}"],
+            ["R/W ops ratio", f"{s.rw_op_ratio:.3f}"],
+            ["Metadata fraction", f"{s.metadata_fraction:.3f}"],
+            ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
+        ],
+        title=f"Summary of {input_path}",
+    )
+
+
+def _runs_text(input_path, ops, start, end, window_ms, jumps) -> str:
+    data = [
+        op for op in ops
+        if start <= op.time < end and (op.is_read() or op.is_write())
+    ]
+    data = reorder_window_sort(data, window_ms / 1000.0)
+    table = classify_runs(
+        RunBuilder().feed_all(data).finish(), jump_blocks=jumps
+    )
+    body = format_table(
+        ["Access pattern", "%"],
+        [[label, f"{value:.1f}"] for label, value in table.as_rows()],
+        title=(
+            f"Run patterns of {input_path} "
+            f"(window {window_ms:g}ms, jumps<{jumps})"
+        ),
+    )
+    return f"{body}\ntotal runs: {table.total_runs}"
+
+
 def cmd_summary(args) -> int:
     """Print a Table 2-style summary."""
     ops, stats, start, end = _load_ops(args)
-    s = summarize_trace(ops, start, end)
-    print(
-        format_table(
-            ["Metric", "Value"],
-            [
-                ["Window (days)", f"{s.days:.3f}"],
-                ["Total ops", s.total_ops],
-                ["Ops/day", f"{s.ops_per_day:,.0f}"],
-                ["Read ops/day", f"{s.read_ops_per_day:,.0f}"],
-                ["Write ops/day", f"{s.write_ops_per_day:,.0f}"],
-                ["GB read/day", f"{s.gb_read_per_day:.4f}"],
-                ["GB written/day", f"{s.gb_written_per_day:.4f}"],
-                ["R/W bytes ratio", f"{s.rw_byte_ratio:.3f}"],
-                ["R/W ops ratio", f"{s.rw_op_ratio:.3f}"],
-                ["Metadata fraction", f"{s.metadata_fraction:.3f}"],
-                ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
-            ],
-            title=f"Summary of {args.input}",
-        )
-    )
+    print(_summary_text(args.input, ops, stats, start, end))
     return 0
 
 
 def cmd_runs(args) -> int:
     """Print a Table 3-style run classification."""
     ops, _stats, start, end = _load_ops(args)
-    data = [
-        op for op in ops
-        if start <= op.time < end and (op.is_read() or op.is_write())
-    ]
-    data = reorder_window_sort(data, args.window_ms / 1000.0)
-    table = classify_runs(
-        RunBuilder().feed_all(data).finish(), jump_blocks=args.jumps
-    )
-    print(
-        format_table(
-            ["Access pattern", "%"],
-            [[label, f"{value:.1f}"] for label, value in table.as_rows()],
-            title=(
-                f"Run patterns of {args.input} "
-                f"(window {args.window_ms:g}ms, jumps<{args.jumps})"
-            ),
-        )
-    )
-    print(f"total runs: {table.total_runs}")
+    print(_runs_text(args.input, ops, start, end, args.window_ms, args.jumps))
     return 0
 
 
@@ -438,9 +467,7 @@ def cmd_lifetimes(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
-    """Print the full Table 1-style characterization."""
-    ops, _stats, start, end = _load_ops(args)
+def _report_text(input_path, ops, start, end) -> str:
     c = characterize(ops, start, end)
     rows = [
         ["Dominant call type", c.dominant_call_type()],
@@ -458,8 +485,47 @@ def cmd_report(args) -> int:
         ["Dominant death cause", c.dominant_death_cause()],
         ["Peak variance reduction", f"{c.peak_variance_reduction:.2f}x"],
     ]
-    print(format_table(["Characteristic", "Value"], rows,
-                       title=f"Characterization of {args.input}"))
+    return format_table(["Characteristic", "Value"], rows,
+                        title=f"Characterization of {input_path}")
+
+
+def cmd_report(args) -> int:
+    """Print the full Table 1-style characterization."""
+    ops, _stats, start, end = _load_ops(args)
+    print(_report_text(args.input, ops, start, end))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Run the whole analysis suite off one (parallel) pairing pass.
+
+    Pairing is the expensive part, so it happens exactly once — via
+    :func:`repro.analysis.parallel.parallel_pair`, fanned over
+    ``--jobs`` worker processes — and its operation list feeds the
+    summary, run-pattern, and characterization reports.  Output is
+    byte-identical for every ``--jobs`` value.
+    """
+    from repro.analysis.parallel import parallel_pair
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    ops, stats = parallel_pair(args.input, jobs=args.jobs, metrics=metrics)
+    if not ops:
+        raise ValueError(f"no pairable operations in {args.input}")
+    start = args.start if args.start is not None else ops[0].time
+    end = args.end if args.end is not None else ops[-1].time + 1e-6
+    print(_summary_text(args.input, ops, stats, start, end))
+    print()
+    print(_runs_text(args.input, ops, start, end, args.window_ms, args.jumps))
+    print()
+    print(_report_text(args.input, ops, start, end))
+    if args.metrics_out:
+        if args.metrics_out.endswith(".prom"):
+            Path(args.metrics_out).write_text(to_prom_text(metrics))
+        else:
+            Path(args.metrics_out).write_text(
+                json.dumps(metrics.snapshot(), indent=2) + "\n"
+            )
     return 0
 
 
@@ -511,15 +577,58 @@ def cmd_names(args) -> int:
     return 0
 
 
-def cmd_convert(args) -> int:
-    """Convert an nfsdump-format capture to the library's format."""
-    from repro.trace.nfsdump import convert_nfsdump
+def _sniff_trace_format(path: str) -> str:
+    """Guess ``native`` vs ``nfsdump`` from the first data line.
 
-    stats = convert_nfsdump(args.input, args.out)
-    print(
-        f"converted {stats.converted} of {stats.lines} lines "
-        f"({stats.skipped} skipped) -> {args.out}"
-    )
+    Native text lines carry a bare ``C``/``R`` direction as the second
+    column; nfsdump puts a ``host.port`` source address there.  Binary
+    files are native by construction (the suffix selects the codec).
+    """
+    import gzip as _gzip
+    import io as _io
+
+    if is_binary_trace_path(path):
+        return "native"
+    if str(path).endswith(".gz"):
+        handle = _io.TextIOWrapper(_gzip.open(path, "rb"), encoding="utf-8")
+    else:
+        handle = open(path, "r", encoding="utf-8")
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) > 1 and parts[1] in ("C", "R"):
+                return "native"
+            return "nfsdump"
+    return "native"  # empty file: zero records either way
+
+
+def cmd_convert(args) -> int:
+    """Convert between trace formats.
+
+    nfsdump captures are imported (best-effort parse); native traces
+    are transcoded record-for-record, so ``--out`` picks the container:
+    ``.rtb``/``.rtb.gz`` binary, anything else text.
+    """
+    source_format = args.source_format
+    if source_format == "auto":
+        source_format = _sniff_trace_format(args.input)
+    if source_format == "nfsdump":
+        from repro.trace.nfsdump import convert_nfsdump
+
+        stats = convert_nfsdump(args.input, args.out)
+        print(
+            f"converted {stats.converted} of {stats.lines} lines "
+            f"({stats.skipped} skipped) -> {args.out}"
+        )
+        return 0
+    with TraceWriter(args.out) as writer:
+        with TraceReader(args.input) as reader:
+            for record in reader:
+                writer.write(record)
+    print(f"converted {writer.records_written} records -> {args.out}")
     return 0
 
 

@@ -13,6 +13,10 @@ invalidation.  The standard behaviour modelled here:
   inbox (Section 6.1.2).
 * The cache has a bounded block capacity with LRU eviction, standing in
   for the client's page cache.
+
+Internally every table is keyed by the handle's hex token rather than
+the handle object: string hashing is C-level and cached in the string,
+which matters because ``has_block`` runs once per 8 KB of every read.
 """
 
 from __future__ import annotations
@@ -62,11 +66,11 @@ class ClientCache:
         #: rather than LOOKUP — the EECS-dominating traffic.
         self.name_timeout = name_timeout
         self.capacity_blocks = capacity_blocks
-        self._files: dict[FileHandle, CachedFile] = {}
-        #: (dir handle, name) -> (child handle, cached_at)
-        self._names: dict[tuple[FileHandle, str], tuple[FileHandle, float]] = {}
-        #: global block LRU: (fh, block) -> None
-        self._lru: OrderedDict[tuple[FileHandle, int], None] = OrderedDict()
+        self._files: dict[str, CachedFile] = {}
+        #: (dir token, name) -> (child handle, cached_at)
+        self._names: dict[tuple[str, str], tuple[FileHandle, float]] = {}
+        #: global block LRU: (fh token, block) -> None
+        self._lru: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # per-block tallies stay plain integers; _sync publishes them
         self._n_invalidations = 0
@@ -106,7 +110,7 @@ class ClientCache:
 
     def get_file(self, fh: FileHandle) -> CachedFile | None:
         """Cached state for ``fh``, or None."""
-        return self._files.get(fh)
+        return self._files.get(fh.hex)
 
     def update_attrs(self, fh: FileHandle, attrs: FileAttributes, now: float) -> None:
         """Install fresh attributes, invalidating blocks on mtime change.
@@ -115,9 +119,9 @@ class ClientCache:
         differs from the cached one, every cached block of the file is
         dropped (file-granularity invalidation).
         """
-        entry = self._files.get(fh)
+        entry = self._files.get(fh.hex)
         if entry is None:
-            self._files[fh] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
+            self._files[fh.hex] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
             return
         if entry.attrs.mtime != attrs.mtime:
             self._invalidate_blocks(entry)
@@ -126,8 +130,11 @@ class ClientCache:
 
     def attrs_fresh(self, fh: FileHandle, now: float) -> bool:
         """True when ``fh`` has attributes within the ac timeout."""
-        entry = self._files.get(fh)
-        return entry is not None and entry.attrs_fresh(now, self.ac_timeout)
+        entry = self._files.get(fh.hex)
+        return (
+            entry is not None
+            and (now - entry.attrs_fetched_at) <= self.ac_timeout
+        )
 
     def note_local_write(self, fh: FileHandle, attrs: FileAttributes, now: float) -> None:
         """Record attributes produced by our *own* write reply.
@@ -136,16 +143,16 @@ class ClientCache:
         our cache (we wrote the data), so this path updates attributes
         without the mtime comparison.
         """
-        entry = self._files.get(fh)
+        entry = self._files.get(fh.hex)
         if entry is None:
-            self._files[fh] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
+            self._files[fh.hex] = CachedFile(fh=fh, attrs=attrs, attrs_fetched_at=now)
         else:
             entry.attrs = attrs
             entry.attrs_fetched_at = now
 
     def forget(self, fh: FileHandle) -> None:
         """Drop all state for ``fh`` (file removed)."""
-        entry = self._files.pop(fh, None)
+        entry = self._files.pop(fh.hex, None)
         if entry is not None:
             self._invalidate_blocks(entry)
 
@@ -153,7 +160,7 @@ class ClientCache:
 
     def lookup_name(self, dir_fh: FileHandle, name: str, now: float) -> FileHandle | None:
         """Cached lookup result, or None if absent/expired."""
-        hit = self._names.get((dir_fh, name))
+        hit = self._names.get((dir_fh.hex, name))
         if hit is None:
             return None
         fh, cached_at = hit
@@ -163,44 +170,73 @@ class ClientCache:
 
     def cache_name(self, dir_fh: FileHandle, name: str, fh: FileHandle, now: float) -> None:
         """Remember a lookup result."""
-        self._names[(dir_fh, name)] = (fh, now)
+        self._names[(dir_fh.hex, name)] = (fh, now)
 
     def forget_name(self, dir_fh: FileHandle, name: str) -> None:
         """Drop a name cache entry (after remove/rename)."""
-        self._names.pop((dir_fh, name), None)
+        self._names.pop((dir_fh.hex, name), None)
 
     # -- block cache -----------------------------------------------------------
 
     def has_block(self, fh: FileHandle, block: int) -> bool:
         """True when ``block`` of ``fh`` is cached."""
-        entry = self._files.get(fh)
+        key = fh.hex
+        entry = self._files.get(key)
         if entry is None or block not in entry.blocks:
             return False
-        self._lru.move_to_end((fh, block))
+        self._lru.move_to_end((key, block))
         return True
+
+    def touch_block(self, entry: CachedFile, block: int) -> None:
+        """Refresh LRU recency for a block known to be in ``entry``.
+
+        The fast path for callers that already hold the
+        :class:`CachedFile` (see :meth:`get_file`) and have checked
+        ``block in entry.blocks`` themselves — equivalent to a
+        :meth:`has_block` hit without re-resolving the handle.
+        """
+        self._lru.move_to_end((entry.fh.hex, block))
+
+    @property
+    def block_lru(self) -> OrderedDict:
+        """The global block LRU, keyed by ``(fh token, block)``.
+
+        Exposed for the client's read fast path, which hoists
+        ``block_lru.move_to_end`` out of its per-block loop; treat it
+        as read/touch-only — inserts and evictions stay in here.
+        """
+        return self._lru
 
     def add_block(self, fh: FileHandle, block: int) -> None:
         """Insert a block, evicting LRU blocks if over capacity."""
-        entry = self._files.get(fh)
+        entry = self._files.get(fh.hex)
         if entry is None:
             return  # no attributes yet: nothing to validate against
+        self.add_block_entry(entry, block)
+
+    def add_block_entry(self, entry: CachedFile, block: int) -> None:
+        """:meth:`add_block` for callers already holding the entry."""
+        lru = self._lru
+        key = entry.fh.hex
         if block not in entry.blocks:
             entry.blocks.add(block)
-            self._lru[(fh, block)] = None
+            lru[(key, block)] = None
         else:
-            self._lru.move_to_end((fh, block))
-        while len(self._lru) > self.capacity_blocks:
-            (old_fh, old_block), _ = self._lru.popitem(last=False)
-            old_entry = self._files.get(old_fh)
-            if old_entry is not None:
-                old_entry.blocks.discard(old_block)
-            self._n_evictions += 1
-        if len(self._lru) > self._blocks_hw:
-            self._blocks_hw = len(self._lru)
+            lru.move_to_end((key, block))
+        if len(lru) > self.capacity_blocks:
+            files = self._files
+            while len(lru) > self.capacity_blocks:
+                (old_key, old_block), _ = lru.popitem(last=False)
+                old_entry = files.get(old_key)
+                if old_entry is not None:
+                    old_entry.blocks.discard(old_block)
+                self._n_evictions += 1
+        if len(lru) > self._blocks_hw:
+            self._blocks_hw = len(lru)
 
     def cached_blocks(self, fh: FileHandle) -> int:
         """Number of cached blocks for ``fh``."""
-        entry = self._files.get(fh)
+        entry = self._files.get(fh.hex)
         return len(entry.blocks) if entry else 0
 
     # -- internals ---------------------------------------------------------------
@@ -208,6 +244,8 @@ class ClientCache:
     def _invalidate_blocks(self, entry: CachedFile) -> None:
         self._n_invalidations += 1
         self._n_blocks_invalidated += len(entry.blocks)
+        key = entry.fh.hex
+        lru_pop = self._lru.pop
         for block in entry.blocks:
-            self._lru.pop((entry.fh, block), None)
+            lru_pop((key, block), None)
         entry.blocks.clear()

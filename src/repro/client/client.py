@@ -177,6 +177,10 @@ class NfsClient:
         Cached, attribute-valid blocks are absorbed; misses go to the
         wire block by block through the nfsiod pool, plus read-ahead
         when the access pattern has been sequential.
+
+        This loop runs once per 8 KB of every read in the simulation,
+        so the sequential-streak tracking and read-ahead issue logic
+        are inlined against a single cache-entry lookup per call.
         """
         self._sync_cursor()
         if count <= 0:
@@ -186,34 +190,81 @@ class NfsClient:
         if offset >= size:
             return 0
         count = min(count, size - offset)
-        got = 0
+        cache = self.cache
+        fh = of.fh
+        fh_hex = fh.hex
+        entry = cache.get_file(fh)
+        blocks = entry.blocks if entry is not None else frozenset()
+        lru_move = cache.block_lru.move_to_end
+        read_end = offset + count
+        readahead = self.readahead_blocks
+        last_block = of.last_block
+        streak = of.sequential_streak
+        prefetched = of.prefetched
+        absorbed = ra_used = misses = 0
         for block in block_range(offset, count):
-            block_start = block * BLOCK_SIZE
-            want = min(BLOCK_SIZE, size - block_start)
-            if self.cache.has_block(of.fh, block):
-                self._n_absorbed += 1
-                prefetched = of.prefetched
+            if block in blocks:
+                lru_move((fh_hex, block))
+                absorbed += 1
                 if prefetched and block in prefetched:
                     prefetched.discard(block)
-                    self._n_ra_used += 1
+                    ra_used += 1
             else:
-                self._n_read_misses += 1
+                block_start = block * BLOCK_SIZE
+                misses += 1
                 reply = self._rpc(
                     NfsProc.READ,
-                    uid=of.uid, gid=of.gid, fh=of.fh,
-                    offset=block_start, count=want,
+                    uid=of.uid, gid=of.gid, fh=fh,
+                    offset=block_start, count=min(BLOCK_SIZE, size - block_start),
                     asynchronous=True,
                 )
                 if reply.ok():
-                    self.cache.add_block(of.fh, block)
+                    if entry is not None:
+                        cache.add_block_entry(entry, block)
                     if reply.attributes is not None:
-                        self.cache.note_local_write(
-                            of.fh, reply.attributes, self._cursor
-                        )
+                        cache.note_local_write(fh, reply.attributes, self._cursor)
                         of.attrs = reply.attributes
-            got += min(want, max(0, offset + count - block_start))
-            self._track_sequential(of, block)
-            self._read_ahead(of)
+                        if entry is None:
+                            entry = cache.get_file(fh)
+                            blocks = entry.blocks
+            # sequential-streak tracking (kept in locals; flushed below)
+            if last_block is not None and block == last_block + 1:
+                streak += 1
+            elif last_block is not None and block != last_block:
+                streak = 0
+            last_block = block
+            # read-ahead of a sequential stream
+            if streak >= 2:
+                ra_size = of.size
+                size_blocks = -(-ra_size // BLOCK_SIZE)
+                for ahead in range(block + 1, block + 1 + readahead):
+                    if ahead >= size_blocks:
+                        break
+                    if ahead in blocks:
+                        lru_move((fh_hex, ahead))
+                        continue
+                    start = ahead * BLOCK_SIZE
+                    reply = self._rpc(
+                        NfsProc.READ, uid=of.uid, gid=of.gid, fh=fh,
+                        offset=start, count=min(BLOCK_SIZE, ra_size - start),
+                        asynchronous=True,
+                    )
+                    self._n_ra_issued += 1
+                    if reply.ok():
+                        if entry is not None:
+                            cache.add_block_entry(entry, ahead)
+                        if prefetched is None:
+                            prefetched = of.prefetched = set()
+                        prefetched.add(ahead)
+        of.last_block = last_block
+        of.sequential_streak = streak
+        self._n_absorbed += absorbed
+        self._n_ra_used += ra_used
+        self._n_read_misses += misses
+        # bytes obtained: every block in [offset, offset+count) overlaps
+        # the request in full except the last (count was clamped to EOF)
+        last_start = (read_end - 1) // BLOCK_SIZE * BLOCK_SIZE
+        got = (last_start - offset // BLOCK_SIZE * BLOCK_SIZE) + (read_end - last_start)
         return min(got, count)
 
     def write(self, of: OpenFile, offset: int, count: int) -> int:
@@ -385,36 +436,6 @@ class NfsClient:
             if attrs is not None:
                 of.attrs = attrs
 
-    def _track_sequential(self, of: OpenFile, block: int) -> None:
-        if of.last_block is not None and block == of.last_block + 1:
-            of.sequential_streak += 1
-        elif of.last_block is not None and block != of.last_block:
-            of.sequential_streak = 0
-        of.last_block = block
-
-    def _read_ahead(self, of: OpenFile) -> None:
-        """Prefetch ahead of a sequential stream (client-side)."""
-        if of.sequential_streak < 2 or of.last_block is None:
-            return
-        size_blocks = -(-of.size // BLOCK_SIZE)
-        for ahead in range(of.last_block + 1, of.last_block + 1 + self.readahead_blocks):
-            if ahead >= size_blocks:
-                break
-            if self.cache.has_block(of.fh, ahead):
-                continue
-            start = ahead * BLOCK_SIZE
-            want = min(BLOCK_SIZE, of.size - start)
-            reply = self._rpc(
-                NfsProc.READ, uid=of.uid, gid=of.gid, fh=of.fh,
-                offset=start, count=want, asynchronous=True,
-            )
-            self._n_ra_issued += 1
-            if reply.ok():
-                self.cache.add_block(of.fh, ahead)
-                if of.prefetched is None:
-                    of.prefetched = set()
-                of.prefetched.add(ahead)
-
     def _rpc(
         self,
         proc: NfsProc,
@@ -435,21 +456,21 @@ class NfsClient:
             wire_time = self.nfsiods.dispatch(issue_time)
         else:
             wire_time = issue_time
+        # channel.next_xid()/register()/match(), inlined: three calls
+        # per exchange on the hottest path in the simulator
+        channel = self.channel
+        xid = channel._next_xid
+        channel._next_xid = xid + 1
+        # leading fields positional (declaration order); only the
+        # per-proc arguments travel as kwargs
         call = NfsCall(
-            time=wire_time,
-            xid=self.channel.next_xid(),
-            client=self.host,
-            server=self.server_addr,
-            proc=proc,
-            version=self.version,
-            uid=uid,
-            gid=gid,
-            issue_time=issue_time,
-            **args,
+            wire_time, xid, self.host, self.server_addr, proc,
+            self.version, uid, gid, issue_time=issue_time, **args,
         )
-        self.channel.register(call)
+        outstanding = channel._outstanding
+        outstanding[xid] = call
         reply = self.exchange(call)
-        self.channel.match(reply)
+        outstanding.pop(reply.xid, None)
         self._n_calls_sent += 1
         gap = self.op_gap * (0.5 + self.rng.random())
         if asynchronous:

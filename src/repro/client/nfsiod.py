@@ -108,28 +108,29 @@ class NfsiodPool:
         """
         self._n_dispatched += 1
         free_at = self._free_at
-        # one scan finds the earliest-free daemon and counts busy ones
-        daemon = 0
-        earliest = free_at[0]
-        busy = 1 if earliest > issue_time else 0
-        for i in range(1, self.count):
-            t = free_at[i]
+        # min()/index() find the earliest-free daemon at C speed; ties
+        # resolve to the lowest index, as the old linear scan did
+        earliest = min(free_at)
+        daemon = free_at.index(earliest)
+        busy = 0
+        for t in free_at:
             if t > issue_time:
                 busy += 1
-            if t < earliest:
-                earliest = t
-                daemon = i
         self._busy_now = busy
         if busy > self._busy_hw:
             self._busy_hw = busy
-        start = max(issue_time, earliest)
-        service = self.base_service * (0.5 + self.rng.random())
-        if self.count > 1 and self.rng.random() < self.stall_probability:
-            if self.rng.random() < self.long_stall_fraction:
+        start = issue_time if issue_time > earliest else earliest
+        rand = self.rng.random
+        service = self.base_service * (0.5 + rand())
+        if self.count > 1 and rand() < self.stall_probability:
+            if rand() < self.long_stall_fraction:
                 service += self.rng.expovariate(1.0 / self.long_stall_scale)
             else:
                 service += self.rng.expovariate(1.0 / self.stall_scale)
-        wire_time = min(start + service, issue_time + MAX_DELAY)
+        wire_time = start + service
+        ceiling = issue_time + MAX_DELAY
+        if wire_time > ceiling:
+            wire_time = ceiling
         free_at[daemon] = wire_time
         return wire_time
 

@@ -78,7 +78,7 @@ class SimFileSystem:
                 the fileid was recycled under a newer generation.
         """
         node = self._inodes.get(fh.fileid)
-        if node is None or node.handle != fh:
+        if node is None or (node.handle is not fh and node.handle != fh):
             raise StaleHandleError(f"stale handle {fh}")
         return node
 
@@ -307,7 +307,13 @@ class SimFileSystem:
         available = node.size - offset
         got = min(count, available)
         eof = offset + got >= node.size
-        node.attrs = node.attrs.touched(atime=now)
+        # attrs.touched(atime=now), inlined: one snapshot per READ call
+        # (positional, declaration order)
+        a = node.attrs
+        node.attrs = FileAttributes(
+            a.ftype, a.mode, a.uid, a.gid, a.size, a.fileid,
+            now, a.mtime, a.ctime, a.nlink,
+        )
         return got, eof
 
     def write(self, fh: FileHandle, offset: int, count: int, now: float) -> int:

@@ -87,7 +87,8 @@ class NetworkPath:
     def __call__(self, call: NfsCall) -> NfsReply:
         """Carry one call to the server and its reply back."""
         self.exchanges += 1
-        for tap in self.taps:
+        taps = self.taps
+        for tap in taps:
             tap.on_call(call)
         reply = self.server.process(call)
         latency = self.base_latency * (0.5 + self.rng.random())
@@ -102,6 +103,6 @@ class NetworkPath:
                 )
                 self._m_service[call.proc] = histogram
             histogram.observe(latency)
-        for tap in self.taps:
+        for tap in taps:
             tap.on_reply(reply)
         return reply

@@ -24,8 +24,9 @@ inspectable.
 
 from __future__ import annotations
 
-from repro.netsim.link import wire_size
+from repro.netsim.link import HEADER_BYTES
 from repro.nfs.messages import NfsCall, NfsReply
+from repro.nfs.procedures import NfsProc
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -128,7 +129,14 @@ class MirrorPort:
                 self._n_forwarded += 1
             for tap in self.taps:
                 tap.on_call(call)
-        elif self._admit(call.time, wire_size(call)):
+            return
+        # wire_size(call), inlined for the per-packet path
+        size = HEADER_BYTES
+        if call.proc is NfsProc.WRITE and call.count:
+            size += call.count
+        if call.name:
+            size += len(call.name)
+        if self._admit(call.time, size):
             for tap in self.taps:
                 tap.on_call(call)
         elif call.time >= self.measure_from:
@@ -142,7 +150,11 @@ class MirrorPort:
                 self._n_forwarded += 1
             for tap in self.taps:
                 tap.on_reply(reply)
-        elif self._admit(reply.time, wire_size(reply)):
+            return
+        size = HEADER_BYTES
+        if reply.proc is NfsProc.READ and reply.count:
+            size += reply.count
+        if self._admit(reply.time, size):
             for tap in self.taps:
                 tap.on_reply(reply)
         elif reply.time >= self.measure_from:
@@ -156,14 +168,20 @@ class MirrorPort:
             if measured:
                 self._n_forwarded += 1
             return True
-        elapsed = max(0.0, time - self._last_time)
-        self._last_time = max(self._last_time, time)
-        self._backlog = max(0.0, self._backlog - elapsed * self.bandwidth)
-        if self._backlog + size > self.buffer_bytes:
+        backlog = self._backlog
+        last = self._last_time
+        if time > last:
+            self._last_time = time
+            backlog -= (time - last) * self.bandwidth
+            if backlog < 0.0:
+                backlog = 0.0
+        if backlog + size > self.buffer_bytes:
+            self._backlog = backlog
             return False
-        self._backlog += size
+        backlog += size
+        self._backlog = backlog
         if measured:
             self._n_forwarded += 1
-            if self._backlog > self._backlog_hw:
-                self._backlog_hw = self._backlog
+            if backlog > self._backlog_hw:
+                self._backlog_hw = backlog
         return True

@@ -8,7 +8,7 @@ to decide whether cached blocks are still valid, and several analyses
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 
 class FileType(enum.Enum):
@@ -20,6 +20,9 @@ class FileType(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+    # identity hash: members are singletons (see NfsProc.__hash__)
+    __hash__ = object.__hash__
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,21 +58,20 @@ class FileAttributes:
         gid: int | None = None,
     ) -> "FileAttributes":
         """Return a copy with the given fields updated."""
-        updates = {
-            key: value
-            for key, value in {
-                "size": size,
-                "atime": atime,
-                "mtime": mtime,
-                "ctime": ctime,
-                "nlink": nlink,
-                "mode": mode,
-                "uid": uid,
-                "gid": gid,
-            }.items()
-            if value is not None
-        }
-        return replace(self, **updates)
+        # positional, declaration order: a frozen+slots dataclass init
+        # already pays object.__setattr__ per field; kwargs add ~25%
+        return FileAttributes(
+            self.ftype,
+            self.mode if mode is None else mode,
+            self.uid if uid is None else uid,
+            self.gid if gid is None else gid,
+            self.size if size is None else size,
+            self.fileid,
+            self.atime if atime is None else atime,
+            self.mtime if mtime is None else mtime,
+            self.ctime if ctime is None else ctime,
+            self.nlink if nlink is None else nlink,
+        )
 
     def is_dir(self) -> bool:
         """True when this is a directory."""

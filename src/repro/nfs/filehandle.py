@@ -11,20 +11,57 @@ behaviour is reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True, slots=True)
 class FileHandle:
-    """An opaque, stable identifier for a file on one server."""
+    """An opaque, stable identifier for a file on one server.
 
-    fsid: int
-    fileid: int
-    generation: int
+    Immutable and hashable.  Handles are dictionary keys on every hot
+    path (client caches, server tables, pairing), so the hash and the
+    hex token are computed once at construction instead of per use.
+    """
+
+    __slots__ = ("fsid", "fileid", "generation", "hex", "_hash")
+
+    def __init__(self, fsid: int, fileid: int, generation: int) -> None:
+        object.__setattr__(self, "fsid", fsid)
+        object.__setattr__(self, "fileid", fileid)
+        object.__setattr__(self, "generation", generation)
+        object.__setattr__(self, "_hash", hash((fsid, fileid, generation)))
+        #: the hex wire form; also the preferred dict key on hot paths,
+        #: because str hashing is C-level and cached
+        object.__setattr__(
+            self, "hex", f"{fsid:04x}{fileid:010x}{generation:06x}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"FileHandle is immutable; cannot set {name!r}")
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, FileHandle):
+            return NotImplemented
+        return (
+            self.fileid == other.fileid
+            and self.fsid == other.fsid
+            and self.generation == other.generation
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"FileHandle(fsid={self.fsid}, fileid={self.fileid}, "
+            f"generation={self.generation})"
+        )
+
+    def __reduce__(self):
+        return (FileHandle, (self.fsid, self.fileid, self.generation))
 
     def token(self) -> str:
         """Hex wire form, as a tracer would record it."""
-        return f"{self.fsid:04x}{self.fileid:010x}{self.generation:06x}"
+        return self.hex
 
     @classmethod
     def from_token(cls, token: str) -> "FileHandle":

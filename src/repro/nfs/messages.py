@@ -34,6 +34,9 @@ class NfsStatus(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    # identity hash: members are singletons (see NfsProc.__hash__)
+    __hash__ = object.__hash__
+
     @classmethod
     def from_wire(cls, text: str) -> "NfsStatus":
         """Parse the wire name (``NFS3ERR_NOENT`` etc.) back to a status."""

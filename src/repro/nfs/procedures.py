@@ -51,6 +51,11 @@ class NfsProc(enum.Enum):
     def __str__(self) -> str:  # used by the trace text codec
         return self.value
 
+    # Members are singletons and equality is identity, so the id-based
+    # C hash is equivalent to Enum's Python-level name hash — and this
+    # is a dict key on every call (server dispatch, tallies, pairing).
+    __hash__ = object.__hash__
+
 
 #: Procedures present only in NFSv3.
 V3_ONLY_PROCS = frozenset(

@@ -1,7 +1,7 @@
 """Observability for the simulator itself.
 
 The paper's method is watching a system from the outside; this package
-lets you watch the *simulator* the same way.  Four zero-dependency
+lets you watch the *simulator* the same way.  Five zero-dependency
 pieces:
 
 * :mod:`repro.obs.metrics` — :class:`Counter`, :class:`Gauge`,
@@ -13,11 +13,14 @@ pieces:
 * :mod:`repro.obs.eventlog` — a structured JSON-lines event stream.
 * :mod:`repro.obs.timers` — wall-clock phase timers for benchmarks and
   the CLI.
+* :mod:`repro.obs.gcpause` — cyclic-GC suspension for the
+  allocation-heavy simulate/pair phases.
 
 See ``docs/OBSERVABILITY.md`` for the metric namespace and examples.
 """
 
 from repro.obs.eventlog import EventLog
+from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -41,5 +44,6 @@ __all__ = [
     "format_sample_name",
     "log_buckets",
     "parse_prom_text",
+    "paused_gc",
     "to_prom_text",
 ]

@@ -1,0 +1,38 @@
+"""Cyclic-GC suspension for allocation-heavy phases.
+
+The simulator's hot phases allocate millions of small, acyclic objects
+— trace records, calls, replies, paired operations — that survive into
+the collector's oldest generation and are then rescanned by every full
+collection.  On a week-long CAMPUS run that rescanning costs ~25% of
+simulate wall time and ~45% of pairing wall time while freeing nothing,
+because none of those objects form reference cycles.
+
+:func:`paused_gc` turns the cyclic collector off for the duration of
+such a phase and restores it afterwards.  Reference counting still
+reclaims everything acyclic immediately; any cycles created while
+paused are collected once the collector is re-enabled.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def paused_gc() -> Iterator[None]:
+    """Disable cyclic GC for the enclosed block, then restore it.
+
+    Respects the caller's configuration: if the collector is already
+    disabled, the block runs unchanged and stays disabled afterwards.
+    Safe to nest.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()

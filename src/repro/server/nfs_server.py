@@ -15,6 +15,9 @@ from repro.nfs.messages import NfsCall, NfsReply, NfsStatus
 from repro.nfs.procedures import NfsProc
 from repro.obs.metrics import Counter, MetricsRegistry
 
+#: Hot-path reply status (the default NfsReply status, hoisted).
+_OK = NfsStatus.OK
+
 
 class NfsServer:
     """One simulated NFS server exporting one file system.
@@ -124,8 +127,15 @@ class NfsServer:
     # -- per-procedure handlers ----------------------------------------------
 
     def _getattr(self, call: NfsCall) -> NfsReply:
+        # hot handlers construct NfsReply directly and positionally
+        # (declaration order: time, xid, client, server, proc, status,
+        # version, fh, attributes, count, eof); _reply's **fields
+        # indirection costs a call + two kwargs dicts per exchange
         attrs = self.fs.getattr(call.fh)
-        return self._reply(call, fh=call.fh, attributes=attrs)
+        return NfsReply(
+            call.time, call.xid, call.client, call.server, call.proc,
+            _OK, call.version, call.fh, attrs,
+        )
 
     def _setattr(self, call: NfsCall) -> NfsReply:
         if call.size is not None:
@@ -135,25 +145,39 @@ class NfsServer:
 
     def _lookup(self, call: NfsCall) -> NfsReply:
         node = self.fs.lookup(call.fh, call.name)
-        return self._reply(call, fh=node.handle, attributes=node.attrs)
+        return NfsReply(
+            call.time, call.xid, call.client, call.server, call.proc,
+            _OK, call.version, node.handle, node.attrs,
+        )
 
     def _access(self, call: NfsCall) -> NfsReply:
         attrs = self.fs.getattr(call.fh)
-        return self._reply(call, fh=call.fh, attributes=attrs)
+        return NfsReply(
+            call.time, call.xid, call.client, call.server, call.proc,
+            _OK, call.version, call.fh, attrs,
+        )
 
     def _readlink(self, call: NfsCall) -> NfsReply:
         node = self.fs.inode(call.fh)
         return self._reply(call, fh=call.fh, attributes=node.attrs)
 
     def _read(self, call: NfsCall) -> NfsReply:
-        got, eof = self.fs.read(call.fh, call.offset or 0, call.count or 0, call.time)
-        attrs = self.fs.getattr(call.fh)
-        return self._reply(call, fh=call.fh, attributes=attrs, count=got, eof=eof)
+        fs = self.fs
+        got, eof = fs.read(call.fh, call.offset or 0, call.count or 0, call.time)
+        attrs = fs.getattr(call.fh)
+        return NfsReply(
+            call.time, call.xid, call.client, call.server, call.proc,
+            _OK, call.version, call.fh, attrs, got, eof,
+        )
 
     def _write(self, call: NfsCall) -> NfsReply:
-        wrote = self.fs.write(call.fh, call.offset or 0, call.count or 0, call.time)
-        attrs = self.fs.getattr(call.fh)
-        return self._reply(call, fh=call.fh, attributes=attrs, count=wrote)
+        fs = self.fs
+        wrote = fs.write(call.fh, call.offset or 0, call.count or 0, call.time)
+        attrs = fs.getattr(call.fh)
+        return NfsReply(
+            call.time, call.xid, call.client, call.server, call.proc,
+            _OK, call.version, call.fh, attrs, wrote,
+        )
 
     def _create(self, call: NfsCall) -> NfsReply:
         node = self.fs.create(

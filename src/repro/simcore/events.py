@@ -4,37 +4,60 @@ The workload generators, client models, and network models all schedule
 callbacks against one :class:`EventLoop`.  Events at the same timestamp
 run in FIFO scheduling order (a monotonically increasing sequence number
 breaks ties), which keeps simulations reproducible.
+
+The heap holds plain ``(when, seq, action)`` tuples — tuple comparison
+happens in C, so heap pushes and pops never call back into Python the
+way ordered dataclass entries would.  Cancellation is a side set of
+sequence numbers consulted when an entry is popped; when more than half
+of the queued entries are cancelled the heap is compacted in place, so
+a workload that schedules and cancels aggressively cannot bloat it.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import time
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.simcore.clock import SimClock
 
+#: Compact the heap when cancelled entries outnumber live ones (and the
+#: heap is big enough for the rebuild to be worth it).
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """Handle for one scheduled callback.
 
-    Ordering is by ``(when, seq)`` so same-time events preserve the order
-    in which they were scheduled.
+    The loop itself queues bare tuples; this handle exists so callers
+    can cancel (or inspect) a scheduled event without the loop paying
+    for an object per dispatch.
     """
 
-    when: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("when", "seq", "_loop", "_cancelled")
+
+    def __init__(self, when: float, seq: int, loop: "EventLoop") -> None:
+        self.when = when
+        self.seq = seq
+        self._loop = loop
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when it is popped."""
-        self.cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            self._loop._cancel(self.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "scheduled"
+        return f"Event(when={self.when!r}, seq={self.seq}, {state})"
 
 
 class EventLoop:
@@ -56,8 +79,12 @@ class EventLoop:
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._next_seq = 0
+        #: seqs scheduled but not yet run (cancelled ones stay until popped)
+        self._live: set[int] = set()
+        #: seqs cancelled while still queued
+        self._cancelled: set[int] = set()
         self._events_run = 0
         self._wall_seconds = 0.0
         self._run_started: float | None = None
@@ -72,8 +99,8 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - len(self._cancelled)
 
     @property
     def wall_seconds(self) -> float:
@@ -101,7 +128,7 @@ class EventLoop:
         self._m_events.inc(self._events_run - self._m_synced)
         self._m_synced = self._events_run
         wall = self.wall_seconds
-        self.metrics.gauge("loop.pending").set(len(self._heap))
+        self.metrics.gauge("loop.pending").set(self.pending)
         self.metrics.gauge("loop.wall_seconds").set(wall)
         if wall > 0.0:
             self.metrics.gauge("loop.sim_wall_ratio").set(self.clock.now / wall)
@@ -116,13 +143,40 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule into the past: now={self.clock.now}, when={when}"
             )
-        event = Event(when=when, seq=next(self._seq), action=action)
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._live.add(seq)
+        heapq.heappush(self._heap, (when, seq, action))
+        return Event(when, seq, self)
 
     def schedule_in(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         return self.schedule(self.clock.now + delay, action)
+
+    def _cancel(self, seq: int) -> None:
+        """Record a cancellation (called by :meth:`Event.cancel`)."""
+        if seq not in self._live:
+            return  # already ran (or already compacted away)
+        self._cancelled.add(seq)
+        heap = self._heap
+        if (
+            len(heap) >= _COMPACT_MIN_HEAP
+            and len(self._cancelled) * 2 > len(heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: the dispatch loop holds a direct reference to
+        the heap list while running.
+        """
+        cancelled = self._cancelled
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[1] not in cancelled]
+        heapq.heapify(heap)
+        self._live.difference_update(cancelled)
+        cancelled.clear()
 
     def step(self) -> bool:
         """Run the next non-cancelled event.
@@ -130,12 +184,17 @@ class EventLoop:
         Returns:
             True if an event ran, False if the queue was empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        cancelled = self._cancelled
+        live = self._live
+        while heap:
+            when, seq, action = heapq.heappop(heap)
+            live.discard(seq)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self.clock.advance_to(event.when)
-            event.action()
+            self.clock.advance_to(when)
+            action()
             self._events_run += 1
             return True
         return False
@@ -149,17 +208,31 @@ class EventLoop:
         outermost = self._run_started is None
         if outermost:
             self._run_started = time.monotonic()
+        # hoisted out of the dispatch loop: every name below would
+        # otherwise be a fresh attribute lookup per event
+        heap = self._heap
+        cancelled = self._cancelled
+        live = self._live
+        clock = self.clock
+        advance = clock.advance_to
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                when, seq, action = heap[0]
+                if cancelled and seq in cancelled:
+                    heappop(heap)
+                    cancelled.discard(seq)
+                    live.discard(seq)
                     continue
-                if head.when > end:
+                if when > end:
                     break
-                self.step()
-            if end > self.clock.now:
-                self.clock.advance_to(end)
+                heappop(heap)
+                live.discard(seq)
+                advance(when)
+                action()
+                self._events_run += 1
+            if end > clock.now:
+                advance(end)
         finally:
             if outermost:
                 self._wall_seconds += time.monotonic() - self._run_started

@@ -1,0 +1,384 @@
+"""Binary trace container (``.rtb`` / ``.rtb.gz``).
+
+The text trace format is the interchange format; this module is the
+fast path.  A ``.rtb`` file holds the same :class:`TraceRecord` stream
+as a ``.trace`` file, but ``struct``-packed, with a per-file string
+table interning every repeated token (client, server, file handle,
+name, file type), so decoding is arithmetic instead of parsing.
+
+Layout (all integers little-endian)::
+
+    header  := magic "RTBF" + u16 format_version
+    frame   := u8 tag + u32 payload_length + payload
+    tag 'S' := string definition; payload is UTF-8 bytes.  The string's
+               id is its definition order (0, 1, 2, ...).  Definitions
+               are interleaved with records — each string is defined
+               before the first record that references it — so the
+               format streams: a reader never needs a seekable file.
+    tag 'R' := one record; payload is the fixed head plus the packed
+               optional fields.
+
+Record payload::
+
+    head := f64 time, u8 direction (0=call 1=reply), u64 xid,
+            u32 client_id, u32 server_id, u8 proc_index,
+            u8 version, u8 status (0=absent else index+1),
+            u16 presence_bitmap
+    body := the present optional fields, packed in bitmap-bit order
+
+Bit *i* of the presence bitmap is field *i* of
+:data:`repro.trace.record._FIELD_CODECS` — the same order the text
+codec serializes ``key=value`` tokens — so the two formats cannot
+disagree about which fields exist.  String-valued fields are stored as
+u32 string-table ids; integer fields as i64; ``eof`` as u8;
+``attr_mtime`` as f64.
+
+Procedure and status bytes index :data:`_PROCS` / :data:`_STATUSES`
+(definition order of the enums); any change to those enums requires a
+:data:`FORMAT_VERSION` bump.
+
+The explicit frame lengths make skipping cheap: a reader that only
+wants record *times* can read each frame header and seek past bodies.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from struct import Struct, error as StructError
+from typing import IO, Iterator
+
+from repro.errors import TraceFormatError
+from repro.nfs.messages import NfsStatus
+from repro.obs.gcpause import paused_gc
+from repro.nfs.procedures import NfsProc
+from repro.trace.record import _FIELD_CODECS, Direction, TraceRecord
+
+MAGIC = b"RTBF"
+FORMAT_VERSION = 1
+
+_STRING_TAG = 0x53  # 'S'
+_RECORD_TAG = 0x52  # 'R'
+
+_VERSION_STRUCT = Struct("<H")
+_FRAME_HEAD = Struct("<BI")  # tag + payload length
+_RECORD_HEAD = Struct("<dBQIIBBBH")
+_RECORD_HEAD_SIZE = _RECORD_HEAD.size
+
+#: Enum wire tables: index in these tuples is the on-disk byte.
+_PROCS = tuple(NfsProc)
+_STATUSES = tuple(NfsStatus)
+_PROC_INDEX = {proc: i for i, proc in enumerate(_PROCS)}
+_STATUS_INDEX = {status: i for i, status in enumerate(_STATUSES)}
+
+#: Value kinds for the optional fields.
+_INT, _STR, _BOOL, _FLOAT = 0, 1, 2, 3
+
+_KIND_FMT = {_INT: "q", _STR: "I", _BOOL: "B", _FLOAT: "d"}
+
+_FIELD_KINDS = {
+    "uid": _INT,
+    "gid": _INT,
+    "fh": _STR,
+    "name": _STR,
+    "target_fh": _STR,
+    "target_name": _STR,
+    "offset": _INT,
+    "count": _INT,
+    "size": _INT,
+    "eof": _BOOL,
+    "attr_ftype": _STR,
+    "attr_size": _INT,
+    "attr_mtime": _FLOAT,
+    "attr_fileid": _INT,
+    "attr_uid": _INT,
+    "attr_gid": _INT,
+}
+
+#: (bit, field name, kind) in _FIELD_CODECS order — the bitmap contract.
+_OPT_FIELDS = tuple(
+    (1 << i, name, _FIELD_KINDS[name]) for i, name in enumerate(_FIELD_CODECS)
+)
+
+if len(_OPT_FIELDS) > 16:  # pragma: no cover - compile-time sanity
+    raise AssertionError("presence bitmap is u16; _FIELD_CODECS grew past 16")
+
+
+def is_binary_trace_path(path: str | Path) -> bool:
+    """Whether ``path`` names the binary container (by suffix)."""
+    name = Path(path).name
+    return name.endswith(".rtb") or name.endswith(".rtb.gz")
+
+
+def open_binary_for_write(path: str | Path) -> IO[bytes]:
+    """Open ``path`` for binary-container writing (gzip by suffix)."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "wb")
+    return open(path, "wb")
+
+
+def open_binary_for_read(path: str | Path) -> IO[bytes]:
+    """Open ``path`` for binary-container reading (gzip by suffix)."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.BufferedReader(gzip.open(path, "rb"))
+    return open(path, "rb")
+
+
+class _BitmapCodec:
+    """Per-bitmap packer cache: bitmap -> (Struct, present fields)."""
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: dict[int, tuple[Struct, tuple[tuple[str, int], ...]]] = {}
+
+    def get(self, bitmap: int) -> tuple[Struct, tuple[tuple[str, int], ...]]:
+        entry = self._cache.get(bitmap)
+        if entry is None:
+            fields = tuple(
+                (name, kind) for bit, name, kind in _OPT_FIELDS if bitmap & bit
+            )
+            fmt = "<" + "".join(_KIND_FMT[kind] for _name, kind in fields)
+            entry = self._cache[bitmap] = (Struct(fmt), fields)
+        return entry
+
+
+class BinaryTraceEncoder:
+    """Streams records into an open binary file object.
+
+    The encoder owns the string table, not the file: callers handle
+    opening/closing (see :class:`repro.trace.writer.TraceWriter`).
+    """
+
+    def __init__(self, fileobj: IO[bytes]) -> None:
+        self._file = fileobj
+        self._strings: dict[str, int] = {}
+        self._bitmaps = _BitmapCodec()
+        self.records_written = 0
+        self.bytes_written = 0
+        header = MAGIC + _VERSION_STRUCT.pack(FORMAT_VERSION)
+        fileobj.write(header)
+        self.bytes_written += len(header)
+
+    def _intern(self, text: str) -> int:
+        table = self._strings
+        sid = table.get(text)
+        if sid is None:
+            sid = len(table)
+            table[text] = sid
+            data = text.encode("utf-8")
+            frame = _FRAME_HEAD.pack(_STRING_TAG, len(data)) + data
+            self._file.write(frame)
+            self.bytes_written += len(frame)
+        return sid
+
+    def encode(self, record: TraceRecord) -> None:
+        """Append one record to the stream."""
+        intern = self._intern
+        bitmap = 0
+        values = []
+        append = values.append
+        for bit, name, kind in _OPT_FIELDS:
+            value = getattr(record, name)
+            if value is not None:
+                bitmap |= bit
+                append(intern(value) if kind == _STR else value)
+        direction = record.direction
+        if direction == Direction.CALL:
+            direction_byte = 0
+        elif direction == Direction.REPLY:
+            direction_byte = 1
+        else:
+            raise TraceFormatError(f"bad direction {direction!r}")
+        status = record.status
+        try:
+            head = _RECORD_HEAD.pack(
+                record.time,
+                direction_byte,
+                record.xid,
+                intern(record.client),
+                intern(record.server),
+                _PROC_INDEX[record.proc],
+                record.version,
+                0 if status is None else _STATUS_INDEX[status] + 1,
+                bitmap,
+            )
+        except (KeyError, OverflowError) as exc:
+            raise TraceFormatError(f"unencodable record: {record!r}") from exc
+        if values:
+            packer, _fields = self._bitmaps.get(bitmap)
+            payload = head + packer.pack(*values)
+        else:
+            payload = head
+        self._file.write(_FRAME_HEAD.pack(_RECORD_TAG, len(payload)))
+        self._file.write(payload)
+        self.bytes_written += _FRAME_HEAD.size + len(payload)
+        self.records_written += 1
+
+
+class BinaryTraceDecoder:
+    """Iterates the records of an open binary file object.
+
+    Raises :class:`~repro.errors.TraceFormatError` on a bad header or a
+    corrupt frame.  Unlike the text reader there is no non-strict
+    resync: the frame lengths are load-bearing, so after one corrupt
+    frame the rest of the stream is unreadable.
+    """
+
+    def __init__(
+        self,
+        fileobj: IO[bytes],
+        *,
+        expect_header: bool = True,
+        strings: tuple[str, ...] | list[str] | None = None,
+    ) -> None:
+        """``expect_header=False`` with a ``strings`` seed starts decoding
+        mid-stream: the parallel analysis runner hands workers a chunk of
+        frames plus the string table as it stood at the chunk boundary.
+        """
+        self._file = fileobj
+        if expect_header:
+            header = fileobj.read(len(MAGIC) + _VERSION_STRUCT.size)
+            if header[: len(MAGIC)] != MAGIC:
+                raise TraceFormatError(
+                    f"not a binary trace (magic {header[:4]!r})"
+                )
+            (version,) = _VERSION_STRUCT.unpack_from(header, len(MAGIC))
+            if version != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"binary trace format v{version}; "
+                    f"this reader speaks v{FORMAT_VERSION}"
+                )
+            self.bytes_read = len(header)
+        else:
+            self.bytes_read = 0
+        self._strings_seed: tuple[str, ...] = tuple(strings) if strings else ()
+        self._bitmaps = _BitmapCodec()
+        self.records_read = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        # Frames are parsed out of large buffered chunks: per-frame
+        # file.read() calls would dominate decode time otherwise.
+        file_read = self._file.read
+        frame_head = _FRAME_HEAD
+        frame_head_size = frame_head.size
+        record_head = _RECORD_HEAD
+        head_size = _RECORD_HEAD_SIZE
+        bitmaps = self._bitmaps.get
+        strings: list[str] = list(self._strings_seed)
+        add_string = strings.append
+        procs = _PROCS
+        statuses = _STATUSES
+        record_cls = TraceRecord
+        call_dir = Direction.CALL
+        reply_dir = Direction.REPLY
+        chunk_size = 1 << 20
+        buf = b""
+        pos = 0
+        records = 0
+        nbytes = 0
+        try:
+            while True:
+                if len(buf) - pos < frame_head_size:
+                    buf = buf[pos:] + file_read(chunk_size)
+                    pos = 0
+                    if not buf:
+                        return
+                    if len(buf) < frame_head_size:
+                        raise TraceFormatError("truncated frame header")
+                tag, length = frame_head.unpack_from(buf, pos)
+                body = pos + frame_head_size
+                end = body + length
+                if end > len(buf):
+                    tail = buf[pos:]
+                    need = frame_head_size + length - len(tail)
+                    buf = tail + file_read(need if need > chunk_size else chunk_size)
+                    pos = 0
+                    body = frame_head_size
+                    end = body + length
+                    if len(buf) < end:
+                        raise TraceFormatError("truncated frame payload")
+                nbytes += frame_head_size + length
+                pos = end
+                if tag == _RECORD_TAG:
+                    if length < head_size:
+                        raise TraceFormatError("short record frame")
+                    try:
+                        (
+                            time,
+                            direction_byte,
+                            xid,
+                            client_id,
+                            server_id,
+                            proc_index,
+                            version,
+                            status_byte,
+                            bitmap,
+                        ) = record_head.unpack_from(buf, body)
+                        # positional: TraceRecord's leading fields are
+                        # (time, direction, xid, client, server, proc,
+                        # version, status) — kwargs cost ~10% of decode
+                        record = record_cls(
+                            time,
+                            call_dir if direction_byte == 0 else reply_dir,
+                            xid,
+                            strings[client_id],
+                            strings[server_id],
+                            procs[proc_index],
+                            version,
+                            None if status_byte == 0 else statuses[status_byte - 1],
+                        )
+                        if bitmap:
+                            unpacker, fields = bitmaps(bitmap)
+                            if head_size + unpacker.size > length:
+                                raise TraceFormatError("short record frame")
+                            values = unpacker.unpack_from(buf, body + head_size)
+                            for (name, kind), value in zip(fields, values):
+                                if kind == _STR:
+                                    value = strings[value]
+                                elif kind == _BOOL:
+                                    value = value != 0
+                                setattr(record, name, value)
+                    except (IndexError, StructError) as exc:
+                        raise TraceFormatError(f"corrupt record frame: {exc}") from exc
+                    records += 1
+                    yield record
+                elif tag == _STRING_TAG:
+                    try:
+                        add_string(buf[body:end].decode("utf-8"))
+                    except UnicodeDecodeError as exc:
+                        raise TraceFormatError("corrupt string frame") from exc
+                else:
+                    raise TraceFormatError(f"unknown frame tag 0x{tag:02x}")
+        finally:
+            self.records_read += records
+            self.bytes_read += nbytes
+
+
+def write_binary_trace(path: str | Path, records) -> int:
+    """Write an iterable of records to a ``.rtb``/``.rtb.gz`` file."""
+    fileobj = open_binary_for_write(path)
+    try:
+        encoder = BinaryTraceEncoder(fileobj)
+        for record in records:
+            encoder.encode(record)
+        return encoder.records_written
+    finally:
+        fileobj.close()
+
+
+def read_binary_trace(path: str | Path) -> list[TraceRecord]:
+    """Read an entire binary trace into memory.
+
+    Cyclic GC is paused while the list materializes (see
+    :func:`repro.trace.reader.read_trace` for why).
+    """
+    fileobj = open_binary_for_read(path)
+    try:
+        with paused_gc():
+            return list(BinaryTraceDecoder(fileobj))
+    finally:
+        fileobj.close()

@@ -14,6 +14,7 @@ captured, per direction.
 
 from __future__ import annotations
 
+import operator
 from pathlib import Path
 
 from repro.netsim.link import HEADER_BYTES
@@ -22,6 +23,9 @@ from repro.nfs.procedures import NfsProc
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.record import TraceRecord
 from repro.trace.writer import TraceWriter
+
+#: C-level sort key for the wire-time sort of a whole capture.
+_BY_TIME = operator.attrgetter("time")
 
 
 class TraceCollector:
@@ -91,7 +95,7 @@ class TraceCollector:
         The returned list is cached and shared — treat it as read-only.
         """
         if self._sorted is None:
-            self._sorted = sorted(self.records, key=lambda r: r.time)
+            self._sorted = sorted(self.records, key=_BY_TIME)
         return self._sorted
 
     def write(self, path: str | Path) -> int:

@@ -74,50 +74,48 @@ class TraceRecord:
 
     # -- construction from wire messages --------------------------------------
 
+    # Both constructors below pass every field positionally in the
+    # dataclass's declaration order: one record is built per captured
+    # packet and the kwargs dict costs ~1 us of the ~1.7 us total.
+
     @classmethod
     def from_call(cls, call: NfsCall) -> "TraceRecord":
         """Flatten an :class:`NfsCall` into a record."""
+        fh = call.fh
+        target_fh = call.target_fh
         return cls(
-            time=call.time,
-            direction=Direction.CALL,
-            xid=call.xid,
-            client=call.client,
-            server=call.server,
-            proc=call.proc,
-            version=int(call.version),
-            uid=call.uid,
-            gid=call.gid,
-            fh=call.fh.token() if call.fh else None,
-            name=call.name,
-            target_fh=call.target_fh.token() if call.target_fh else None,
-            target_name=call.target_name,
-            offset=call.offset,
-            count=call.count,
-            size=call.size,
+            call.time, Direction.CALL, call.xid, call.client, call.server,
+            call.proc, int(call.version), None,
+            call.uid, call.gid,
+            fh.hex if fh is not None else None,
+            call.name,
+            target_fh.hex if target_fh is not None else None,
+            call.target_name, call.offset, call.count, call.size,
         )
 
     @classmethod
     def from_reply(cls, reply: NfsReply) -> "TraceRecord":
         """Flatten an :class:`NfsReply` into a record."""
         attrs = reply.attributes
+        fh = reply.fh
+        if attrs is not None:
+            return cls(
+                reply.time, Direction.REPLY, reply.xid, reply.client,
+                reply.server, reply.proc, int(reply.version), reply.status,
+                None, None,
+                fh.hex if fh is not None else None,
+                None, None, None, None,
+                reply.count, None, reply.eof,
+                attrs.ftype._value_,  # .value is a descriptor; hot path
+                attrs.size, attrs.mtime, attrs.fileid, attrs.uid, attrs.gid,
+            )
         return cls(
-            time=reply.time,
-            direction=Direction.REPLY,
-            xid=reply.xid,
-            client=reply.client,
-            server=reply.server,
-            proc=reply.proc,
-            version=int(reply.version),
-            status=reply.status,
-            fh=reply.fh.token() if reply.fh else None,
-            count=reply.count,
-            eof=reply.eof,
-            attr_ftype=str(attrs.ftype) if attrs else None,
-            attr_size=attrs.size if attrs else None,
-            attr_mtime=attrs.mtime if attrs else None,
-            attr_fileid=attrs.fileid if attrs else None,
-            attr_uid=attrs.uid if attrs else None,
-            attr_gid=attrs.gid if attrs else None,
+            reply.time, Direction.REPLY, reply.xid, reply.client,
+            reply.server, reply.proc, int(reply.version), reply.status,
+            None, None,
+            fh.hex if fh is not None else None,
+            None, None, None, None,
+            reply.count, None, reply.eof,
         )
 
 

@@ -1,10 +1,12 @@
 """Streaming trace writer.
 
-Writes records as text lines, optionally gzip-compressed (chosen by
-filename suffix).  The writer can reorder a bounded window so records
-land in the file in timestamp order even when the capture pipeline
-hands them over slightly out of order — a real sniffer writes packets
-in wire order, and our simulated capture does the same.
+Writes records as text lines (optionally gzip-compressed) or as the
+binary container of :mod:`repro.trace.binfmt` — chosen by filename
+suffix (``.rtb``/``.rtb.gz`` is binary, anything else text).  The
+writer can reorder a bounded window so records land in the file in
+timestamp order even when the capture pipeline hands them over
+slightly out of order — a real sniffer writes packets in wire order,
+and our simulated capture does the same.
 """
 
 from __future__ import annotations
@@ -15,6 +17,12 @@ import io
 from pathlib import Path
 from typing import IO
 
+from repro.obs.metrics import MetricsRegistry
+from repro.trace.binfmt import (
+    BinaryTraceEncoder,
+    is_binary_trace_path,
+    open_binary_for_write,
+)
 from repro.trace.record import TraceRecord, record_to_line
 
 
@@ -33,6 +41,13 @@ class TraceWriter:
     With the default 5 s window, nfsiod-delayed packets (≤1 s, per the
     paper) always land in order.
 
+    The on-disk format follows the filename: ``.rtb``/``.rtb.gz`` gets
+    the binary container, everything else the text format.
+
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` to surface codec
+    throughput: ``trace.encode_records`` and ``trace.encode_bytes``
+    (labelled by format) are published when the writer closes.
+
     Use as a context manager::
 
         with TraceWriter("out.trace.gz") as w:
@@ -40,10 +55,25 @@ class TraceWriter:
                 w.write(record)
     """
 
-    def __init__(self, path: str | Path, *, sort_window: float = 5.0) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        sort_window: float = 5.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.path = Path(path)
         self.sort_window = sort_window
-        self._file: IO[str] | None = _open_for_write(path)
+        self.binary = is_binary_trace_path(path)
+        self.metrics = metrics
+        if self.binary:
+            self._file: IO | None = open_binary_for_write(path)
+            self._encoder: BinaryTraceEncoder | None = BinaryTraceEncoder(self._file)
+            self.bytes_written = self._encoder.bytes_written
+        else:
+            self._file = _open_for_write(path)
+            self._encoder = None
+            self.bytes_written = 0
         self._heap: list[tuple[float, int, TraceRecord]] = []
         self._seq = 0
         self.records_written = 0
@@ -66,10 +96,25 @@ class TraceWriter:
             self._emit(heapq.heappop(self._heap)[2])
         self._file.close()
         self._file = None
+        if self.metrics is not None:
+            fmt = "binary" if self.binary else "text"
+            self.metrics.counter("trace.encode_records", format=fmt).inc(
+                self.records_written
+            )
+            self.metrics.counter("trace.encode_bytes", format=fmt).inc(
+                self.bytes_written
+            )
 
     def _emit(self, record: TraceRecord) -> None:
-        self._file.write(record_to_line(record))
-        self._file.write("\n")
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.encode(record)
+            self.bytes_written = encoder.bytes_written
+        else:
+            line = record_to_line(record)
+            self._file.write(line)
+            self._file.write("\n")
+            self.bytes_written += len(line) + 1
         self.records_written += 1
 
     def __enter__(self) -> "TraceWriter":
@@ -84,5 +129,4 @@ def write_trace(path: str | Path, records) -> int:
     with TraceWriter(path) as writer:
         for record in records:
             writer.write(record)
-        written_total = writer._seq
-    return written_total
+    return writer.records_written

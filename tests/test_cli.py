@@ -154,6 +154,65 @@ class TestConvert:
         assert main(["summary", "--in", str(out)]) == 0
         assert "Total ops" in capsys.readouterr().out
 
+    def test_transcode_text_binary_roundtrip(self, campus_trace, tmp_path, capsys):
+        from repro.trace import read_trace
+
+        rtb = tmp_path / "campus.rtb"
+        back = tmp_path / "back.trace"
+        assert main(["convert", "--in", str(campus_trace), "--out", str(rtb)]) == 0
+        assert "converted" in capsys.readouterr().out
+        assert main(["convert", "--in", str(rtb), "--out", str(back)]) == 0
+        original = read_trace(campus_trace)
+        assert read_trace(rtb) == original
+        assert read_trace(back) == original
+
+    def test_explicit_source_format(self, campus_trace, tmp_path):
+        out = tmp_path / "copy.trace"
+        assert main(["convert", "--from", "native",
+                     "--in", str(campus_trace), "--out", str(out)]) == 0
+        from repro.trace import read_trace
+
+        assert read_trace(out) == read_trace(campus_trace)
+
+
+class TestAnalyze:
+    def test_sections_present(self, campus_trace, capsys):
+        assert main(["analyze", "--in", str(campus_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Summary of" in out
+        assert "Run patterns of" in out
+        assert "Characterization of" in out
+
+    def test_jobs_output_identical(self, campus_trace, tmp_path, capsys):
+        assert main(["analyze", "--in", str(campus_trace), "--jobs", "1"]) == 0
+        jobs1 = capsys.readouterr().out
+        assert main(["analyze", "--in", str(campus_trace), "--jobs", "4"]) == 0
+        jobs4 = capsys.readouterr().out
+        assert jobs1 == jobs4
+
+    def test_binary_trace_same_numbers(self, campus_trace, tmp_path, capsys):
+        rtb = tmp_path / "campus.rtb"
+        assert main(["convert", "--in", str(campus_trace), "--out", str(rtb)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--in", str(campus_trace)]) == 0
+        text_out = capsys.readouterr().out
+        assert main(["analyze", "--in", str(rtb)]) == 0
+        binary_out = capsys.readouterr().out
+        # identical up to the input path echoed in table titles
+        assert (
+            text_out.replace(str(campus_trace), "X")
+            .replace("=", "")
+            == binary_out.replace(str(rtb), "X").replace("=", "")
+        )
+
+    def test_metrics_out(self, campus_trace, tmp_path):
+        metrics_path = tmp_path / "pool.json"
+        assert main(["analyze", "--in", str(campus_trace),
+                     "--jobs", "2", "--metrics-out", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert "analysis.pool.chunks" in snapshot
+        assert "analysis.pool.ops" in snapshot
+
 
 class TestStats:
     def test_tables(self, campus_trace, capsys):

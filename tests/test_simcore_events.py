@@ -89,3 +89,65 @@ class TestEventLoop:
             loop.schedule(float(i), lambda: None)
         loop.run()
         assert loop.events_run == 5
+
+    def test_pending_excludes_cancelled_events(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i), lambda: None) for i in range(4)]
+        assert loop.pending == 4
+        events[1].cancel()
+        events[2].cancel()
+        assert loop.pending == 2
+
+    def test_cancel_then_run_preserves_order_of_survivors(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("a"))
+        doomed = loop.schedule(1.0, lambda: order.append("dropped"))
+        loop.schedule(1.0, lambda: order.append("b"))
+        loop.schedule(2.0, lambda: order.append("c"))
+        doomed.cancel()
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.events_run == 3
+        assert loop.pending == 0
+
+    def test_cancel_is_idempotent_and_safe_after_run(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule(1.0, lambda: ran.append(1))
+        loop.run()
+        event.cancel()  # after the event already ran: a no-op
+        event.cancel()
+        assert ran == [1]
+        assert loop.pending == 0
+        assert event.cancelled
+
+    def test_cancelled_event_reports_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_heavy_cancellation_compacts_heap(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # compaction keeps the internal heap close to the live count
+        assert loop.pending == 100
+        assert len(loop._heap) < 300
+        loop.run()
+        assert loop.events_run == 100
+
+    def test_run_until_skips_cancelled_head_beyond_end(self):
+        loop = EventLoop()
+        ran = []
+        head = loop.schedule(5.0, lambda: ran.append("head"))
+        head.cancel()
+        loop.schedule(6.0, lambda: ran.append("tail"))
+        loop.run_until(3.0)
+        assert ran == []
+        assert loop.pending == 1
+        loop.run_until(10.0)
+        assert ran == ["tail"]
