@@ -9,10 +9,19 @@ fails the job.  The wide margin absorbs runner noise; absolute wall
 seconds are recorded for humans but never gated, since CI hardware
 varies.
 
+The streaming engine rides along twice: the main bench records its
+throughput and gates ``stream_mem_ratio`` (peak bytes of the
+materialize-everything pipeline over peak bytes of the one-pass
+engine, measured with ``tracemalloc``), and ``--stream-smoke`` runs a
+standalone, baseline-free gate asserting the streaming pass peaks
+strictly below full materialization — the bounded-memory contract of
+``repro analyze --stream``.
+
 Usage::
 
     python benchmarks/smoke.py --out benchmarks/BENCH_smoke.json
     python benchmarks/smoke.py --write-baseline   # refresh the baseline
+    python benchmarks/smoke.py --stream-smoke     # CI memory gate only
 """
 
 from __future__ import annotations
@@ -29,12 +38,50 @@ BASELINE = BENCH_DIR / "BENCH_smoke_baseline.json"
 
 #: Gated metrics: all are same-machine ratios, so they transfer across
 #: hardware.  Higher is better for every one of them.
-GATED = ("sim_wall_ratio", "decode_ratio", "binary_size_ratio")
+GATED = ("sim_wall_ratio", "decode_ratio", "binary_size_ratio",
+         "stream_mem_ratio")
 
 #: Fail when a gated metric drops more than this far below baseline.
 TOLERANCE = 0.30
 
 DAY = 86400.0
+
+
+def _stream_pass(path: Path) -> dict:
+    """One bounded-memory engine pass over a trace file."""
+    from repro.stream import StreamEngine, StreamRuns, StreamSummary
+    from repro.trace import TraceReader
+
+    engine = StreamEngine()
+    engine.register(StreamSummary())
+    engine.register(StreamRuns())
+    with TraceReader(path) as reader:
+        return engine.run(reader)
+
+
+def _materialize_pass(path: Path) -> int:
+    """The batch shape: every record, then every op, held at once."""
+    from repro.analysis.pairing import pair_all
+    from repro.trace import read_trace
+
+    records = read_trace(path)
+    ops, _stats = pair_all(records)
+    return len(ops)
+
+
+def _traced_peak(fn) -> int:
+    """Peak bytes allocated while running ``fn`` (tracemalloc)."""
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
 
 
 def run_bench() -> dict:
@@ -76,6 +123,12 @@ def run_bench() -> dict:
         text_bytes = text.stat().st_size
         binary_bytes = binary.stat().st_size
 
+        started = time.perf_counter()
+        _stream_pass(binary)
+        stream_seconds = time.perf_counter() - started
+        stream_peak = _traced_peak(lambda: _stream_pass(binary))
+        materialize_peak = _traced_peak(lambda: _materialize_pass(binary))
+
     return {
         "bench": "smoke",
         "records": len(records),
@@ -86,10 +139,51 @@ def run_bench() -> dict:
         "decode_text_seconds": round(decode_text, 3),
         "decode_binary_seconds": round(decode_binary, 3),
         "pair_seconds": round(pair_seconds, 3),
+        "stream_seconds": round(stream_seconds, 3),
+        "stream_records_per_second": round(len(records) / stream_seconds, 1),
+        "stream_peak_bytes": stream_peak,
+        "materialize_peak_bytes": materialize_peak,
         "sim_wall_ratio": round(2 * DAY / simulate_seconds, 1),
         "decode_ratio": round(decode_text / decode_binary, 2),
         "binary_size_ratio": round(text_bytes / binary_bytes, 2),
+        "stream_mem_ratio": round(materialize_peak / stream_peak, 2),
     }
+
+
+def run_stream_smoke() -> int:
+    """Baseline-free gate: streaming must peak below materialization.
+
+    The trace must be large enough that the record/op lists dominate
+    the decoder's fixed ~1 MB chunk buffer, or both passes just measure
+    reader overhead — hence full bench scale (8 users, 2 days).
+    """
+    from repro.trace import write_trace
+    from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+    system = TracedSystem(seed=1002, quota_bytes=50 * 1024 * 1024)
+    CampusEmailWorkload(CampusParams(users=8)).attach(system)
+    system.run(2 * DAY)
+    records = system.records()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "stream-smoke.rtb.gz"
+        write_trace(trace, records)
+        del records
+        stream_peak = _traced_peak(lambda: _stream_pass(trace))
+        materialize_peak = _traced_peak(lambda: _materialize_pass(trace))
+
+    ratio = materialize_peak / stream_peak
+    print(
+        f"stream-smoke: streaming peak {stream_peak:,} bytes, "
+        f"materialized peak {materialize_peak:,} bytes "
+        f"(ratio {ratio:.2f}x)"
+    )
+    if stream_peak >= materialize_peak:
+        print("stream-smoke REGRESSION: streaming pass peaked at or above "
+              "full materialization")
+        return 1
+    print("stream-smoke gate passed")
+    return 0
 
 
 def check(result: dict, baseline_path: Path) -> int:
@@ -121,7 +215,11 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=str(BASELINE))
     parser.add_argument("--write-baseline", action="store_true",
                         help="store this run as the committed baseline")
+    parser.add_argument("--stream-smoke", action="store_true",
+                        help="run only the streaming-memory gate")
     args = parser.parse_args(argv)
+    if args.stream_smoke:
+        return run_stream_smoke()
     result = run_bench()
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

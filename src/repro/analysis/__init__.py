@@ -29,11 +29,21 @@ Pipeline building blocks:
 * :mod:`characterize` — the qualitative system comparison (Table 1).
 """
 
-from repro.analysis.pairing import PairedOp, pair_records, pair_all, PairingStats
+from repro.analysis.pairing import (
+    PairedOp,
+    PairingStats,
+    StreamPairer,
+    pair_all,
+    pair_records,
+)
 from repro.analysis.parallel import ChunkSpec, parallel_pair, plan_chunks
 from repro.analysis.hierarchy import HierarchyReconstructor
-from repro.analysis.reorder import reorder_window_sort, swapped_fraction
-from repro.analysis.runs import Run, RunBuilder, classify_runs
+from repro.analysis.reorder import (
+    StreamReorderer,
+    reorder_window_sort,
+    swapped_fraction,
+)
+from repro.analysis.runs import Run, RunBuilder, RunPatternTally, classify_runs
 from repro.analysis.lifetimes import BlockLifetimeAnalyzer
 from repro.analysis.activity import ActivityAnalyzer, best_peak_window
 from repro.analysis.sequentiality import sequentiality_metric
@@ -54,14 +64,17 @@ __all__ = [
     "pair_records",
     "pair_all",
     "PairingStats",
+    "StreamPairer",
     "ChunkSpec",
     "parallel_pair",
     "plan_chunks",
     "HierarchyReconstructor",
+    "StreamReorderer",
     "reorder_window_sort",
     "swapped_fraction",
     "Run",
     "RunBuilder",
+    "RunPatternTally",
     "classify_runs",
     "BlockLifetimeAnalyzer",
     "ActivityAnalyzer",

@@ -172,6 +172,75 @@ def pair_all(records: Iterable[TraceRecord]) -> tuple[list[PairedOp], PairingSta
     return ops, stats
 
 
+class StreamPairer:
+    """Push-based pairing for live taps and the streaming engine.
+
+    Behaviorally identical to :func:`pair_records` — same op stream,
+    same :class:`PairingStats` accounting, same periodic expiry of
+    stale outstanding calls — but driven one record at a time, so a
+    caller can pair a live capture or an out-of-core trace without an
+    iterator in hand.  Memory is bounded by the outstanding-call table
+    (calls awaiting replies within ``reply_timeout``).
+    """
+
+    __slots__ = ("stats", "reply_timeout", "_outstanding", "_last_time")
+
+    def __init__(
+        self,
+        *,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        stats: PairingStats | None = None,
+    ) -> None:
+        self.stats = stats if stats is not None else PairingStats()
+        self.reply_timeout = reply_timeout
+        self._outstanding: dict[tuple[str, int], TraceRecord] = {}
+        self._last_time = 0.0
+
+    def push(self, record: TraceRecord) -> PairedOp | None:
+        """Consume one record; returns the completed op on replies."""
+        stats = self.stats
+        time = record.time
+        if time > self._last_time:
+            self._last_time = time
+        op: PairedOp | None = None
+        if record.direction == Direction.CALL:
+            stats.calls += 1
+            key = (record.client, record.xid)
+            if key in self._outstanding:
+                # duplicate xid before reply: retransmission; keep newest
+                stats.unanswered_calls += 1
+            self._outstanding[key] = record
+        else:
+            stats.replies += 1
+            call = self._outstanding.pop((record.client, record.xid), None)
+            if call is None:
+                stats.orphan_replies += 1
+            else:
+                stats.paired += 1
+                op = _merge(call, record)
+                if op.status is not NfsStatus.OK:
+                    stats.errors += 1
+        # expire stale outstanding calls occasionally (same cadence as
+        # pair_records, so the two paths account loss identically)
+        if stats.calls % 4096 == 0 and self._outstanding:
+            horizon = self._last_time - self.reply_timeout
+            stale = [k for k, c in self._outstanding.items() if c.time < horizon]
+            for key in stale:
+                del self._outstanding[key]
+                stats.unanswered_calls += 1
+        return op
+
+    def close(self) -> PairingStats:
+        """End of stream: count leftovers as unanswered; returns stats."""
+        self.stats.unanswered_calls += len(self._outstanding)
+        self._outstanding.clear()
+        return self.stats
+
+    def __len__(self) -> int:
+        """Outstanding (unreplied) calls currently buffered."""
+        return len(self._outstanding)
+
+
 def _merge(call: TraceRecord, reply: TraceRecord) -> PairedOp:
     count = call.count
     if call.proc is NfsProc.READ and reply.count is not None:

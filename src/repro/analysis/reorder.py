@@ -15,8 +15,8 @@ The knee of that curve picks the per-system window (the paper chose
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Sequence
+from collections import defaultdict, deque
+from typing import Callable, Iterable, Sequence
 
 from repro.analysis.pairing import PairedOp
 
@@ -65,6 +65,91 @@ def reorder_window_sort(
     for op in ops:
         merged.append(next(sorted_streams[op.client]))
     return merged
+
+
+class StreamReorderer:
+    """Streaming form of :func:`reorder_window_sort`.
+
+    Emits the exact same op sequence, one push at a time.  The batch
+    pass is streamable because its look-ahead scan stops at the *first*
+    op past ``head.time + window``: the moment one such op arrives, the
+    head's candidate set is complete no matter what comes later, and
+    the minimum-XID candidate can be emitted.  Per-client emissions are
+    re-merged in the original arrival interleaving, exactly as
+    :func:`reorder_window_sort` does.
+
+    Memory is bounded by the ops buffered inside one look-ahead window
+    per client (plus the merge queue covering the same span).
+    """
+
+    __slots__ = ("window", "sink", "_pending", "_ready", "_order")
+
+    def __init__(
+        self, window: float, sink: Callable[[PairedOp], None]
+    ) -> None:
+        self.window = window
+        self.sink = sink
+        self._pending: dict[str, list[PairedOp]] = {}
+        self._ready: dict[str, deque[PairedOp]] = {}
+        self._order: deque[str] = deque()
+
+    def push(self, op: PairedOp) -> None:
+        """Consume one op in wire order; emits any ops now decidable."""
+        if self.window <= 0:
+            self.sink(op)
+            return
+        self._order.append(op.client)
+        pending = self._pending.get(op.client)
+        if pending is None:
+            pending = self._pending[op.client] = []
+            self._ready[op.client] = deque()
+        pending.append(op)
+        self._drain_client(op.client, final=False)
+        self._emit_merged()
+
+    def close(self) -> None:
+        """End of stream: every pending scan is complete; flush all."""
+        if self.window <= 0:
+            return
+        for client in self._pending:
+            self._drain_client(client, final=True)
+        self._emit_merged()
+
+    def buffered(self) -> int:
+        """Ops currently held back awaiting their horizon."""
+        return len(self._order)
+
+    def _drain_client(self, client: str, *, final: bool) -> None:
+        # Repeat the batch pass's inner scan on the buffered prefix:
+        # candidates are the contiguous run of ops within the head's
+        # horizon.  A scan that runs off the buffered end is only
+        # decidable once the stream has closed (``final``).
+        pending = self._pending[client]
+        ready = self._ready[client]
+        window = self.window
+        while pending:
+            horizon = pending[0].time + window
+            best = 0
+            i = 1
+            n = len(pending)
+            while i < n and pending[i].time <= horizon:
+                if pending[i].xid < pending[best].xid:
+                    best = i
+                i += 1
+            if i >= n and not final:
+                return
+            ready.append(pending.pop(best))
+
+    def _emit_merged(self) -> None:
+        order = self._order
+        ready = self._ready
+        sink = self.sink
+        while order:
+            client_ready = ready[order[0]]
+            if not client_ready:
+                return
+            order.popleft()
+            sink(client_ready.popleft())
 
 
 def swapped_fraction(ops: Sequence[PairedOp], window: float) -> float:

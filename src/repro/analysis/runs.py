@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.analysis.pairing import PairedOp
 from repro.fs.blockmap import BLOCK_SIZE
@@ -133,10 +133,23 @@ def _round_up(nbytes: int) -> int:
 
 
 class RunBuilder:
-    """Splits a stream of data ops into runs (the Section 4.2 rules)."""
+    """Splits a stream of data ops into runs (the Section 4.2 rules).
 
-    def __init__(self, *, idle_gap: float = DEFAULT_IDLE_GAP) -> None:
+    By default completed runs accumulate in a list returned by
+    :meth:`finish`.  Pass ``sink`` to consume each run the moment it
+    closes instead — the streaming mode: nothing is retained beyond
+    the currently-open runs, so memory stays bounded by the set of
+    concurrently-active files.
+    """
+
+    def __init__(
+        self,
+        *,
+        idle_gap: float = DEFAULT_IDLE_GAP,
+        sink: "Callable[[Run], None] | None" = None,
+    ) -> None:
         self.idle_gap = idle_gap
+        self.sink = sink
         self._open: dict[str, Run] = {}
         self._done: list[Run] = []
         #: last known file size per fh, persisted across runs, so we
@@ -194,7 +207,11 @@ class RunBuilder:
         return self
 
     def finish(self) -> list[Run]:
-        """Close all open runs and return every run found."""
+        """Close all open runs; returns the retained run list.
+
+        In sink mode every run has already been handed to the sink and
+        the returned list is empty.
+        """
         for fh in list(self._open):
             self._close(fh)
         return self._done
@@ -202,7 +219,14 @@ class RunBuilder:
     def _close(self, fh: str) -> None:
         run = self._open.pop(fh, None)
         if run is not None and run.accesses:
-            self._done.append(run)
+            if self.sink is not None:
+                self.sink(run)
+            else:
+                self._done.append(run)
+
+    def open_runs(self) -> int:
+        """Currently-open (unfinished) runs — the builder's live state."""
+        return len(self._open)
 
 
 @dataclass
@@ -242,6 +266,59 @@ class RunPatternTable:
         return rows
 
 
+class RunPatternTally:
+    """Constant-memory accumulation of the Table 3 percentages.
+
+    Classifies each run the moment it is added and keeps only the
+    (kind, pattern) counts — the run itself can be discarded.  Both
+    :func:`classify_runs` and the streaming engine
+    (:class:`repro.stream.analyses.StreamRuns`) aggregate through this
+    class, so batch and streaming runs tables are identical by
+    construction.
+    """
+
+    def __init__(self, *, jump_blocks: int = 1) -> None:
+        self.jump_blocks = jump_blocks
+        self.total = 0
+        self._counts: dict[RunKind, dict[str, int]] = {
+            kind: {"entire": 0, "sequential": 0, "random": 0}
+            for kind in RunKind
+        }
+
+    def add(self, run: Run) -> None:
+        """Classify one completed run into the tallies."""
+        self.total += 1
+        self._counts[run.kind()][
+            run.pattern(jump_blocks=self.jump_blocks).value
+        ] += 1
+
+    def table(self) -> RunPatternTable:
+        """The Table 3 percentages accumulated so far."""
+        total = self.total
+
+        def kind_total(kind: RunKind) -> int:
+            return sum(self._counts[kind].values())
+
+        def split(kind: RunKind) -> dict[str, float]:
+            n = kind_total(kind)
+            if n == 0:
+                return {"entire": 0.0, "sequential": 0.0, "random": 0.0}
+            return {k: 100.0 * v / n for k, v in self._counts[kind].items()}
+
+        def pct(kind: RunKind) -> float:
+            return 100.0 * kind_total(kind) / total if total else 0.0
+
+        return RunPatternTable(
+            reads=pct(RunKind.READ),
+            writes=pct(RunKind.WRITE),
+            read_writes=pct(RunKind.READ_WRITE),
+            read_split=split(RunKind.READ),
+            write_split=split(RunKind.WRITE),
+            read_write_split=split(RunKind.READ_WRITE),
+            total_runs=total,
+        )
+
+
 def classify_runs(
     runs: list[Run], *, jump_blocks: int = 1
 ) -> RunPatternTable:
@@ -250,28 +327,7 @@ def classify_runs(
     ``jump_blocks=1`` reproduces the raw columns;
     ``jump_blocks=DEFAULT_JUMP_BLOCKS`` the processed columns.
     """
-    kinds = {RunKind.READ: [], RunKind.WRITE: [], RunKind.READ_WRITE: []}
+    tally = RunPatternTally(jump_blocks=jump_blocks)
     for run in runs:
-        kinds[run.kind()].append(run)
-    total = len(runs)
-
-    def split(subset: list[Run]) -> dict[str, float]:
-        if not subset:
-            return {"entire": 0.0, "sequential": 0.0, "random": 0.0}
-        counts = {"entire": 0, "sequential": 0, "random": 0}
-        for run in subset:
-            counts[run.pattern(jump_blocks=jump_blocks).value] += 1
-        return {k: 100.0 * v / len(subset) for k, v in counts.items()}
-
-    def pct(subset: list[Run]) -> float:
-        return 100.0 * len(subset) / total if total else 0.0
-
-    return RunPatternTable(
-        reads=pct(kinds[RunKind.READ]),
-        writes=pct(kinds[RunKind.WRITE]),
-        read_writes=pct(kinds[RunKind.READ_WRITE]),
-        read_split=split(kinds[RunKind.READ]),
-        write_split=split(kinds[RunKind.WRITE]),
-        read_write_split=split(kinds[RunKind.READ_WRITE]),
-        total_runs=total,
-    )
+        tally.add(run)
+    return tally.table()

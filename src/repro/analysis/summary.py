@@ -93,31 +93,43 @@ class TraceSummary:
             return 0.0
         return self.attribute_check_ops / self.total_ops
 
+    # -- accumulation ------------------------------------------------------------
+
+    def add(self, op: PairedOp) -> None:
+        """Fold one op into the summary (no window check).
+
+        The single shared stat definition: both the batch
+        :func:`summarize_trace` and the streaming port
+        (:class:`repro.stream.analyses.StreamSummary`) accumulate
+        through this method, so the two paths cannot drift.
+        """
+        self.total_ops += 1
+        self.ops_by_proc[op.proc] += 1
+        if is_metadata_proc(op.proc):
+            self.metadata_ops += 1
+        if is_data_proc(op.proc):
+            self.data_ops += 1
+        if op.proc in ATTRIBUTE_CHECK_PROCS:
+            self.attribute_check_ops += 1
+        if not op.ok():
+            return
+        if op.proc is NfsProc.READ:
+            self.read_ops += 1
+            self.bytes_read += op.count or 0
+        elif op.proc is NfsProc.WRITE:
+            self.write_ops += 1
+            self.bytes_written += op.count or 0
+
 
 def summarize_trace(
     ops: Iterable[PairedOp], start: float, end: float
 ) -> TraceSummary:
     """Build a :class:`TraceSummary` over ops in [start, end)."""
     summary = TraceSummary(start=start, end=end)
+    add = summary.add
     for op in ops:
-        if not (start <= op.time < end):
-            continue
-        summary.total_ops += 1
-        summary.ops_by_proc[op.proc] += 1
-        if is_metadata_proc(op.proc):
-            summary.metadata_ops += 1
-        if is_data_proc(op.proc):
-            summary.data_ops += 1
-        if op.proc in ATTRIBUTE_CHECK_PROCS:
-            summary.attribute_check_ops += 1
-        if not op.ok():
-            continue
-        if op.proc is NfsProc.READ:
-            summary.read_ops += 1
-            summary.bytes_read += op.count or 0
-        elif op.proc is NfsProc.WRITE:
-            summary.write_ops += 1
-            summary.bytes_written += op.count or 0
+        if start <= op.time < end:
+            add(op)
     return summary
 
 

@@ -9,6 +9,7 @@ server touches as the observation window grows.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -79,34 +80,50 @@ def cumulative_working_set(
     The curve's flattening rate shows how quickly the active file set
     saturates — the property that makes the paper's on-the-fly
     hierarchy reconstruction converge.
+
+    Implementation note: set unions and counts are order-insensitive,
+    so each op is bucketed into its first qualifying horizon with a
+    bisect and the buckets are merged cumulatively — no sort of the op
+    stream is needed.  That matters because paired ops arrive in
+    *reply* wire order while ``op.time`` is the call time, which
+    nfsiod-style concurrency leaves slightly non-monotone; the old
+    implementation re-sorted the whole stream on every call to repair
+    a handful of sub-second inversions that cannot change the result.
     """
+    limits = [start + h for h in sorted(horizons)]
+    n = len(limits)
+    new_files: list[set[str]] = [set() for _ in range(n)]
+    new_blocks: list[set[tuple[str, int]]] = [set() for _ in range(n)]
+    counts = [0] * n
+    for op in ops:
+        if op.time < start:
+            continue
+        # first horizon with op.time < limit (strict, matching the
+        # window test `time < start + horizon`)
+        index = bisect_right(limits, op.time)
+        if index >= n:
+            continue
+        counts[index] += 1
+        fh = op.reply_fh or op.fh
+        if fh is None:
+            continue
+        new_files[index].add(fh)
+        if (op.is_read() or op.is_write()) and op.ok() and op.offset is not None:
+            bucket = new_blocks[index]
+            for block in block_range(op.offset, op.count or 0):
+                bucket.add((fh, block))
     points = []
     files: set[str] = set()
     blocks: set[tuple[str, int]] = set()
     count = 0
-    op_iter = iter(sorted(
-        (op for op in ops if op.time >= start), key=lambda o: o.time
-    ))
-    pending = next(op_iter, None)
-    for horizon in sorted(horizons):
-        limit = start + horizon
-        while pending is not None and pending.time < limit:
-            count += 1
-            fh = pending.reply_fh or pending.fh
-            if fh is not None:
-                files.add(fh)
-                if (
-                    (pending.is_read() or pending.is_write())
-                    and pending.ok()
-                    and pending.offset is not None
-                ):
-                    for block in block_range(pending.offset, pending.count or 0):
-                        blocks.add((fh, block))
-            pending = next(op_iter, None)
+    for i in range(n):
+        files |= new_files[i]
+        blocks |= new_blocks[i]
+        count += counts[i]
         points.append(
             WorkingSetPoint(
                 start=start,
-                end=limit,
+                end=limits[i],
                 unique_files=len(files),
                 unique_blocks=len(blocks),
                 ops=count,

@@ -31,6 +31,16 @@ from repro.anonymize.rules import omit_rules
 from repro.obs import EventLog, PhaseTimer, to_prom_text
 from repro.report import format_table
 from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.stream import (
+    LiveWatch,
+    StreamEngine,
+    StreamLatency,
+    StreamRates,
+    StreamRuns,
+    StreamStats,
+    StreamSummary,
+    StreamTopFiles,
+)
 from repro.trace import TraceReader, TraceWriter, is_binary_trace_path
 from repro.workloads import (
     CampusEmailWorkload,
@@ -65,6 +75,29 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--progress", action="store_true",
                      help="print periodic sim-time/ops progress to stderr")
     sim.set_defaults(func=cmd_simulate)
+
+    watch = sub.add_parser(
+        "watch",
+        help="simulate with a live streaming analysis attached "
+             "(periodic snapshots, bounded memory)",
+    )
+    watch.add_argument("--system", choices=("campus", "eecs"), required=True)
+    watch.add_argument("--days", type=float, default=1.0)
+    watch.add_argument("--users", type=int, default=None)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--mirror-bandwidth", type=float, default=None,
+                       help="mirror port bytes/s (default: lossless)")
+    watch.add_argument("--interval", type=float, default=SECONDS_PER_HOUR,
+                       help="simulated seconds between snapshots")
+    watch.add_argument("--top", type=int, default=5,
+                       help="hot files tracked in each snapshot")
+    watch.add_argument("--out", default=None,
+                       help="also write the trace (records then accumulate "
+                            "in memory as with simulate)")
+    watch.add_argument("--metrics-out", default=None,
+                       help="write the end-of-run metrics snapshot here "
+                            "(.prom -> Prometheus text, else JSON)")
+    watch.set_defaults(func=cmd_watch)
 
     stats = sub.add_parser(
         "stats", help="trace-level statistics (records, op mix, loss)"
@@ -125,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reorder window (paper: 10 CAMPUS, 5 EECS)")
     analyze.add_argument("--jumps", type=int, default=10,
                          help="seek tolerance in blocks (1 = strict)")
+    analyze.add_argument("--stream", action="store_true",
+                         help="one-pass bounded-memory engine: summary and "
+                              "runs sections are identical to the batch "
+                              "path; the characterization is replaced by "
+                              "streaming extras (top files, latency)")
     analyze.add_argument("--metrics-out", default=None,
                          help="write pool/codec metrics snapshot here "
                               "(.prom -> Prometheus text, else JSON)")
@@ -180,8 +218,8 @@ def main(argv: list[str] | None = None) -> int:
 # -- subcommands -----------------------------------------------------------------
 
 
-def cmd_simulate(args) -> int:
-    """Generate a synthetic trace file."""
+def _build_system(args):
+    """System + workload + params for simulate-style subcommands."""
     if args.system == "campus":
         params = CampusParams()
         if args.users:
@@ -200,6 +238,12 @@ def cmd_simulate(args) -> int:
             seed=args.seed, mirror_bandwidth=args.mirror_bandwidth
         )
         workload = EecsResearchWorkload(params)
+    return system, workload, params
+
+
+def cmd_simulate(args) -> int:
+    """Generate a synthetic trace file."""
+    system, workload, params = _build_system(args)
     # the metrics window matches the trace window below: the warm-up
     # Sunday is simulated but not counted, so the snapshot agrees with
     # analyses run over the written trace
@@ -245,6 +289,57 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Simulate with a live streaming analysis attached.
+
+    The collector stops retaining records unless ``--out`` asks for a
+    trace file, so a watch-only run holds just the engine's bounded
+    state no matter how many simulated days pass.  Snapshots go to
+    stderr (like ``--progress``); the final Table 2 summary to stdout.
+    """
+    system, workload, params = _build_system(args)
+    if not args.out:
+        system.collector.retain = False
+    engine = StreamEngine(metrics=system.metrics)
+    engine.register(StreamSummary())
+    engine.register(StreamRates())
+    engine.register(StreamTopFiles(k=args.top))
+    engine.register(StreamLatency())
+    system.start_measurement(SECONDS_PER_DAY)
+    end = (1.0 + args.days) * SECONDS_PER_DAY
+    watch = LiveWatch(
+        system, engine, interval=args.interval, start_time=SECONDS_PER_DAY
+    )
+    workload.attach(system)
+    watch.start(end)
+    system.run(end)
+    results = watch.finish()
+    summary = results["summary"]
+    stats = results["pairing"]
+    print(_summary_text(f"live {args.system} simulation", summary, stats))
+    print(
+        f"\n{watch.snapshots_rendered} snapshots rendered "
+        f"({args.interval:g}s interval), {engine.records:,} records "
+        f"streamed, peak state {engine.peak_items:,} items"
+    )
+    if args.out:
+        count = 0
+        with TraceWriter(args.out) as writer:
+            for record in system.collector.sorted_records():
+                if record.time >= SECONDS_PER_DAY:
+                    writer.write(record)
+                    count += 1
+        print(f"wrote {count} records to {args.out}")
+    if args.metrics_out:
+        if args.metrics_out.endswith(".prom"):
+            Path(args.metrics_out).write_text(to_prom_text(system.metrics))
+        else:
+            Path(args.metrics_out).write_text(
+                json.dumps(system.metrics.snapshot(), indent=2) + "\n"
+            )
+    return 0
+
+
 #: Simulated seconds between --progress reports.
 PROGRESS_INTERVAL = SECONDS_PER_HOUR
 
@@ -276,33 +371,31 @@ def _schedule_progress(system, end: float, event_log=None) -> None:
 
 
 def cmd_stats(args) -> int:
-    """Trace-level statistics: record mix, per-procedure ops, loss."""
-    from collections import Counter as TallyCounter
+    """Trace-level statistics: record mix, per-procedure ops, loss.
 
+    Runs through the streaming engine: one pass over the reader, no
+    record or op list materialized, so ``.rtb.gz`` traces far larger
+    than RAM summarize in bounded memory.  The tallies are exact — the
+    push-based pairer accounts loss identically to the batch pairer.
+    """
+    engine = StreamEngine()
+    tally = engine.register(StreamStats())
     with TraceReader(args.trace) as reader:
-        records = list(reader)
-    if not records:
+        results = engine.run(reader)
+    if tally.records == 0:
         raise ValueError(f"no records in {args.trace}")
-    calls: TallyCounter = TallyCounter()
-    replies: TallyCounter = TallyCounter()
-    for record in records:
-        (calls if record.is_call() else replies)[record.proc.value] += 1
-    ops, stats = pair_all(records)
-    paired: TallyCounter = TallyCounter(op.proc.value for op in ops)
-    errors: TallyCounter = TallyCounter(
-        op.proc.value for op in ops if not op.ok()
-    )
-    first = min(r.time for r in records)
-    last = max(r.time for r in records)
-    clients = {r.client for r in records if r.is_call()}
+    stats = results["pairing"]
+    calls, replies = tally.calls, tally.replies
+    paired, errors = tally.paired, tally.errors
+    first, last = tally.first, tally.last
     if args.json:
         print(json.dumps({
             "trace": args.trace,
-            "records": len(records),
+            "records": tally.records,
             "first_time": first,
             "last_time": last,
             "span_seconds": last - first,
-            "clients": len(clients),
+            "clients": len(tally.clients),
             "calls": dict(sorted(calls.items())),
             "replies": dict(sorted(replies.items())),
             "paired": dict(sorted(paired.items())),
@@ -328,8 +421,8 @@ def cmd_stats(args) -> int:
     print(format_table(
         ["Metric", "Value"],
         [
-            ["Records", len(records)],
-            ["Clients", len(clients)],
+            ["Records", tally.records],
+            ["Clients", len(tally.clients)],
             ["First timestamp", f"{first:.3f}"],
             ["Last timestamp", f"{last:.3f}"],
             ["Span (days)", f"{(last - first) / SECONDS_PER_DAY:.3f}"],
@@ -365,13 +458,16 @@ def _load_ops(args):
         ops, stats = pair_all(reader)
     if not ops:
         raise ValueError(f"no pairable operations in {args.input}")
-    start = args.start if args.start is not None else ops[0].time
-    end = args.end if args.end is not None else ops[-1].time + 1e-6
+    # default window: min/max call time.  Ops are yielded in *reply*
+    # order, so first/last list elements need not carry the extreme
+    # call times — and the streaming engine, which learns its bounds
+    # the same way, must agree with this path exactly.
+    start = args.start if args.start is not None else min(op.time for op in ops)
+    end = args.end if args.end is not None else max(op.time for op in ops) + 1e-6
     return ops, stats, start, end
 
 
-def _summary_text(input_path, ops, stats, start, end) -> str:
-    s = summarize_trace(ops, start, end)
+def _summary_text(input_path, s, stats) -> str:
     return format_table(
         ["Metric", "Value"],
         [
@@ -391,15 +487,18 @@ def _summary_text(input_path, ops, stats, start, end) -> str:
     )
 
 
-def _runs_text(input_path, ops, start, end, window_ms, jumps) -> str:
+def _batch_runs_table(ops, start, end, window_ms, jumps):
     data = [
         op for op in ops
         if start <= op.time < end and (op.is_read() or op.is_write())
     ]
     data = reorder_window_sort(data, window_ms / 1000.0)
-    table = classify_runs(
+    return classify_runs(
         RunBuilder().feed_all(data).finish(), jump_blocks=jumps
     )
+
+
+def _runs_text(input_path, table, window_ms, jumps) -> str:
     body = format_table(
         ["Access pattern", "%"],
         [[label, f"{value:.1f}"] for label, value in table.as_rows()],
@@ -412,16 +511,30 @@ def _runs_text(input_path, ops, start, end, window_ms, jumps) -> str:
 
 
 def cmd_summary(args) -> int:
-    """Print a Table 2-style summary."""
-    ops, stats, start, end = _load_ops(args)
-    print(_summary_text(args.input, ops, stats, start, end))
+    """Print a Table 2-style summary.
+
+    Runs through the streaming engine in one bounded-memory pass; the
+    output is identical to the old materialize-then-summarize path
+    because both accumulate through
+    :meth:`~repro.analysis.summary.TraceSummary.add` over the same
+    default window.
+    """
+    engine = StreamEngine()
+    engine.register(StreamSummary(start=args.start, end=args.end))
+    with TraceReader(args.input) as reader:
+        results = engine.run(reader)
+    stats = results["pairing"]
+    if stats.paired == 0:
+        raise ValueError(f"no pairable operations in {args.input}")
+    print(_summary_text(args.input, results["summary"], stats))
     return 0
 
 
 def cmd_runs(args) -> int:
     """Print a Table 3-style run classification."""
     ops, _stats, start, end = _load_ops(args)
-    print(_runs_text(args.input, ops, start, end, args.window_ms, args.jumps))
+    table = _batch_runs_table(ops, start, end, args.window_ms, args.jumps)
+    print(_runs_text(args.input, table, args.window_ms, args.jumps))
     return 0
 
 
@@ -508,24 +621,84 @@ def cmd_analyze(args) -> int:
     from repro.analysis.parallel import parallel_pair
     from repro.obs import MetricsRegistry
 
+    if args.stream:
+        return _cmd_analyze_stream(args)
     metrics = MetricsRegistry()
     ops, stats = parallel_pair(args.input, jobs=args.jobs, metrics=metrics)
     if not ops:
         raise ValueError(f"no pairable operations in {args.input}")
-    start = args.start if args.start is not None else ops[0].time
-    end = args.end if args.end is not None else ops[-1].time + 1e-6
-    print(_summary_text(args.input, ops, stats, start, end))
+    start = args.start if args.start is not None else min(op.time for op in ops)
+    end = args.end if args.end is not None else max(op.time for op in ops) + 1e-6
+    print(_summary_text(args.input, summarize_trace(ops, start, end), stats))
     print()
-    print(_runs_text(args.input, ops, start, end, args.window_ms, args.jumps))
+    table = _batch_runs_table(ops, start, end, args.window_ms, args.jumps)
+    print(_runs_text(args.input, table, args.window_ms, args.jumps))
     print()
     print(_report_text(args.input, ops, start, end))
-    if args.metrics_out:
-        if args.metrics_out.endswith(".prom"):
-            Path(args.metrics_out).write_text(to_prom_text(metrics))
-        else:
-            Path(args.metrics_out).write_text(
-                json.dumps(metrics.snapshot(), indent=2) + "\n"
-            )
+    _write_metrics(args.metrics_out, metrics)
+    return 0
+
+
+def _write_metrics(path, metrics) -> None:
+    if not path:
+        return
+    if path.endswith(".prom"):
+        Path(path).write_text(to_prom_text(metrics))
+    else:
+        Path(path).write_text(json.dumps(metrics.snapshot(), indent=2) + "\n")
+
+
+def _cmd_analyze_stream(args) -> int:
+    """``repro analyze --stream``: the one-pass bounded-memory suite.
+
+    The summary and runs sections are byte-identical to the batch
+    path's (the streaming analyses are exact); the characterization —
+    inherently a multi-structure batch computation — is replaced by
+    sketch-backed streaming extras.
+    """
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    engine = StreamEngine(metrics=metrics)
+    engine.register(StreamSummary(start=args.start, end=args.end))
+    engine.register(StreamRuns(
+        window=args.window_ms / 1000.0, jump_blocks=args.jumps,
+        start=args.start, end=args.end,
+    ))
+    top = engine.register(StreamTopFiles())
+    latency = engine.register(StreamLatency())
+    with TraceReader(args.input) as reader:
+        results = engine.run(reader)
+    stats = results["pairing"]
+    if stats.paired == 0:
+        raise ValueError(f"no pairable operations in {args.input}")
+    print(_summary_text(args.input, results["summary"], stats))
+    print()
+    print(_runs_text(args.input, results["runs"], args.window_ms, args.jumps))
+    print()
+    top_rows = [
+        [fh, f"{int(count):,}", f"<= {int(error):,}"]
+        for fh, count, error in top.by_ops.top(5)
+    ]
+    print(format_table(
+        ["File handle", "Ops", "Count error"],
+        top_rows,
+        title=f"Hot files of {args.input} (space-saving sketch)",
+    ))
+    lat = latency.result()
+    print()
+    print(format_table(
+        ["Latency", "Value"],
+        [
+            ["p50 (ms)", f"{(lat['quantiles'][0.5] or 0.0) * 1000:.3f}"],
+            ["p99 (ms)", f"{(lat['quantiles'][0.99] or 0.0) * 1000:.3f}"],
+            ["mean (ms)", f"{lat['mean'] * 1000:.3f}"],
+            ["max (ms)", f"{lat['max'] * 1000:.3f}"],
+        ],
+        title="Reply latency (P2 estimates)",
+    ))
+    print(f"\npeak streaming state: {engine.peak_items:,} items")
+    _write_metrics(args.metrics_out, metrics)
     return 0
 
 

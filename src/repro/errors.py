@@ -86,5 +86,9 @@ class AnalysisError(ReproError):
     """An analysis was run on input it cannot interpret."""
 
 
+class StreamMemoryError(AnalysisError):
+    """A streaming operator exceeded its configured memory budget."""
+
+
 class WorkloadConfigError(ReproError):
     """A workload generator was configured with invalid parameters."""

@@ -8,6 +8,12 @@ in wire-timestamp order, which is the order a real capture file would
 have after the sniffer's internal reordering buffer.  The sort is
 computed once and cached until the next capture.
 
+Live consumers (the streaming engine behind ``repro watch``) can
+:meth:`~TraceCollector.subscribe` a callback that receives every record
+at capture time; with ``retain=False`` the collector becomes a pure
+tap — nothing accumulates, so a watched simulation runs in bounded
+memory no matter how long it goes.
+
 Metrics (under ``trace.*``): records and approximate wire bytes
 captured, per direction.
 """
@@ -16,6 +22,7 @@ from __future__ import annotations
 
 import operator
 from pathlib import Path
+from typing import Callable
 
 from repro.netsim.link import HEADER_BYTES
 from repro.nfs.messages import NfsCall, NfsReply
@@ -31,10 +38,19 @@ _BY_TIME = operator.attrgetter("time")
 class TraceCollector:
     """Accumulates trace records from a live simulation."""
 
-    def __init__(self, *, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        metrics: MetricsRegistry | None = None,
+        retain: bool = True,
+    ) -> None:
         self.records: list[TraceRecord] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.measure_from = 0.0
+        #: keep captured records in ``self.records``; turn off when a
+        #: subscriber is the only consumer (live watch) to cap memory
+        self.retain = retain
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
         # per-packet tallies stay plain integers; _sync publishes them
         self._n_calls = 0
         self._n_replies = 0
@@ -60,12 +76,26 @@ class TraceCollector:
         """Reply packets captured."""
         return self._n_replies
 
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Deliver every captured record to ``callback`` as it happens.
+
+        Records are delivered in capture order — each call precedes its
+        own reply, so a push-based pairer sees a valid stream.  The
+        callback runs on the simulation's critical path; keep it cheap.
+        """
+        self._subscribers.append(callback)
+
     # -- tap interface (called by the network path / mirror port) ------------
 
     def on_call(self, call: NfsCall) -> None:
         """Capture one call packet."""
-        self.records.append(TraceRecord.from_call(call))
-        self._sorted = None
+        record = TraceRecord.from_call(call)
+        if self.retain:
+            self.records.append(record)
+            self._sorted = None
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(record)
         if call.time >= self.measure_from:
             self._n_calls += 1
             # wire_size(call), inlined for the per-packet path
@@ -78,8 +108,13 @@ class TraceCollector:
 
     def on_reply(self, reply: NfsReply) -> None:
         """Capture one reply packet."""
-        self.records.append(TraceRecord.from_reply(reply))
-        self._sorted = None
+        record = TraceRecord.from_reply(reply)
+        if self.retain:
+            self.records.append(record)
+            self._sorted = None
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(record)
         if reply.time >= self.measure_from:
             self._n_replies += 1
             size = HEADER_BYTES

@@ -1,5 +1,7 @@
 """Tests for filename category analysis and prediction (Section 6.3)."""
 
+import pytest
+
 from repro.analysis.names import (
     NameCategoryAnalyzer,
     lifetime_bucket,
@@ -149,3 +151,38 @@ class TestAccessedShares:
         assert shares[CATEGORY_MAILBOX] == 0.25
         assert shares[CATEGORY_DOT] == 0.25
         assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+class TestPercentileCache:
+    """Sorted-percentile lists are cached and invalidated on observe."""
+
+    def test_percentile_correct_after_interleaved_observes(self):
+        a = NameCategoryAnalyzer()
+        for i in range(10):
+            lock_life(a, float(i), i, lifetime=0.1)
+        assert a.lifetime_percentile(CATEGORY_LOCK, 0.99) == pytest.approx(0.1)
+        # new, longer-lived locks must be visible after the cached query
+        for i in range(10, 20):
+            lock_life(a, float(i), i, lifetime=9.0)
+        assert a.lifetime_percentile(CATEGORY_LOCK, 0.99) == pytest.approx(9.0)
+
+    def test_cached_query_matches_fresh_analyzer(self):
+        a = NameCategoryAnalyzer()
+        b = NameCategoryAnalyzer()
+        for i in range(15):
+            lock_life(a, float(i), i, lifetime=0.1 + 0.05 * i)
+            lock_life(b, float(i), i, lifetime=0.1 + 0.05 * i)
+        # query `a` twice (second hit served from the cache) and `b` once
+        for fraction in (0.25, 0.5, 0.9):
+            first = a.lifetime_percentile(CATEGORY_LOCK, fraction)
+            assert a.lifetime_percentile(CATEGORY_LOCK, fraction) == first
+            assert b.lifetime_percentile(CATEGORY_LOCK, fraction) == first
+
+    def test_size_cache_invalidated_too(self):
+        a = NameCategoryAnalyzer()
+        a.observe(create(0.0, "d", "pico.000001", "c1"))
+        a.observe(write(0.1, 0, 1000, fh="c1", post_size=1000))
+        assert a.size_percentile(CATEGORY_COMPOSER, 0.99) == 1000
+        a.observe(create(1.0, "d", "pico.000002", "c2"))
+        a.observe(write(1.1, 0, 50_000, fh="c2", post_size=50_000))
+        assert a.size_percentile(CATEGORY_COMPOSER, 0.99) == 50_000

@@ -1,0 +1,248 @@
+"""Property-based equivalence: streaming analyses vs their batch twins.
+
+The streaming subsystem's headline claim is exactness — `StreamPairer`,
+`StreamReorderer`, `StreamSummary`, and `StreamRuns` must reproduce the
+batch pipeline bit-for-bit on any input, and `StreamLifetimes` must
+agree on every count and on the CDF at its histogram's bucket edges.
+These tests drive both sides with identical randomized streams.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lifetimes import BlockLifetimeAnalyzer
+from repro.analysis.pairing import PairingStats, StreamPairer, pair_records
+from repro.analysis.reorder import StreamReorderer, reorder_window_sort
+from repro.analysis.runs import RunBuilder, classify_runs
+from repro.analysis.summary import summarize_trace
+from repro.nfs.messages import NfsStatus
+from repro.nfs.procedures import NfsProc
+from repro.stream import (
+    LIFETIME_BUCKET_BOUNDS,
+    StreamLifetimes,
+    StreamRuns,
+    StreamSummary,
+)
+from repro.trace.record import Direction, TraceRecord
+from tests.helpers import create, lookup, read, remove, setattr_size, write
+
+
+def _call(t, xid, client, proc):
+    return TraceRecord(
+        time=t, direction=Direction.CALL, xid=xid, client=client,
+        server="srv", proc=proc, fh="f1", offset=0, count=8192,
+    )
+
+
+def _reply(t, xid, client, proc):
+    return TraceRecord(
+        time=t, direction=Direction.REPLY, xid=xid, client=client,
+        server="srv", proc=proc, status=NfsStatus.OK, fh="f1",
+        count=8192, eof=False,
+    )
+
+
+@st.composite
+def record_streams(draw):
+    """Wire-time-ordered record streams with loss, dups, and orphans."""
+    events = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["paired", "paired", "dup_call", "orphan_reply",
+                             "unanswered"]),
+            st.sampled_from(["c1", "c2", "c3"]),
+            st.sampled_from([NfsProc.GETATTR, NfsProc.READ, NfsProc.LOOKUP]),
+            st.floats(min_value=0.0001, max_value=5.0),
+            st.floats(min_value=0.0001, max_value=0.05),
+        ),
+        max_size=40,
+    ))
+    records = []
+    t = 0.0
+    for xid, (kind, client, proc, gap, latency) in enumerate(events, start=1):
+        t += gap
+        if kind == "paired":
+            records.append(_call(t, xid, client, proc))
+            records.append(_reply(t + latency, xid, client, proc))
+        elif kind == "dup_call":
+            records.append(_call(t, xid, client, proc))
+            records.append(_call(t + latency / 2, xid, client, proc))
+            records.append(_reply(t + latency, xid, client, proc))
+        elif kind == "orphan_reply":
+            records.append(_reply(t, xid, client, proc))
+        else:
+            records.append(_call(t, xid, client, proc))
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+@settings(max_examples=200)
+@given(record_streams())
+def test_stream_pairer_matches_pair_records(records):
+    batch_stats = PairingStats()
+    batch_ops = list(pair_records(records, stats=batch_stats))
+
+    pairer = StreamPairer()
+    stream_ops = []
+    for record in records:
+        op = pairer.push(record)
+        if op is not None:
+            stream_ops.append(op)
+    stream_stats = pairer.close()
+
+    assert stream_ops == batch_ops
+    assert stream_stats == batch_stats
+
+
+@st.composite
+def data_op_streams(draw):
+    """Reply-ordered READ/WRITE (plus metadata) op streams."""
+    entries = draw(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0001, max_value=0.02),  # inter-op gap
+            st.sampled_from(["c1", "c2"]),
+            st.sampled_from(["f1", "f2", "f3"]),
+            st.integers(min_value=0, max_value=30),       # block index
+            st.sampled_from(["read", "write", "lookup"]),
+        ),
+        max_size=60,
+    ))
+    ops = []
+    t = 0.0
+    for i, (gap, client, fh, block, kind) in enumerate(entries):
+        t += gap
+        if kind == "read":
+            ops.append(read(t, block * 8192, 8192, fh=fh,
+                            file_size=10**6, xid=i, client=client))
+        elif kind == "write":
+            ops.append(write(t, block * 8192, 8192, fh=fh, xid=i,
+                             client=client))
+        else:
+            ops.append(lookup(t, "d0", f"n{block}", fh, client=client))
+    return ops
+
+
+@settings(max_examples=200)
+@given(data_op_streams(), st.sampled_from([0.0, 0.002, 0.01, 0.1]))
+def test_stream_reorderer_matches_window_sort(ops, window):
+    data = [op for op in ops if op.is_read() or op.is_write()]
+    expected = reorder_window_sort(data, window)
+
+    got = []
+    reorderer = StreamReorderer(window, got.append)
+    for op in data:
+        reorderer.push(op)
+    reorderer.close()
+
+    assert len(got) == len(expected)
+    assert all(a is b for a, b in zip(got, expected))
+    assert reorderer.buffered() == 0
+
+
+@settings(max_examples=150)
+@given(data_op_streams())
+def test_stream_summary_matches_batch(ops):
+    summary = StreamSummary()
+    for op in ops:
+        summary.process_op(op)
+        summary.advance(op.time)  # exercise mid-stream window flushing
+    summary.finish()
+
+    if not ops:
+        assert summary.result().total_ops == 0
+        return
+    start = min(op.time for op in ops)
+    end = max(op.time for op in ops) + 1e-6
+    assert summary.result() == summarize_trace(ops, start, end)
+    # the flushed per-day rows partition the totals
+    assert sum(s.total_ops for _, _, s in summary.daily) == len(ops)
+
+
+@settings(max_examples=150)
+@given(
+    data_op_streams(),
+    st.sampled_from([0.0, 0.005, 0.02]),
+    st.integers(min_value=1, max_value=4),
+)
+def test_stream_runs_matches_batch(ops, window, jumps):
+    sruns = StreamRuns(window=window, jump_blocks=jumps)
+    for op in ops:
+        sruns.process_op(op)
+    sruns.finish()
+
+    data = [op for op in ops if op.is_read() or op.is_write()]
+    expected = classify_runs(
+        RunBuilder().feed_all(reorder_window_sort(data, window)).finish(),
+        jump_blocks=jumps,
+    )
+    assert sruns.result() == expected
+
+
+@st.composite
+def lifetime_traces(draw):
+    """Create / write / truncate / remove histories over a few files."""
+    n_files = draw(st.integers(min_value=1, max_value=3))
+    ops = []
+    t = 1.0
+    for i in range(n_files):
+        fh, name = f"fh{i}", f"file{i}"
+        t += draw(st.floats(min_value=0.1, max_value=20.0))
+        ops.append(create(t, "d0", name, fh))
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            t += draw(st.floats(min_value=0.1, max_value=40.0))
+            block = draw(st.integers(min_value=0, max_value=4))
+            ops.append(write(t, block * 8192, 8192, fh=fh))
+        if draw(st.booleans()):
+            t += draw(st.floats(min_value=0.1, max_value=40.0))
+            size = draw(st.integers(min_value=0, max_value=2)) * 8192
+            ops.append(setattr_size(t, fh, size))
+        if draw(st.booleans()):
+            t += draw(st.floats(min_value=0.1, max_value=40.0))
+            ops.append(remove(t, "d0", name))
+    return ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(lifetime_traces())
+def test_stream_lifetimes_matches_batch(ops):
+    end = (ops[-1].time if ops else 1.0) + 1.0
+    phases = (0.0, end / 2, end)
+
+    batch = BlockLifetimeAnalyzer(*phases).observe_all(ops).report()
+    stream = StreamLifetimes(*phases)
+    for op in ops:
+        stream.process_op(op)
+    report = stream.result()
+
+    assert report.total_births == batch.total_births
+    assert report.births_by_cause == batch.births_by_cause
+    assert report.total_deaths == batch.total_deaths
+    assert report.deaths_by_cause == batch.deaths_by_cause
+    assert report.end_surplus == batch.end_surplus
+    assert report.censored_files == 0
+    # the CDF is exact at every histogram bucket edge
+    stream_cdf = report.lifetime_cdf(LIFETIME_BUCKET_BOUNDS)
+    batch_cdf = batch.lifetime_cdf(LIFETIME_BUCKET_BOUNDS)
+    for (point_s, pct_s), (point_b, pct_b) in zip(stream_cdf, batch_cdf):
+        assert point_s == point_b
+        assert pct_s == pytest.approx(pct_b)
+
+
+def test_stream_lifetimes_caps_file_state():
+    """Under eviction pressure the approximation is counted, not silent."""
+    ops = []
+    t = 1.0
+    for i in range(20):
+        fh, name = f"fh{i}", f"f{i}"
+        ops.append(create(t, "d0", name, fh))
+        ops.append(write(t + 0.1, 0, 8192, fh=fh))
+        t += 1.0
+    stream = StreamLifetimes(0.0, 50.0, 100.0, max_files=5)
+    for op in ops:
+        stream.process_op(op)
+    report = stream.result()
+    assert stream.memory_items() <= 5
+    assert report.censored_files == 15
+    assert report.total_births == 20
+    # censored-alive births still show up in the end surplus
+    assert report.end_surplus == 20

@@ -1,0 +1,309 @@
+"""Tests for the bounded-memory one-pass stream operators."""
+
+import math
+import statistics
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.errors import StreamMemoryError
+from repro.stream import (
+    ExpDecayRate,
+    P2Quantile,
+    ReservoirSample,
+    RunningStats,
+    SlidingWindow,
+    SpaceSaving,
+    TumblingWindow,
+    fold_stream,
+)
+
+
+class TestSpaceSaving:
+    def test_exact_under_capacity(self):
+        top = SpaceSaving(16)
+        for item in "aababcabcd":
+            top.add(item)
+        assert top.top(4) == [("a", 4, 0), ("b", 3, 0), ("c", 2, 0), ("d", 1, 0)]
+        assert top.count("a") == 4
+        assert top.count("zzz") == 0
+
+    def test_capacity_bound(self):
+        top = SpaceSaving(8)
+        for i in range(10_000):
+            top.add(f"item{i % 100}")
+        assert len(top) == 8
+
+    def test_space_saving_guarantee(self):
+        # every reported count overestimates the true count by at most
+        # the reported error, and a sufficiently heavy item is always in
+        rng = Random(7)
+        truth = Counter()
+        top = SpaceSaving(50)
+        for _ in range(20_000):
+            item = "hot" if rng.random() < 0.3 else f"cold{rng.randrange(500)}"
+            truth[item] += 1
+            top.add(item)
+        assert "hot" in top
+        for item, count, error in top.top(50):
+            assert count >= truth[item]
+            assert count - error <= truth[item]
+        hot = dict((i, c) for i, c, _ in top.top(1))
+        assert hot == {"hot": top.count("hot")}
+
+    def test_weighted_counts(self):
+        top = SpaceSaving(4)
+        top.add("x", 10)
+        top.add("y", 2)
+        top.add("x", 5)
+        assert top.count("x") == 15
+        assert top.top(1) == [("x", 15, 0)]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+
+class TestReservoirSample:
+    def test_fills_then_caps(self):
+        res = ReservoirSample(10, seed=3)
+        for i in range(5):
+            res.add(i)
+        assert sorted(res.sample()) == [0, 1, 2, 3, 4]
+        for i in range(5, 1000):
+            res.add(i)
+        assert len(res) == 10
+        assert res.seen == 1000
+        assert all(0 <= x < 1000 for x in res.sample())
+
+    def test_deterministic_for_seed(self):
+        a = ReservoirSample(8, seed=42)
+        b = ReservoirSample(8, seed=42)
+        for i in range(500):
+            a.add(i)
+            b.add(i)
+        assert a.sample() == b.sample()
+
+    def test_roughly_uniform(self):
+        # over many trials each element should land in the sample at a
+        # rate near capacity/n; check the first element isn't sticky
+        hits = 0
+        for seed in range(200):
+            res = ReservoirSample(5, seed=seed)
+            for i in range(50):
+                res.add(i)
+            hits += 0 in res.sample()
+        assert 5 <= hits <= 40  # expected ~20 = 200 * 5/50
+
+
+class TestP2Quantile:
+    def test_empty(self):
+        assert P2Quantile(0.5).value() is None
+
+    def test_exact_for_five_or_fewer(self):
+        q = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            q.add(x)
+        assert q.value() == 3.0
+        q.add(2.0)
+        q.add(4.0)
+        assert q.value() == 3.0
+
+    def test_stays_in_envelope(self):
+        rng = Random(11)
+        q = P2Quantile(0.9)
+        lo, hi = math.inf, -math.inf
+        for _ in range(500):
+            x = rng.expovariate(1.0)
+            lo, hi = min(lo, x), max(hi, x)
+            q.add(x)
+            assert lo <= q.value() <= hi
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_accuracy_on_uniform(self, p):
+        rng = Random(1234)
+        q = P2Quantile(p)
+        for _ in range(5001):
+            q.add(rng.random())
+        assert abs(q.value() - p) < 0.05
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestRunningStats:
+    def test_matches_statistics_module(self):
+        rng = Random(9)
+        values = [rng.gauss(10.0, 4.0) for _ in range(1000)]
+        stats = RunningStats()
+        for v in values:
+            stats.add(v)
+        assert stats.count == 1000
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+        assert stats.total == pytest.approx(sum(values))
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.variance == pytest.approx(statistics.pvariance(values))
+        assert stats.stddev == pytest.approx(statistics.pstdev(values))
+
+    def test_empty_and_single(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0 and stats.variance == 0.0
+        stats.add(7.0)
+        assert stats.mean == 7.0
+        assert stats.variance == 0.0
+
+
+class _Collect:
+    """Toy window accumulator: keeps the routed values."""
+
+    def __init__(self, start, end):
+        self.start = start
+        self.end = end
+        self.values = []
+
+    def add(self, value):
+        self.values.append(value)
+
+
+class TestTumblingWindow:
+    def _window(self, flushed, **kw):
+        return TumblingWindow(
+            1.0, _Collect, sink=lambda s, e, acc: flushed.append((s, e, acc.values)), **kw
+        )
+
+    def test_flushes_in_window_order(self):
+        flushed = []
+        win = self._window(flushed)
+        for t in (2.5, 0.5, 1.5, 0.7):
+            win.add(t, t)
+        win.advance(3.0)
+        assert [(s, e) for s, e, _ in flushed] == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+        assert flushed[0][2] == [0.5, 0.7]
+        assert len(win) == 0
+        assert win.windows_flushed == 3
+
+    def test_lateness_holds_windows_open(self):
+        flushed = []
+        win = self._window(flushed, lateness=0.5)
+        win.add(0.5, "a")
+        win.add(1.2, "b")
+        win.advance(1.4)  # window [0,1) only closes at watermark 1.5
+        assert flushed == []
+        win.advance(1.5)
+        assert [(s, e) for s, e, _ in flushed] == [(0.0, 1.0)]
+
+    def test_late_events_dropped_and_counted(self):
+        flushed = []
+        win = self._window(flushed)
+        win.add(0.5, "a")
+        win.advance(2.0)
+        win.add(0.9, "late")
+        assert win.late_drops == 1
+        win.finish()
+        assert flushed == [(0.0, 1.0, ["a"])]
+
+    def test_max_open_budget(self):
+        win = TumblingWindow(1.0, _Collect, max_open=2)
+        win.add(0.5, "a")
+        win.add(1.5, "b")
+        with pytest.raises(StreamMemoryError):
+            win.add(2.5, "c")
+
+    def test_finish_flushes_everything(self):
+        flushed = []
+        win = self._window(flushed)
+        win.add(5.5, "x")
+        win.add(3.5, "y")
+        win.finish()
+        assert [(s, e) for s, e, _ in flushed] == [(3.0, 4.0), (5.0, 6.0)]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            TumblingWindow(0.0, _Collect)
+
+
+class TestSlidingWindow:
+    def test_events_land_in_overlapping_windows(self):
+        flushed = []
+        win = SlidingWindow(
+            2.0, 1.0, _Collect,
+            sink=lambda s, e, acc: flushed.append((s, e, tuple(acc.values))),
+        )
+        win.add(2.5, "x")
+        win.finish()
+        # width/slide = 2 -> the event appears in exactly two windows
+        assert flushed == [(1.0, 3.0, ("x",)), (2.0, 4.0, ("x",))]
+
+    def test_mass_conserved_times_overlap(self):
+        total = []
+        win = SlidingWindow(
+            3.0, 1.0, _Collect,
+            sink=lambda s, e, acc: total.extend(acc.values),
+        )
+        rng = Random(5)
+        n = 200
+        for _ in range(n):
+            win.add(3.0 + rng.random() * 10.0, 1)
+        win.finish()
+        assert len(total) == 3 * n
+
+    def test_advance_flushes_closed_windows_only(self):
+        flushed = []
+        win = SlidingWindow(
+            2.0, 1.0, _Collect,
+            sink=lambda s, e, acc: flushed.append((s, e)),
+        )
+        win.add(0.5, "a")  # windows [-1,1) and [0,2)
+        win.advance(1.0)
+        assert flushed == [(-1.0, 1.0)]
+        win.advance(2.0)
+        assert flushed == [(-1.0, 1.0), (0.0, 2.0)]
+
+    def test_rejects_gappy_slide(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(1.0, 2.0, _Collect)
+
+    def test_max_open_budget(self):
+        win = SlidingWindow(2.0, 1.0, _Collect, max_open=3)
+        with pytest.raises(StreamMemoryError):
+            for t in range(10):
+                win.add(float(t), "x")
+
+
+class TestExpDecayRate:
+    def test_empty_rate_is_zero(self):
+        assert ExpDecayRate(60.0).rate() == 0.0
+
+    def test_rate_halves_per_halflife(self):
+        rate = ExpDecayRate(100.0)
+        for _ in range(50):
+            rate.observe(0.0)
+        r0 = rate.rate(0.0)
+        assert r0 == pytest.approx(50 * math.log(2) / 100.0)
+        assert rate.rate(100.0) == pytest.approx(r0 / 2)
+        assert rate.rate(200.0) == pytest.approx(r0 / 4)
+
+    def test_steady_stream_approaches_true_rate(self):
+        # 10 events/s for many half-lives settles near 10/s
+        rate = ExpDecayRate(30.0)
+        t = 0.0
+        while t < 600.0:
+            rate.observe(t)
+            t += 0.1
+        assert rate.rate() == pytest.approx(10.0, rel=0.05)
+
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValueError):
+            ExpDecayRate(0.0)
+
+
+def test_fold_stream_feeds_all_operators():
+    top, stats = fold_stream([1, 1, 2, 3], SpaceSaving(4), RunningStats())
+    assert top.count(1) == 2
+    assert stats.count == 4
+    assert stats.total == 7.0
