@@ -22,6 +22,11 @@ Usage::
     python benchmarks/smoke.py --out benchmarks/BENCH_smoke.json
     python benchmarks/smoke.py --write-baseline   # refresh the baseline
     python benchmarks/smoke.py --stream-smoke     # CI memory gate only
+    python benchmarks/smoke.py --chaos-smoke      # CI fault-injection gate
+
+``--chaos-smoke`` is the fault-injection counterpart: one faulted
+CAMPUS day run twice, gating on byte-identical reruns and on the fault
+ledger predicting the pairing stats exactly (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -186,6 +191,64 @@ def run_stream_smoke() -> int:
     return 0
 
 
+def run_chaos_smoke() -> int:
+    """Fast fault-injection gate for CI (budget: well under a minute).
+
+    One faulted CAMPUS day, run twice: the runs must agree byte for
+    byte, and the injector's ledger must predict the pairing stats
+    exactly — the two headline guarantees of ``repro.faults``, checked
+    end to end without the full chaos matrix.
+    """
+    from repro.analysis.pairing import PairingStats, pair_records
+    from repro.trace.record import record_to_line
+    from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+    spec = ("drop(p=0.02);dup(p=0.01,kind=reply);"
+            "reorder(p=0.05,ms=40);crash(at=46800,down=30)")
+
+    started = time.perf_counter()
+
+    def one_run():
+        system = TracedSystem(seed=77, quota_bytes=50 * 1024 * 1024,
+                              faults=spec)
+        CampusEmailWorkload(CampusParams(users=4)).attach(system)
+        system.run(DAY)
+        records = system.records()
+        text = "\n".join(record_to_line(r) for r in records)
+        return records, text, system.fault_ledger.expected_stats(), \
+            dict(system.faults.injected)
+
+    records, text_a, expected, injected = one_run()
+    _, text_b, _, _ = one_run()
+    wall = time.perf_counter() - started
+
+    stats = PairingStats()
+    for _op in pair_records(records, stats=stats):
+        pass
+
+    n_injected = sum(injected.values())
+    print(f"chaos-smoke: {len(records):,} records, {n_injected} injected "
+          f"events, wall {wall:.1f}s")
+    if n_injected == 0:
+        print("chaos-smoke REGRESSION: the schedule injected nothing")
+        return 1
+    if text_a != text_b:
+        print("chaos-smoke REGRESSION: two identically seeded faulted runs "
+              "diverged")
+        return 1
+    if stats != expected:
+        print("chaos-smoke REGRESSION: pairing stats != fault ledger")
+        print(f"  pairing: {stats}")
+        print(f"  ledger:  {expected}")
+        return 1
+    if wall > 60.0:
+        print(f"chaos-smoke REGRESSION: wall {wall:.1f}s exceeds the 60s "
+              "budget")
+        return 1
+    print("chaos-smoke gate passed")
+    return 0
+
+
 def check(result: dict, baseline_path: Path) -> int:
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping the gate")
@@ -217,9 +280,13 @@ def main(argv=None) -> int:
                         help="store this run as the committed baseline")
     parser.add_argument("--stream-smoke", action="store_true",
                         help="run only the streaming-memory gate")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="run only the fault-injection gate")
     args = parser.parse_args(argv)
     if args.stream_smoke:
         return run_stream_smoke()
+    if args.chaos_smoke:
+        return run_chaos_smoke()
     result = run_bench()
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

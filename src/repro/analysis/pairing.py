@@ -77,6 +77,7 @@ class PairingStats:
     orphan_replies: int = 0  # reply seen, call packet lost
     unanswered_calls: int = 0  # call seen, reply packet lost
     errors: int = 0  # paired ops with non-OK status
+    duplicate_replies: int = 0  # reply re-captured after its pair completed
 
     @property
     def estimated_loss_rate(self) -> float:
@@ -84,7 +85,8 @@ class PairingStats:
 
         Each orphan reply implies one lost call packet; each
         unanswered call implies one lost reply.  (Section 4.1.4's
-        estimator.)
+        estimator.)  Duplicate replies imply nothing — the mirror
+        showed the same packet twice — so they are excluded.
         """
         observed = self.calls + self.replies
         lost = self.orphan_replies + self.unanswered_calls
@@ -109,6 +111,10 @@ def pair_records(
         stats = PairingStats()
     outstanding: dict[tuple[str, int], TraceRecord] = {}
     pop = outstanding.pop
+    #: keys paired recently, mapped to the pairing reply's wire time;
+    #: a second reply for such a key within reply_timeout is a capture
+    #: duplicate, not an orphan (its call was not lost)
+    recent: dict[tuple[str, int], float] = {}
     last_time = 0.0
     ok_status = NfsStatus.OK
     read_proc = NfsProc.READ
@@ -126,10 +132,17 @@ def pair_records(
             outstanding[key] = record
         else:
             stats.replies += 1
-            call = pop((record.client, record.xid), None)
+            key = (record.client, record.xid)
+            call = pop(key, None)
             if call is None:
-                stats.orphan_replies += 1
+                seen = recent.get(key)
+                if seen is not None and time - seen <= reply_timeout:
+                    stats.duplicate_replies += 1
+                    recent[key] = time
+                else:
+                    stats.orphan_replies += 1
                 continue
+            recent[key] = time
             # _merge(call, record), inlined for the per-reply path;
             # fields are passed positionally in PairedOp declaration
             # order — one op per reply makes the kwargs dict measurable
@@ -149,13 +162,18 @@ def pair_records(
                 record.eof, record.fh, record.attr_size, record.attr_mtime,
                 record.attr_ftype,
             )
-        # expire stale outstanding calls occasionally
-        if stats.calls % 4096 == 0 and outstanding:
+        # expire stale outstanding calls (and recent-pair entries, which
+        # the duplicate check would reject on time anyway) occasionally
+        if stats.calls % 4096 == 0:
             horizon = last_time - reply_timeout
-            stale = [k for k, c in outstanding.items() if c.time < horizon]
-            for key in stale:
-                del outstanding[key]
-                stats.unanswered_calls += 1
+            if outstanding:
+                stale = [k for k, c in outstanding.items() if c.time < horizon]
+                for key in stale:
+                    del outstanding[key]
+                    stats.unanswered_calls += 1
+            if recent:
+                for key in [k for k, t in recent.items() if t < horizon]:
+                    del recent[key]
     stats.unanswered_calls += len(outstanding)
 
 
@@ -183,7 +201,8 @@ class StreamPairer:
     (calls awaiting replies within ``reply_timeout``).
     """
 
-    __slots__ = ("stats", "reply_timeout", "_outstanding", "_last_time")
+    __slots__ = ("stats", "reply_timeout", "_outstanding", "_recent",
+                 "_last_time")
 
     def __init__(
         self,
@@ -194,6 +213,7 @@ class StreamPairer:
         self.stats = stats if stats is not None else PairingStats()
         self.reply_timeout = reply_timeout
         self._outstanding: dict[tuple[str, int], TraceRecord] = {}
+        self._recent: dict[tuple[str, int], float] = {}
         self._last_time = 0.0
 
     def push(self, record: TraceRecord) -> PairedOp | None:
@@ -212,28 +232,45 @@ class StreamPairer:
             self._outstanding[key] = record
         else:
             stats.replies += 1
-            call = self._outstanding.pop((record.client, record.xid), None)
+            key = (record.client, record.xid)
+            call = self._outstanding.pop(key, None)
             if call is None:
-                stats.orphan_replies += 1
+                seen = self._recent.get(key)
+                if seen is not None and time - seen <= self.reply_timeout:
+                    stats.duplicate_replies += 1
+                    self._recent[key] = time
+                else:
+                    stats.orphan_replies += 1
             else:
                 stats.paired += 1
+                self._recent[key] = time
                 op = _merge(call, record)
                 if op.status is not NfsStatus.OK:
                     stats.errors += 1
-        # expire stale outstanding calls occasionally (same cadence as
-        # pair_records, so the two paths account loss identically)
-        if stats.calls % 4096 == 0 and self._outstanding:
+        # expire stale outstanding calls and recent-pair entries
+        # occasionally (same cadence as pair_records, so the two paths
+        # account loss identically)
+        if stats.calls % 4096 == 0:
             horizon = self._last_time - self.reply_timeout
-            stale = [k for k, c in self._outstanding.items() if c.time < horizon]
-            for key in stale:
-                del self._outstanding[key]
-                stats.unanswered_calls += 1
+            if self._outstanding:
+                stale = [
+                    k for k, c in self._outstanding.items() if c.time < horizon
+                ]
+                for key in stale:
+                    del self._outstanding[key]
+                    stats.unanswered_calls += 1
+            if self._recent:
+                for key in [
+                    k for k, t in self._recent.items() if t < horizon
+                ]:
+                    del self._recent[key]
         return op
 
     def close(self) -> PairingStats:
         """End of stream: count leftovers as unanswered; returns stats."""
         self.stats.unanswered_calls += len(self._outstanding)
         self._outstanding.clear()
+        self._recent.clear()
         return self.stats
 
     def __len__(self) -> int:

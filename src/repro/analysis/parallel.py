@@ -36,19 +36,23 @@ from repro.errors import TraceFormatError
 from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.binfmt import (
+    _CONTAINER_ERRORS,
     _FRAME_HEAD,
     _RECORD_TAG,
     _STRING_TAG,
-    _VERSION_STRUCT,
-    FORMAT_VERSION,
-    MAGIC,
     BinaryTraceDecoder,
     is_binary_trace_path,
     open_binary_for_read,
+    read_trace_header,
 )
 from repro.nfs.messages import NfsStatus
 from repro.trace.record import Direction, TraceRecord, record_from_line
-from repro.analysis.pairing import PairedOp, PairingStats, _merge
+from repro.analysis.pairing import (
+    DEFAULT_REPLY_TIMEOUT,
+    PairedOp,
+    PairingStats,
+    _merge,
+)
 
 #: Nominal records per chunk.  Small enough that a week-scale trace
 #: yields plenty of chunks to balance over, large enough that per-chunk
@@ -87,6 +91,11 @@ class PairedChunk:
     paired: int = 0
     errors: int = 0
     retransmissions: int = 0  # duplicate-xid calls (content-derived)
+    duplicates: int = 0  # replies re-captured after their pair completed
+    #: keys paired within reply_timeout of the chunk's end, with the
+    #: pairing reply's time — lets the merge classify a duplicate reply
+    #: whose original pair completed in an earlier chunk
+    recent: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
 
 
@@ -110,16 +119,7 @@ def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
     strings: list[str] = []
     fileobj = open_binary_for_read(path)
     try:
-        header = fileobj.read(len(MAGIC) + _VERSION_STRUCT.size)
-        if header[: len(MAGIC)] != MAGIC:
-            raise TraceFormatError(f"not a binary trace (magic {header[:4]!r})")
-        (version,) = _VERSION_STRUCT.unpack_from(header, len(MAGIC))
-        if version != FORMAT_VERSION:
-            raise TraceFormatError(
-                f"binary trace format v{version}; "
-                f"this reader speaks v{FORMAT_VERSION}"
-            )
-        offset = len(header)
+        offset = read_trace_header(fileobj)
         chunk_start = offset
         chunk_strings = 0  # len(strings) at chunk_start
         count = 0
@@ -169,7 +169,10 @@ def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
                 count += 1
                 last_time = when
             elif tag == _STRING_TAG:
-                strings.append(buf[body:end].decode("utf-8"))
+                try:
+                    strings.append(buf[body:end].decode("utf-8"))
+                except UnicodeDecodeError as exc:
+                    raise TraceFormatError("corrupt string frame") from exc
             else:
                 raise TraceFormatError(f"unknown frame tag 0x{tag:02x}")
             offset += frame_head_size + length
@@ -185,6 +188,8 @@ def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
                     strings=tuple(strings[:chunk_strings]),
                 )
             )
+    except _CONTAINER_ERRORS as exc:
+        raise TraceFormatError(f"corrupt compressed container: {exc}") from exc
     finally:
         fileobj.close()
     return specs
@@ -205,29 +210,32 @@ def _plan_text(path: str, chunk_records: int) -> list[ChunkSpec]:
     chunk_start = 0
     count = 0
     last_time = None
-    with _open_raw(path) as fileobj:
-        for line in fileobj:
-            stripped = line.strip()
-            if stripped and not stripped.startswith(b"#"):
-                try:
-                    when = float(stripped.split(b" ", 1)[0])
-                except ValueError:
-                    when = last_time  # malformed: the worker will complain
-                if count >= chunk_records and when != last_time:
-                    specs.append(
-                        ChunkSpec(
-                            path=path,
-                            binary=False,
-                            offset=chunk_start,
-                            nbytes=offset - chunk_start,
-                            records=count,
+    try:
+        with _open_raw(path) as fileobj:
+            for line in fileobj:
+                stripped = line.strip()
+                if stripped and not stripped.startswith(b"#"):
+                    try:
+                        when = float(stripped.split(b" ", 1)[0])
+                    except ValueError:
+                        when = last_time  # malformed: the worker will complain
+                    if count >= chunk_records and when != last_time:
+                        specs.append(
+                            ChunkSpec(
+                                path=path,
+                                binary=False,
+                                offset=chunk_start,
+                                nbytes=offset - chunk_start,
+                                records=count,
+                            )
                         )
-                    )
-                    chunk_start = offset
-                    count = 0
-                count += 1
-                last_time = when
-            offset += len(line)
+                        chunk_start = offset
+                        count = 0
+                    count += 1
+                    last_time = when
+                offset += len(line)
+    except _CONTAINER_ERRORS as exc:
+        raise TraceFormatError(f"corrupt compressed container: {exc}") from exc
     if offset > chunk_start:
         specs.append(
             ChunkSpec(
@@ -286,23 +294,34 @@ def pair_chunk(spec: ChunkSpec) -> PairedChunk:
     return partial
 
 
-def _pair_partial(records: Iterable[TraceRecord]) -> PairedChunk:
+def _pair_partial(
+    records: Iterable[TraceRecord],
+    *,
+    recent: dict | None = None,
+    reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+) -> PairedChunk:
     """Pair what can be paired locally; return the rest as leftovers.
 
     Mirrors :func:`repro.analysis.pairing.pair_records` except that
     boundary effects are *returned* instead of charged: an unmatched
     reply may have its call in an earlier chunk, an outstanding call
-    its reply in a later one.  The merge settles both.
+    its reply in a later one.  The merge settles both, seeding
+    ``recent`` with the chunks' exported recent-pair maps so duplicate
+    replies straddling a boundary classify the same way a sequential
+    pass classifies them.
     """
     partial = PairedChunk()
     outstanding: dict[tuple[str, int], TraceRecord] = {}
     pop = outstanding.pop
+    if recent is None:
+        recent = {}
     ops = partial.ops
     add_op = ops.append
     orphans = partial.head_orphans
     ok_status = NfsStatus.OK
     call_dir = Direction.CALL
-    calls = replies = paired = errors = retrans = 0
+    calls = replies = paired = errors = retrans = dups = 0
+    last_time = 0.0
     for record in records:
         if record.direction == call_dir:
             calls += 1
@@ -312,10 +331,20 @@ def _pair_partial(records: Iterable[TraceRecord]) -> PairedChunk:
             outstanding[key] = record
         else:
             replies += 1
-            call = pop((record.client, record.xid), None)
+            time = record.time
+            if time > last_time:
+                last_time = time
+            key = (record.client, record.xid)
+            call = pop(key, None)
             if call is None:
-                orphans.append(record)
+                seen = recent.get(key)
+                if seen is not None and time - seen <= reply_timeout:
+                    dups += 1
+                    recent[key] = time
+                else:
+                    orphans.append(record)
                 continue
+            recent[key] = time
             op = _merge(call, record)
             paired += 1
             if op.status is not ok_status:
@@ -326,7 +355,10 @@ def _pair_partial(records: Iterable[TraceRecord]) -> PairedChunk:
     partial.paired = paired
     partial.errors = errors
     partial.retransmissions = retrans
+    partial.duplicates = dups
     partial.tail_calls = list(outstanding.values())
+    horizon = last_time - reply_timeout
+    partial.recent = {k: t for k, t in recent.items() if t >= horizon}
     return partial
 
 
@@ -374,11 +406,16 @@ def parallel_pair(
         partials = [pair_chunk(spec) for spec in specs]
 
     leftovers: list[TraceRecord] = []
+    boundary_recent: dict[tuple[str, int], float] = {}
     for partial in partials:
         leftovers.extend(partial.tail_calls)
         leftovers.extend(partial.head_orphans)
+        for key, when in partial.recent.items():
+            prev = boundary_recent.get(key)
+            if prev is None or when > prev:
+                boundary_recent[key] = when
     leftovers.sort(key=_leftover_sort_key)
-    boundary = _pair_partial(leftovers)
+    boundary = _pair_partial(leftovers, recent=boundary_recent)
 
     stats = PairingStats(
         calls=sum(p.calls for p in partials),
@@ -391,6 +428,9 @@ def parallel_pair(
             + len(boundary.tail_calls)
         ),
         errors=sum(p.errors for p in partials) + boundary.errors,
+        duplicate_replies=(
+            sum(p.duplicates for p in partials) + boundary.duplicates
+        ),
     )
     with paused_gc():
         ops = sorted(

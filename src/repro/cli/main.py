@@ -28,6 +28,7 @@ from repro.analysis.runs import RunBuilder, classify_runs
 from repro.analysis.summary import summarize_trace
 from repro.anonymize import Anonymizer, default_rules
 from repro.anonymize.rules import omit_rules
+from repro.errors import ReproError
 from repro.obs import EventLog, PhaseTimer, to_prom_text
 from repro.report import format_table
 from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
@@ -66,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--mirror-bandwidth", type=float, default=None,
                      help="mirror port bytes/s (default: lossless)")
+    sim.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault schedule, e.g. "
+                          "'drop(p=0.01);crash(at=3600,down=30)'; "
+                          "seeded from --seed, so runs reproduce "
+                          "byte-identically (see docs/FAULTS.md)")
     sim.add_argument("--out", required=True)
     sim.add_argument("--metrics-out", default=None,
                      help="write the end-of-run metrics snapshot here "
@@ -87,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--seed", type=int, default=0)
     watch.add_argument("--mirror-bandwidth", type=float, default=None,
                        help="mirror port bytes/s (default: lossless)")
+    watch.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault schedule (same grammar as simulate)")
     watch.add_argument("--interval", type=float, default=SECONDS_PER_HOUR,
                        help="simulated seconds between snapshots")
     watch.add_argument("--top", type=int, default=5,
@@ -203,7 +211,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, IsADirectoryError, ValueError, ReproError) as exc:
+        # every library failure (ReproError covers bad trace bytes and
+        # bad fault specs) exits 2 with one clean line, no traceback
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
@@ -220,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
 
 def _build_system(args):
     """System + workload + params for simulate-style subcommands."""
+    faults = getattr(args, "faults", None)
     if args.system == "campus":
         params = CampusParams()
         if args.users:
@@ -228,6 +239,7 @@ def _build_system(args):
             seed=args.seed,
             quota_bytes=params.quota_bytes,
             mirror_bandwidth=args.mirror_bandwidth,
+            faults=faults,
         )
         workload = CampusEmailWorkload(params)
     else:
@@ -235,7 +247,8 @@ def _build_system(args):
         if args.users:
             params.users = args.users
         system = TracedSystem(
-            seed=args.seed, mirror_bandwidth=args.mirror_bandwidth
+            seed=args.seed, mirror_bandwidth=args.mirror_bandwidth,
+            faults=faults,
         )
         workload = EecsResearchWorkload(params)
     return system, workload, params
@@ -286,6 +299,13 @@ def cmd_simulate(args) -> int:
         f"({args.days:g} day(s) from Monday 00:00, {params.users} users, "
         f"mirror loss {drop:.1%})"
     )
+    if system.faults is not None:
+        injected = sum(system.faults.injected.values())
+        retransmits = sum(c.retransmits for c in system.clients.values())
+        print(
+            f"faults: {system.faults.schedule.spec()} -> "
+            f"{injected} injected events, {retransmits} retransmissions"
+        )
     return 0
 
 
@@ -402,6 +422,7 @@ def cmd_stats(args) -> int:
             "errors": dict(sorted(errors.items())),
             "orphan_replies": stats.orphan_replies,
             "unanswered_calls": stats.unanswered_calls,
+            "duplicate_replies": stats.duplicate_replies,
             "estimated_loss_rate": stats.estimated_loss_rate,
         }, indent=2))
         return 0
@@ -428,6 +449,7 @@ def cmd_stats(args) -> int:
             ["Span (days)", f"{(last - first) / SECONDS_PER_DAY:.3f}"],
             ["Orphan replies", stats.orphan_replies],
             ["Unanswered calls", stats.unanswered_calls],
+            ["Duplicate replies", stats.duplicate_replies],
             ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
         ],
     ))
@@ -785,6 +807,10 @@ def cmd_convert(args) -> int:
     are transcoded record-for-record, so ``--out`` picks the container:
     ``.rtb``/``.rtb.gz`` binary, anything else text.
     """
+    if not Path(args.input).is_file():
+        # validate before TraceWriter opens --out, or a failed convert
+        # leaves a stray empty output file behind
+        raise FileNotFoundError(f"trace not found: {args.input}")
     source_format = args.source_format
     if source_format == "auto":
         source_format = _sniff_trace_format(args.input)
@@ -797,10 +823,16 @@ def cmd_convert(args) -> int:
             f"({stats.skipped} skipped) -> {args.out}"
         )
         return 0
-    with TraceWriter(args.out) as writer:
-        with TraceReader(args.input) as reader:
-            for record in reader:
-                writer.write(record)
+    try:
+        with TraceWriter(args.out) as writer:
+            with TraceReader(args.input) as reader:
+                for record in reader:
+                    writer.write(record)
+        if writer.records_written == 0:
+            raise ValueError(f"no records in {args.input}")
+    except Exception:
+        Path(args.out).unlink(missing_ok=True)  # no partial output
+        raise
     print(f"converted {writer.records_written} records -> {args.out}")
     return 0
 

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import SimulationError
 from repro.fs.blockmap import BLOCK_SIZE, block_range
 from repro.client.cache import ClientCache
 from repro.client.nfsiod import NfsiodPool
@@ -80,6 +81,9 @@ class NfsClient:
         cache_blocks: int = 65536,
         readahead_blocks: int = 4,
         op_gap: float = 0.0003,
+        rpc_timeout: float = 1.1,
+        rpc_timeout_max: float = 4.0,
+        rpc_max_retransmits: int = 100,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
@@ -92,6 +96,13 @@ class NfsClient:
         self.transport = transport
         self.readahead_blocks = readahead_blocks
         self.op_gap = op_gap
+        #: RPC retransmission: initial timeout, backoff cap, and give-up
+        #: bound (the classic BSD client starts just over a second and
+        #: doubles; the cap stays far below pairing's 8 s reply timeout
+        #: so retransmitted exchanges never look like capture loss)
+        self.rpc_timeout = rpc_timeout
+        self.rpc_timeout_max = rpc_timeout_max
+        self.rpc_max_retransmits = rpc_max_retransmits
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = ClientCache(
             ac_timeout=ac_timeout,
@@ -113,11 +124,13 @@ class NfsClient:
         self._n_read_misses = 0
         self._n_ra_issued = 0
         self._n_ra_used = 0
+        self._n_retransmits = 0
         self._m_calls_sent = self.metrics.counter("client.calls_sent", host=host)
         self._m_absorbed = self.metrics.counter("client.reads_absorbed", host=host)
         self._m_read_misses = self.metrics.counter("client.read_misses", host=host)
         self._m_ra_issued = self.metrics.counter("client.readahead_issued", host=host)
         self._m_ra_used = self.metrics.counter("client.readahead_used", host=host)
+        self._m_retransmits = self.metrics.counter("client.retransmits", host=host)
         self.metrics.add_sync(self._sync_metrics)
 
     def _sync_metrics(self) -> None:
@@ -126,6 +139,7 @@ class NfsClient:
         self._m_read_misses.inc(self._n_read_misses - self._m_read_misses.value)
         self._m_ra_issued.inc(self._n_ra_issued - self._m_ra_issued.value)
         self._m_ra_used.inc(self._n_ra_used - self._m_ra_used.value)
+        self._m_retransmits.inc(self._n_retransmits - self._m_retransmits.value)
 
     @property
     def reads_absorbed(self) -> int:
@@ -470,6 +484,8 @@ class NfsClient:
         outstanding = channel._outstanding
         outstanding[xid] = call
         reply = self.exchange(call)
+        if reply is None:  # fault-injected loss: retransmit until answered
+            reply = self._retransmit(call)
         outstanding.pop(reply.xid, None)
         self._n_calls_sent += 1
         gap = self.op_gap * (0.5 + self.rng.random())
@@ -483,3 +499,31 @@ class NfsClient:
             # metadata calls are synchronous: the caller blocks
             self._cursor = max(self._cursor, reply.time) + gap
         return reply
+
+    def _retransmit(self, call: NfsCall) -> NfsReply:
+        """Resend ``call`` with exponential backoff until answered.
+
+        The retransmission keeps its XID — on the wire it is the same
+        RPC, just sent again later — so the capture shows the
+        duplicate-XID call sequences real passive traces show.  Only
+        reachable when the exchange is fault-injected (it returned
+        ``None``).
+        """
+        timeout = self.rpc_timeout
+        cap = self.rpc_timeout_max
+        for _ in range(self.rpc_max_retransmits):
+            call.time += timeout
+            self._n_retransmits += 1
+            reply = self.exchange(call)
+            if reply is not None:
+                return reply
+            timeout = min(timeout * 2.0, cap)
+        raise SimulationError(
+            f"{self.host}: xid {call.xid} ({call.proc.value}) unanswered "
+            f"after {self.rpc_max_retransmits} retransmissions"
+        )
+
+    @property
+    def retransmits(self) -> int:
+        """RPC retransmissions this client has sent."""
+        return self._n_retransmits

@@ -92,3 +92,7 @@ class StreamMemoryError(AnalysisError):
 
 class WorkloadConfigError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec string or clause was invalid."""

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the simulated NFS pipeline.
+
+See ``docs/FAULTS.md`` for the spec grammar, the determinism
+guarantee, and the ledger semantics the chaos tests verify.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.ledger import FaultLedger
+from repro.faults.spec import (
+    MAX_FAULT_DELAY,
+    CrashClause,
+    DelayClause,
+    DropClause,
+    DupClause,
+    FaultClause,
+    FaultSchedule,
+    ReorderClause,
+    SlowDiskClause,
+    crash,
+    delay,
+    drop,
+    dup,
+    reorder,
+    slowdisk,
+)
+
+__all__ = [
+    "MAX_FAULT_DELAY",
+    "CrashClause",
+    "DelayClause",
+    "DropClause",
+    "DupClause",
+    "FaultClause",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultSchedule",
+    "ReorderClause",
+    "SlowDiskClause",
+    "crash",
+    "delay",
+    "drop",
+    "dup",
+    "reorder",
+    "slowdisk",
+]

@@ -1,0 +1,230 @@
+"""Runtime fault injection for a traced simulation.
+
+One :class:`FaultInjector` serves a whole :class:`TracedSystem` run.
+It is consulted from two places:
+
+* the **wire** — :class:`repro.netsim.link.NetworkPath` asks it for
+  extra call transmit delay (reordering), call/reply packet drops,
+  server crash windows, latency multipliers, and reply latency spikes.
+  A wire-dropped call never reaches the server *or* the mirror; a
+  wire-dropped reply was sent by the server (and captured) but never
+  reaches the client.  Both make the client retransmit.
+* the **capture point** — :meth:`wrap_capture` wraps the trace
+  collector in a tap that applies capture-side drops and duplication
+  (the tracer's own imperfection, Section 4.1.4 of the paper) and
+  feeds the :class:`~repro.faults.ledger.FaultLedger` exactly the
+  packets the collector records.
+
+Each clause draws from its own named RNG stream
+(``faults.<index>.<name>`` via :class:`repro.simcore.rng.RngRegistry`),
+and clauses outside their window draw nothing, so a schedule is
+byte-reproducible and adding a clause never perturbs the draws of
+another.  Every injected event increments an ``injected`` tally and a
+``faults.injected{fault=,kind=,where=}`` counter in the metrics
+registry — fault events are rare, so these update registry counters
+directly rather than through sync hooks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.ledger import FaultLedger
+from repro.faults.spec import (
+    MAX_FAULT_DELAY,
+    CrashClause,
+    DelayClause,
+    DropClause,
+    DupClause,
+    FaultSchedule,
+    ReorderClause,
+    SlowDiskClause,
+)
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.simcore.rng import RngRegistry
+
+#: (clause, rng) pair — the unit every per-packet check iterates over.
+_Armed = tuple
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSchedule` to a running simulation."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule | str,
+        rngs: RngRegistry,
+        *,
+        metrics: MetricsRegistry | None = None,
+        ledger: FaultLedger | None = None,
+    ) -> None:
+        self.schedule = FaultSchedule.parse(schedule)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ledger = ledger if ledger is not None else FaultLedger()
+        #: injected-event tallies keyed ``fault.kind.where``
+        self.injected: dict[str, int] = {}
+        self._m: dict[str, Counter] = {}
+        # clause lists per check site; a kind=both clause lands in both
+        # its call and reply list *sharing one stream*, so its draw
+        # order is simply packet order — still deterministic
+        self._wire_call_drops: list[_Armed] = []
+        self._wire_reply_drops: list[_Armed] = []
+        self._capture_call_drops: list[_Armed] = []
+        self._capture_reply_drops: list[_Armed] = []
+        self._capture_call_dups: list[_Armed] = []
+        self._capture_reply_dups: list[_Armed] = []
+        self._reorders: list[_Armed] = []
+        self._delays: list[_Armed] = []
+        self._crashes: list[CrashClause] = []
+        self._slowdisks: list[SlowDiskClause] = []
+        for index, clause in enumerate(self.schedule):
+            rng = rngs.stream(f"faults.{index}.{clause.name}")
+            self._arm(clause, rng)
+
+    def _arm(self, clause, rng: random.Random) -> None:
+        armed = (clause, rng)
+        if isinstance(clause, DropClause):
+            calls = clause.kind in ("call", "both")
+            replies = clause.kind in ("reply", "both")
+            if clause.where == "wire":
+                if calls:
+                    self._wire_call_drops.append(armed)
+                if replies:
+                    self._wire_reply_drops.append(armed)
+            else:
+                if calls:
+                    self._capture_call_drops.append(armed)
+                if replies:
+                    self._capture_reply_drops.append(armed)
+        elif isinstance(clause, DupClause):
+            if clause.kind in ("call", "both"):
+                self._capture_call_dups.append(armed)
+            if clause.kind in ("reply", "both"):
+                self._capture_reply_dups.append(armed)
+        elif isinstance(clause, ReorderClause):
+            self._reorders.append(armed)
+        elif isinstance(clause, DelayClause):
+            self._delays.append(armed)
+        elif isinstance(clause, CrashClause):
+            self._crashes.append(clause)
+        elif isinstance(clause, SlowDiskClause):
+            self._slowdisks.append(clause)
+        else:  # pragma: no cover - schedule validation forbids this
+            raise TypeError(f"unknown fault clause {clause!r}")
+
+    def _count(self, fault: str, kind: str, where: str) -> None:
+        key = f"{fault}.{kind}.{where}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+        counter = self._m.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "faults.injected", fault=fault, kind=kind, where=where
+            )
+            self._m[key] = counter
+        counter.inc()
+
+    # -- wire hooks (called by NetworkPath) -----------------------------------
+
+    def call_wire_delay(self, time: float) -> float:
+        """Extra transmit delay for a call crossing the wire at ``time``."""
+        extra = 0.0
+        for clause, rng in self._reorders:
+            if clause.active(time) and rng.random() < clause.p:
+                extra += min(rng.expovariate(1000.0 / clause.ms),
+                             MAX_FAULT_DELAY)
+                self._count("reorder", "call", "wire")
+        return extra
+
+    def drop_call_wire(self, time: float) -> bool:
+        """True when the call packet is lost before server and mirror."""
+        for clause, rng in self._wire_call_drops:
+            if clause.active(time) and rng.random() < clause.p:
+                self._count("drop", "call", "wire")
+                return True
+        return False
+
+    def crashed_in_flight(self, time: float) -> bool:
+        """True when the server is down: the call is captured but lost."""
+        for clause in self._crashes:
+            if clause.crashed(time):
+                self._count("crash", "call", "wire")
+                return True
+        return False
+
+    def latency_factor(self, time: float) -> float:
+        """Service-latency multiplier from active slow-disk episodes."""
+        factor = 1.0
+        for clause in self._slowdisks:
+            if clause.slowed(time):
+                factor *= clause.factor
+                self._count("slowdisk", "reply", "wire")
+        return factor
+
+    def reply_wire_delay(self, time: float) -> float:
+        """Extra reply latency from active spike clauses."""
+        extra = 0.0
+        for clause, rng in self._delays:
+            if clause.active(time) and rng.random() < clause.p:
+                extra += min(rng.expovariate(1000.0 / clause.ms),
+                             MAX_FAULT_DELAY)
+                self._count("delay", "reply", "wire")
+        return extra
+
+    def drop_reply_wire(self, time: float) -> bool:
+        """True when the reply is lost after capture, before the client."""
+        for clause, rng in self._wire_reply_drops:
+            if clause.active(time) and rng.random() < clause.p:
+                self._count("drop", "reply", "wire")
+                return True
+        return False
+
+    # -- capture hook ---------------------------------------------------------
+
+    def wrap_capture(self, downstream) -> "_CaptureTap":
+        """Wrap the trace collector in the capture-fault tap.
+
+        Always wrap when faults are enabled — even for schedules with
+        no capture clauses — because the tap is also what feeds the
+        ledger the exact captured stream.
+        """
+        return _CaptureTap(self, downstream)
+
+
+class _CaptureTap:
+    """Applies capture drops/duplication between mirror and collector."""
+
+    __slots__ = ("_inj", "_down")
+
+    def __init__(self, injector: FaultInjector, downstream) -> None:
+        self._inj = injector
+        self._down = downstream
+
+    def on_call(self, call) -> None:
+        inj = self._inj
+        time = call.time
+        for clause, rng in inj._capture_call_drops:
+            if clause.active(time) and rng.random() < clause.p:
+                inj._count("drop", "call", "capture")
+                return
+        self._down.on_call(call)
+        inj.ledger.on_call(call)
+        for clause, rng in inj._capture_call_dups:
+            if clause.active(time) and rng.random() < clause.p:
+                inj._count("dup", "call", "capture")
+                self._down.on_call(call)
+                inj.ledger.on_call(call)
+
+    def on_reply(self, reply) -> None:
+        inj = self._inj
+        time = reply.time
+        for clause, rng in inj._capture_reply_drops:
+            if clause.active(time) and rng.random() < clause.p:
+                inj._count("drop", "reply", "capture")
+                return
+        self._down.on_reply(reply)
+        inj.ledger.on_reply(reply)
+        for clause, rng in inj._capture_reply_dups:
+            if clause.active(time) and rng.random() < clause.p:
+                inj._count("dup", "reply", "capture")
+                self._down.on_reply(reply)
+                inj.ledger.on_reply(reply)

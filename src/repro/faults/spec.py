@@ -1,0 +1,340 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSchedule` is a list of clauses describing the
+imperfections to inject into one simulated run — packet loss, capture
+loss, duplication, latency spikes, extra reordering delay, server
+crashes, and slow-disk episodes.  Schedules come from either the
+builder functions (``drop(p=0.01) + dup(p=0.002)``) or the equivalent
+spec-string grammar used by ``repro simulate --faults``::
+
+    SPEC    := clause (';' clause)*
+    clause  := name '(' key '=' value (',' key '=' value)* ')'
+
+    drop(p=0.01[,kind=call|reply|both][,where=wire|capture][,window=a:b])
+    dup(p=0.005[,kind=call|reply|both][,window=a:b])
+    delay(p=0.01,ms=50[,window=a:b])
+    reorder(p=0.02,ms=20[,window=a:b])
+    crash(at=3600,down=30[,every=86400])
+    slowdisk(at=3600,dur=600,factor=8)
+
+``where=wire`` drops lose the packet for real — the server never sees
+a dropped call, the client never sees a dropped reply, and the client
+retransmits after its RPC timeout, so retransmissions appear in the
+trace the way real passive traces show them.  ``where=capture`` drops
+model trace-capture loss (Section 4.1.4 of the paper): the packet is
+delivered but the tracer misses it.  Duplication is a capture artifact
+(the mirror shows the packet twice).  ``window=a:b`` limits a clause
+to wire times ``a <= t < b``; either bound may be empty.
+
+Clauses are plain frozen dataclasses, so a schedule is hashable,
+comparable, and reproducible: the same schedule and the same master
+seed always produce the same trace, byte for byte (the injector draws
+from dedicated named RNG streams, one per clause).
+
+Everything raises :class:`~repro.errors.FaultSpecError` on invalid
+input — unknown clause names, probabilities outside [0, 1], negative
+durations, malformed windows.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field, fields
+
+from repro.errors import FaultSpecError
+
+#: Injected extra delays (spikes, reorder stalls) are capped here, well
+#: under the pairer's 8 s reply timeout, so a delayed reply can never be
+#: misaccounted as capture loss.
+MAX_FAULT_DELAY = 1.0
+
+_KINDS = ("call", "reply", "both")
+_WHERES = ("wire", "capture")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultSpecError(message)
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """Base class: a window-limited fault description."""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    #: spec-string clause name (overridden per subclass)
+    name = "fault"
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, f"{self.name}: window start must be >= 0")
+        _require(self.end > self.start, f"{self.name}: window end must be after start")
+
+    def active(self, time: float) -> bool:
+        """Whether this clause applies at wire time ``time``."""
+        return self.start <= time < self.end
+
+    def spec(self) -> str:
+        """The canonical spec-string form of this clause."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "start":
+                if value > 0.0 or self.end is not math.inf:
+                    tail = "" if self.end is math.inf else f"{self.end:g}"
+                    parts.append(f"window={value:g}:{tail}")
+                continue
+            if f.name == "end" or value == f.default:
+                continue
+            parts.append(f"{f.name}={value:g}" if isinstance(value, float)
+                         else f"{f.name}={value}")
+        return f"{self.name}({','.join(parts)})"
+
+
+@dataclass(frozen=True)
+class DropClause(FaultClause):
+    """Probabilistic packet loss, on the wire or at the capture point."""
+
+    p: float = 0.0
+    kind: str = "both"
+    where: str = "wire"
+
+    name = "drop"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.p <= 1.0, f"drop: p must be in [0, 1], got {self.p}")
+        _require(self.kind in _KINDS, f"drop: kind must be one of {_KINDS}")
+        _require(self.where in _WHERES, f"drop: where must be one of {_WHERES}")
+
+
+@dataclass(frozen=True)
+class DupClause(FaultClause):
+    """Capture-side packet duplication (the mirror sees it twice)."""
+
+    p: float = 0.0
+    kind: str = "both"
+
+    name = "dup"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.p <= 1.0, f"dup: p must be in [0, 1], got {self.p}")
+        _require(self.kind in _KINDS, f"dup: kind must be one of {_KINDS}")
+
+
+@dataclass(frozen=True)
+class DelayClause(FaultClause):
+    """Reply latency spike: extra service delay, exponential around ``ms``."""
+
+    p: float = 0.0
+    ms: float = 0.0
+
+    name = "delay"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.p <= 1.0, f"delay: p must be in [0, 1], got {self.p}")
+        _require(self.ms > 0.0, f"delay: ms must be positive, got {self.ms}")
+
+
+@dataclass(frozen=True)
+class ReorderClause(FaultClause):
+    """Extra call transmit delay beyond the nfsiod model."""
+
+    p: float = 0.0
+    ms: float = 0.0
+
+    name = "reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(0.0 <= self.p <= 1.0, f"reorder: p must be in [0, 1], got {self.p}")
+        _require(self.ms > 0.0, f"reorder: ms must be positive, got {self.ms}")
+
+
+@dataclass(frozen=True)
+class CrashClause(FaultClause):
+    """Server crash: calls arriving in ``[at, at+down)`` are lost in flight.
+
+    With ``every`` set, the crash repeats with that period.  The trace
+    shows each lost call (it crossed the wire) with no reply, followed
+    by the client's retransmissions until the server is back.
+    """
+
+    at: float = 0.0
+    down: float = 0.0
+    every: float = 0.0  # 0 = one-shot
+
+    name = "crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.at >= 0.0, f"crash: at must be >= 0, got {self.at}")
+        _require(self.down > 0.0, f"crash: down must be positive, got {self.down}")
+        _require(
+            self.every == 0.0 or self.every > self.down,
+            f"crash: every must exceed down, got every={self.every} down={self.down}",
+        )
+
+    def crashed(self, time: float) -> bool:
+        """Whether the server is down at wire time ``time``."""
+        if not self.active(time) or time < self.at:
+            return False
+        if self.every:
+            return (time - self.at) % self.every < self.down
+        return time < self.at + self.down
+
+
+@dataclass(frozen=True)
+class SlowDiskClause(FaultClause):
+    """Service latency multiplied by ``factor`` during ``[at, at+dur)``."""
+
+    at: float = 0.0
+    dur: float = 0.0
+    factor: float = 1.0
+
+    name = "slowdisk"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.at >= 0.0, f"slowdisk: at must be >= 0, got {self.at}")
+        _require(self.dur > 0.0, f"slowdisk: dur must be positive, got {self.dur}")
+        # the cap keeps worst-case reply latency far below the pairer's
+        # 8 s reply timeout, which is what lets the fault ledger predict
+        # pairing stats exactly (see repro.faults.ledger)
+        _require(1.0 <= self.factor <= 100.0,
+                 f"slowdisk: factor must be in [1, 100], got {self.factor}")
+
+    def slowed(self, time: float) -> bool:
+        """Whether the episode covers wire time ``time``."""
+        return self.active(time) and self.at <= time < self.at + self.dur
+
+
+_CLAUSE_TYPES = {
+    cls.name: cls
+    for cls in (DropClause, DupClause, DelayClause, ReorderClause,
+                CrashClause, SlowDiskClause)
+}
+
+_STRING_KEYS = {"kind", "where"}
+
+_CLAUSE_RE = re.compile(r"^\s*([a-z_]+)\s*\(([^()]*)\)\s*$")
+
+
+def _parse_clause(text: str) -> FaultClause:
+    match = _CLAUSE_RE.match(text)
+    if match is None:
+        raise FaultSpecError(f"malformed fault clause: {text!r}")
+    name, body = match.group(1), match.group(2)
+    cls = _CLAUSE_TYPES.get(name)
+    if cls is None:
+        raise FaultSpecError(
+            f"unknown fault {name!r}; expected one of {sorted(_CLAUSE_TYPES)}"
+        )
+    kwargs: dict[str, object] = {}
+    for token in filter(None, (t.strip() for t in body.split(","))):
+        key, sep, raw = token.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not sep or not raw:
+            raise FaultSpecError(f"{name}: malformed argument {token!r}")
+        if key == "window":
+            lo, sep2, hi = raw.partition(":")
+            if not sep2:
+                raise FaultSpecError(f"{name}: window must be 'a:b', got {raw!r}")
+            try:
+                kwargs["start"] = float(lo) if lo else 0.0
+                kwargs["end"] = float(hi) if hi else math.inf
+            except ValueError as exc:
+                raise FaultSpecError(f"{name}: bad window {raw!r}") from exc
+            continue
+        if key in _STRING_KEYS:
+            kwargs[key] = raw
+            continue
+        try:
+            kwargs[key] = float(raw)
+        except ValueError as exc:
+            raise FaultSpecError(f"{name}: bad value in {token!r}") from exc
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise FaultSpecError(f"{name}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable collection of fault clauses.
+
+    Clause order is meaningful only for RNG stream naming (clause *i*
+    draws from stream ``faults.<i>.<name>``), which is what makes a
+    run byte-reproducible: the same schedule text and master seed
+    always draw the same numbers in the same order.
+    """
+
+    clauses: tuple[FaultClause, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def parse(cls, spec: str | "FaultSchedule") -> "FaultSchedule":
+        """Parse a spec string (``drop(p=0.01);dup(p=0.002)``)."""
+        if isinstance(spec, FaultSchedule):
+            return spec
+        clauses = tuple(
+            _parse_clause(chunk)
+            for chunk in filter(None, (c.strip() for c in spec.split(";")))
+        )
+        if not clauses:
+            raise FaultSpecError(f"empty fault spec: {spec!r}")
+        return cls(clauses)
+
+    def spec(self) -> str:
+        """The canonical spec string (parses back to an equal schedule)."""
+        return ";".join(clause.spec() for clause in self.clauses)
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self.clauses + other.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+# -- builder functions: the programmatic form of the spec grammar -------------
+
+
+def drop(p: float, *, kind: str = "both", where: str = "wire",
+         start: float = 0.0, end: float = math.inf) -> FaultSchedule:
+    """Packet loss; ``where='wire'`` triggers client retransmission."""
+    return FaultSchedule((DropClause(start, end, p, kind, where),))
+
+
+def dup(p: float, *, kind: str = "both",
+        start: float = 0.0, end: float = math.inf) -> FaultSchedule:
+    """Capture-side duplication."""
+    return FaultSchedule((DupClause(start, end, p, kind),))
+
+
+def delay(p: float, ms: float, *,
+          start: float = 0.0, end: float = math.inf) -> FaultSchedule:
+    """Reply latency spikes (mean ``ms`` milliseconds, capped at 1 s)."""
+    return FaultSchedule((DelayClause(start, end, p, ms),))
+
+
+def reorder(p: float, ms: float, *,
+            start: float = 0.0, end: float = math.inf) -> FaultSchedule:
+    """Extra call transmit delay, reordering beyond the nfsiod model."""
+    return FaultSchedule((ReorderClause(start, end, p, ms),))
+
+
+def crash(at: float, down: float, *, every: float = 0.0) -> FaultSchedule:
+    """Server crash/restart with in-flight request loss."""
+    return FaultSchedule((CrashClause(at=at, down=down, every=every),))
+
+
+def slowdisk(at: float, dur: float, factor: float) -> FaultSchedule:
+    """Slow-disk episode: service latency multiplied by ``factor``."""
+    return FaultSchedule((SlowDiskClause(at=at, dur=dur, factor=factor),))

@@ -5,10 +5,13 @@ with: it timestamps the server's reply with service latency and shows
 both packets to every installed tap (mirror port, collector, or any
 object with ``on_call``/``on_reply``).
 
-The client/server path itself is reliable — NFS over UDP retransmits
-and TCP is reliable, so the *server* sees every call.  Loss happens
-only at the mirror port, which is exactly the paper's situation: the
-tracer misses packets the server still processed.
+The client/server path itself is reliable by default — NFS over UDP
+retransmits and TCP is reliable, so the *server* sees every call.
+Loss happens only at the mirror port, which is exactly the paper's
+situation: the tracer misses packets the server still processed.
+With a :class:`repro.faults.FaultInjector` installed the path can also
+lose, delay, and reorder packets or black-hole a crashed server; the
+exchange then returns ``None`` and the client retransmits.
 """
 
 from __future__ import annotations
@@ -56,6 +59,12 @@ class NetworkPath:
         rng: stream for service latency jitter.
         base_latency: mean round-trip-plus-service time in seconds.
         taps: objects with ``on_call(call)`` and ``on_reply(reply)``.
+        faults: optional :class:`repro.faults.FaultInjector`.  With one
+            installed, the exchange may return ``None`` — the call or
+            its reply was lost on the wire, or the server was down —
+            and the client is expected to retransmit.  Without one the
+            path is exactly the pre-fault fast path: no extra RNG
+            draws, so traces stay byte-identical.
     """
 
     def __init__(
@@ -66,11 +75,13 @@ class NetworkPath:
         base_latency: float = 0.0008,
         taps: list | None = None,
         metrics: MetricsRegistry | None = None,
+        faults=None,
     ) -> None:
         self.server = server
         self.rng = rng
         self.base_latency = base_latency
         self.taps = list(taps) if taps else []
+        self.faults = faults
         self.exchanges = 0
         #: Per-procedure service-time histograms live under the server
         #: namespace: the latency is assigned here, but it models the
@@ -84,8 +95,14 @@ class NetworkPath:
         """Install a packet tap (e.g. a mirror port)."""
         self.taps.append(tap)
 
-    def __call__(self, call: NfsCall) -> NfsReply:
-        """Carry one call to the server and its reply back."""
+    def __call__(self, call: NfsCall) -> NfsReply | None:
+        """Carry one call to the server and its reply back.
+
+        Returns ``None`` only when a fault injector is installed and
+        the exchange failed (dropped packet or crashed server).
+        """
+        if self.faults is not None:
+            return self._exchange_faulted(call)
         self.exchanges += 1
         taps = self.taps
         for tap in taps:
@@ -105,4 +122,59 @@ class NetworkPath:
             histogram.observe(latency)
         for tap in taps:
             tap.on_reply(reply)
+        return reply
+
+    def _exchange_faulted(self, call: NfsCall) -> NfsReply | None:
+        """The exchange with a fault injector in the loop.
+
+        Order matters and encodes where each fault lives:
+
+        1. reorder delay shifts the call's wire time;
+        2. a wire call drop loses the packet before the server *and*
+           the mirror — nothing is captured;
+        3. the surviving call is captured (taps);
+        4. a crashed server loses the call in flight — captured, never
+           answered;
+        5. the reply's latency picks up slow-disk multipliers and
+           delay spikes;
+        6. the reply is captured (taps);
+        7. a wire reply drop loses it after capture, before the client
+           — the trace shows a reply the client never saw, and the
+           retransmitted exchange pairs a second time, exactly how a
+           real passive trace shows a lost reply.
+        """
+        faults = self.faults
+        self.exchanges += 1
+        extra = faults.call_wire_delay(call.time)
+        if extra:
+            call.time += extra
+        if faults.drop_call_wire(call.time):
+            return None
+        taps = self.taps
+        for tap in taps:
+            tap.on_call(call)
+        if faults.crashed_in_flight(call.time):
+            return None
+        reply = self.server.process(call)
+        latency = (
+            self.base_latency
+            * (0.5 + self.rng.random())
+            * faults.latency_factor(call.time)
+            + faults.reply_wire_delay(call.time)
+        )
+        reply.time = call.time + latency
+        if call.time >= self.measure_from:
+            histogram = self._m_service.get(call.proc)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "server.service_time_seconds",
+                    bounds=SERVICE_TIME_BUCKETS,
+                    proc=call.proc.value,
+                )
+                self._m_service[call.proc] = histogram
+            histogram.observe(latency)
+        for tap in taps:
+            tap.on_reply(reply)
+        if faults.drop_reply_wire(reply.time):
+            return None
         return reply

@@ -18,6 +18,19 @@ from repro.obs.metrics import Counter, MetricsRegistry
 #: Hot-path reply status (the default NfsReply status, hoisted).
 _OK = NfsStatus.OK
 
+#: Procedures whose effects are not idempotent: a retransmitted call
+#: must get the original answer, not a second execution (which would
+#: fail with EXIST/NOENT).  Reads, writes (same offset, same data) and
+#: attribute fetches re-execute harmlessly and skip the cache.
+_NON_IDEMPOTENT = frozenset({
+    NfsProc.CREATE, NfsProc.MKDIR, NfsProc.SYMLINK,
+    NfsProc.REMOVE, NfsProc.RMDIR, NfsProc.RENAME,
+})
+
+#: Duplicate-request cache capacity; real servers keep a few hundred
+#: entries (enough to cover the client retransmission window).
+DRC_CAPACITY = 512
+
 
 class NfsServer:
     """One simulated NFS server exporting one file system.
@@ -52,6 +65,11 @@ class NfsServer:
         self._c_replies: dict[NfsStatus, int] = {}
         self._m_calls: dict[NfsProc, Counter] = {}
         self._m_replies: dict[NfsStatus, Counter] = {}
+        #: duplicate-request cache for non-idempotent procedures, keyed
+        #: (client, xid), evicted in insertion order.  Only retransmitted
+        #: calls (fault injection) ever hit it; without duplicate XIDs
+        #: on the wire it is pure bookkeeping.
+        self._drc: dict[tuple[str, int], NfsReply] = {}
         self.metrics.add_sync(self._sync)
 
     def _sync(self) -> None:
@@ -86,6 +104,19 @@ class NfsServer:
                 self._c_calls[call.proc] += 1
             except KeyError:
                 self._c_calls[call.proc] = 1
+        cacheable = call.proc in _NON_IDEMPOTENT
+        if cacheable:
+            cached = self._drc.get((call.client, call.xid))
+            if cached is not None:
+                # retransmission of an executed call: answer from the
+                # duplicate-request cache (the network path re-stamps
+                # the reply's wire time)
+                if measured:
+                    try:
+                        self._c_replies[cached.status] += 1
+                    except KeyError:
+                        self._c_replies[cached.status] = 1
+                return cached
         try:
             reply = self._dispatch(call)
         except FsError as exc:
@@ -98,6 +129,11 @@ class NfsServer:
                 version=call.version,
                 status=NfsStatus.from_wire(exc.nfs_status),
             )
+        if cacheable:
+            drc = self._drc
+            drc[(call.client, call.xid)] = reply
+            if len(drc) > DRC_CAPACITY:
+                del drc[next(iter(drc))]
         if measured:
             try:
                 self._c_replies[reply.status] += 1

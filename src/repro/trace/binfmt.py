@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import gzip
 import io
+import zlib
 from pathlib import Path
 from struct import Struct, error as StructError
 from typing import IO, Iterator
@@ -103,6 +104,40 @@ _OPT_FIELDS = tuple(
 
 if len(_OPT_FIELDS) > 16:  # pragma: no cover - compile-time sanity
     raise AssertionError("presence bitmap is u16; _FIELD_CODECS grew past 16")
+
+
+_HEADER_SIZE = len(MAGIC) + _VERSION_STRUCT.size
+
+#: What a corrupt or truncated ``.rtb.gz`` container surfaces mid-read.
+#: ``gzip.BadGzipFile`` covers bad magic and CRC mismatches, ``EOFError``
+#: a stream cut before the end-of-stream marker, ``zlib.error`` mangled
+#: deflate data.  The decoder converts all three to TraceFormatError so
+#: callers have one exception type for "this file is not readable".
+_CONTAINER_ERRORS = (gzip.BadGzipFile, EOFError, zlib.error)
+
+
+def read_trace_header(fileobj: IO[bytes]) -> int:
+    """Consume and validate the container header; returns its byte size.
+
+    Raises :class:`~repro.errors.TraceFormatError` for anything that is
+    not a complete, current-version header — including decompression
+    failures from a corrupt gzip container.
+    """
+    try:
+        header = fileobj.read(_HEADER_SIZE)
+    except _CONTAINER_ERRORS as exc:
+        raise TraceFormatError(f"corrupt compressed container: {exc}") from exc
+    if header[: len(MAGIC)] != MAGIC:
+        raise TraceFormatError(f"not a binary trace (magic {header[:4]!r})")
+    if len(header) < _HEADER_SIZE:
+        raise TraceFormatError("truncated trace header")
+    (version,) = _VERSION_STRUCT.unpack_from(header, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"binary trace format v{version}; "
+            f"this reader speaks v{FORMAT_VERSION}"
+        )
+    return _HEADER_SIZE
 
 
 def is_binary_trace_path(path: str | Path) -> bool:
@@ -241,18 +276,7 @@ class BinaryTraceDecoder:
         """
         self._file = fileobj
         if expect_header:
-            header = fileobj.read(len(MAGIC) + _VERSION_STRUCT.size)
-            if header[: len(MAGIC)] != MAGIC:
-                raise TraceFormatError(
-                    f"not a binary trace (magic {header[:4]!r})"
-                )
-            (version,) = _VERSION_STRUCT.unpack_from(header, len(MAGIC))
-            if version != FORMAT_VERSION:
-                raise TraceFormatError(
-                    f"binary trace format v{version}; "
-                    f"this reader speaks v{FORMAT_VERSION}"
-                )
-            self.bytes_read = len(header)
+            self.bytes_read = read_trace_header(fileobj)
         else:
             self.bytes_read = 0
         self._strings_seed: tuple[str, ...] = tuple(strings) if strings else ()
@@ -318,12 +342,20 @@ class BinaryTraceDecoder:
                             status_byte,
                             bitmap,
                         ) = record_head.unpack_from(buf, body)
+                        if direction_byte == 0:
+                            direction = call_dir
+                        elif direction_byte == 1:
+                            direction = reply_dir
+                        else:
+                            raise TraceFormatError(
+                                f"bad direction byte {direction_byte}"
+                            )
                         # positional: TraceRecord's leading fields are
                         # (time, direction, xid, client, server, proc,
                         # version, status) — kwargs cost ~10% of decode
                         record = record_cls(
                             time,
-                            call_dir if direction_byte == 0 else reply_dir,
+                            direction,
                             xid,
                             strings[client_id],
                             strings[server_id],
@@ -353,6 +385,10 @@ class BinaryTraceDecoder:
                         raise TraceFormatError("corrupt string frame") from exc
                 else:
                     raise TraceFormatError(f"unknown frame tag 0x{tag:02x}")
+        except _CONTAINER_ERRORS as exc:
+            raise TraceFormatError(
+                f"corrupt compressed container: {exc}"
+            ) from exc
         finally:
             self.records_read += records
             self.bytes_read += nbytes

@@ -18,6 +18,7 @@ from repro.errors import TraceFormatError
 from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.binfmt import (
+    _CONTAINER_ERRORS,
     BinaryTraceDecoder,
     is_binary_trace_path,
     open_binary_for_read,
@@ -123,6 +124,14 @@ class TraceReader:
                         raise
                     self.bad_lines += 1
             self._publish(records, nbytes)
+        except _CONTAINER_ERRORS as exc:
+            # a corrupt .gz container fails mid-iteration; give callers
+            # the same exception a corrupt trace body would
+            raise TraceFormatError(
+                f"corrupt compressed container: {exc}"
+            ) from exc
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"not a text trace: {exc}") from exc
         finally:
             self.close()
 

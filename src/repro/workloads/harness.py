@@ -9,6 +9,7 @@ workload generators attach to it, and ``run`` produces a trace.
 from __future__ import annotations
 
 from repro.client.client import NfsClient
+from repro.faults import FaultInjector, FaultSchedule
 from repro.fs.filesystem import SimFileSystem
 from repro.netsim.link import NetworkPath
 from repro.netsim.mirror import MirrorPort
@@ -33,6 +34,11 @@ class TracedSystem:
             disables loss (the EECS monitor configuration).
         mirror_buffer: switch buffer behind the mirror port.
         server_addr: the server's address as it appears in the trace.
+        faults: a :class:`~repro.faults.FaultSchedule`, a spec string
+            (``"drop(p=0.01);crash(at=3600,down=30)"``), or ``None``
+            for a perfect wire.  Fault RNG streams derive from the
+            same master seed, so one (seed, schedule) pair always
+            reproduces the same trace byte for byte.
     """
 
     def __init__(
@@ -43,6 +49,7 @@ class TracedSystem:
         mirror_bandwidth: float | None = None,
         mirror_buffer: int = 512 * 1024,
         server_addr: str = "10.0.0.100",
+        faults: FaultSchedule | str | None = None,
     ) -> None:
         self.rngs = RngRegistry(seed)
         #: One registry for the whole world; every component surfaces
@@ -53,10 +60,22 @@ class TracedSystem:
         self.server = NfsServer(self.fs, metrics=self.metrics)
         self.server_addr = server_addr
         self.collector = TraceCollector(metrics=self.metrics)
+        if faults is not None:
+            #: the injector and its ledger; the capture tap sits between
+            #: the mirror and the collector so the ledger sees exactly
+            #: the packets the trace records (post mirror loss, post
+            #: capture faults, duplicates included)
+            self.faults = FaultInjector(
+                faults, self.rngs, metrics=self.metrics
+            )
+            capture = self.faults.wrap_capture(self.collector)
+        else:
+            self.faults = None
+            capture = self.collector
         self.mirror = MirrorPort(
             bandwidth=mirror_bandwidth,
             buffer_bytes=mirror_buffer,
-            taps=[self.collector],
+            taps=[capture],
             metrics=self.metrics,
         )
         self.network = NetworkPath(
@@ -64,6 +83,7 @@ class TracedSystem:
             self.rngs.stream("network.latency"),
             taps=[self.mirror],
             metrics=self.metrics,
+            faults=self.faults,
         )
         self.loop = EventLoop(metrics=self.metrics)
         self.clients: dict[str, NfsClient] = {}
@@ -72,6 +92,11 @@ class TracedSystem:
     def clock(self):
         """The shared simulated clock."""
         return self.loop.clock
+
+    @property
+    def fault_ledger(self):
+        """The injected-loss ledger, or ``None`` without faults."""
+        return self.faults.ledger if self.faults is not None else None
 
     def add_client(
         self,

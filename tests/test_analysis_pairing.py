@@ -140,3 +140,68 @@ class TestLossEstimation:
         assert mirror.packets_dropped > 0
         stats = estimate_loss(collector.sorted_records())
         assert stats.estimated_loss_rate > 0.0
+
+
+class TestDuplicateReplies:
+    """Regression: a reply captured twice (mirror duplication) used to
+    be charged as an orphan, inflating the estimated loss rate.  It is
+    a duplicate when its key paired within the reply timeout, an orphan
+    only when no recent pair explains it."""
+
+    def _records(self):
+        return [
+            call_record(t=1.0, xid=1),
+            reply_record(t=1.001, xid=1),
+            reply_record(t=1.002, xid=1),  # capture duplicate
+        ]
+
+    def test_batch_counts_duplicate(self):
+        _ops, stats = pair_all(self._records())
+        assert stats.paired == 1
+        assert stats.duplicate_replies == 1
+        assert stats.orphan_replies == 0
+        assert stats.estimated_loss_rate == 0.0
+
+    def test_stream_counts_duplicate(self):
+        from repro.analysis.pairing import StreamPairer
+
+        pairer = StreamPairer()
+        for record in self._records():
+            pairer.push(record)
+        stats = pairer.close()
+        assert stats.duplicate_replies == 1
+        assert stats.orphan_replies == 0
+
+    def test_parallel_counts_duplicate(self, tmp_path):
+        from repro.analysis.parallel import parallel_pair
+        from repro.trace.record import record_to_line
+
+        path = tmp_path / "dup.trace"
+        path.write_text(
+            "\n".join(record_to_line(r) for r in self._records()) + "\n"
+        )
+        _ops, stats = parallel_pair(path)
+        assert stats.duplicate_replies == 1
+        assert stats.orphan_replies == 0
+
+    def test_stale_duplicate_is_still_an_orphan(self):
+        records = [
+            call_record(t=1.0, xid=1),
+            reply_record(t=1.001, xid=1),
+            reply_record(t=100.0, xid=1),  # beyond the 8 s timeout
+        ]
+        _ops, stats = pair_all(records)
+        assert stats.duplicate_replies == 0
+        assert stats.orphan_replies == 1
+
+    def test_duplicate_of_duplicate(self):
+        records = [
+            call_record(t=1.0, xid=1),
+            reply_record(t=1.001, xid=1),
+            reply_record(t=1.002, xid=1),
+            reply_record(t=1.003, xid=1),
+        ]
+        _ops, stats = pair_all(records)
+        assert stats.paired == 1
+        assert stats.duplicate_replies == 2
+        assert stats.orphan_replies == 0

@@ -1,0 +1,132 @@
+"""CLI error paths: every bad input exits 2 with one clean stderr
+line (``repro: error: ...``) — no traceback, no stray output files."""
+
+import gzip
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def good_trace(tmp_path):
+    """A tiny valid text trace (one paired GETATTR)."""
+    path = tmp_path / "good.trace"
+    path.write_text(
+        "1.000000 C 10.1.1.1 10.0.0.100 V3 1 getattr fh=aa\n"
+        "1.000500 R 10.1.1.1 10.0.0.100 V3 1 getattr NFS3_OK fh=aa\n"
+    )
+    return path
+
+
+def _expect_error(capsys, argv, match=""):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("repro: error:")
+    assert captured.err.count("\n") == 1  # exactly one line, no traceback
+    if match:
+        assert match in captured.err
+    return captured
+
+
+class TestAnalyzeErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        _expect_error(capsys, ["analyze", "--in", str(tmp_path / "nope.trace")])
+
+    def test_directory(self, tmp_path, capsys):
+        _expect_error(capsys, ["analyze", "--in", str(tmp_path)])
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        _expect_error(capsys, ["analyze", "--in", str(empty)], "no pairable")
+
+    def test_corrupt_text(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("this is not a trace line\n")
+        _expect_error(capsys, ["analyze", "--in", str(bad)])
+
+    def test_corrupt_binary(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rtb"
+        bad.write_bytes(b"RTBF\x01\x00garbage-frames-follow")
+        _expect_error(capsys, ["analyze", "--in", str(bad)])
+
+    def test_truncated_gzip(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace.gz"
+        bad.write_bytes(gzip.compress(b"1.0 C 1 a b getattr v3\n" * 50)[:40])
+        _expect_error(capsys, ["analyze", "--in", str(bad)], "corrupt")
+
+    def test_stream_corrupt_binary(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rtb"
+        bad.write_bytes(b"RTBF")  # truncated header
+        _expect_error(
+            capsys, ["analyze", "--stream", "--in", str(bad)], "truncated"
+        )
+
+
+class TestStatsErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        _expect_error(capsys, ["stats", str(tmp_path / "nope.trace")])
+
+    def test_wrong_magic_binary(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rtb"
+        bad.write_bytes(b"ELF\x7fdefinitely not a trace")
+        _expect_error(capsys, ["stats", str(bad)], "not a binary trace")
+
+
+class TestConvertErrors:
+    def test_missing_input_leaves_no_output(self, tmp_path, capsys):
+        out = tmp_path / "out.rtb"
+        _expect_error(capsys, [
+            "convert", "--in", str(tmp_path / "nope.trace"), "--out", str(out),
+        ], "not found")
+        assert not out.exists()
+
+    def test_empty_input_leaves_no_output(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        out = tmp_path / "out.rtb"
+        _expect_error(capsys, [
+            "convert", "--in", str(empty), "--out", str(out),
+        ], "no records")
+        assert not out.exists()
+
+    def test_corrupt_input_leaves_no_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("1.0 C 1\nnot a record either\n")
+        out = tmp_path / "out.rtb"
+        _expect_error(capsys, ["convert", "--in", str(bad), "--out", str(out)])
+        assert not out.exists()
+
+    def test_good_input_still_converts(self, good_trace, tmp_path, capsys):
+        out = tmp_path / "out.rtb"
+        assert main(["convert", "--in", str(good_trace), "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestSimulateAndWatchErrors:
+    def test_simulate_bad_out_directory(self, tmp_path, capsys):
+        _expect_error(capsys, [
+            "simulate", "--system", "campus", "--days", "0.01",
+            "--users", "1", "--out", str(tmp_path / "no" / "dir" / "x.trace"),
+        ])
+
+    def test_simulate_bad_fault_spec(self, tmp_path, capsys):
+        _expect_error(capsys, [
+            "simulate", "--system", "campus", "--days", "0.01",
+            "--faults", "meteor(p=1.0)",
+            "--out", str(tmp_path / "x.trace"),
+        ], "unknown fault")
+
+    def test_watch_bad_fault_spec(self, capsys):
+        _expect_error(capsys, [
+            "watch", "--system", "campus", "--days", "0.01",
+            "--faults", "drop(p=0.1,window=banana)",
+        ], "window")
+
+
+class TestGoodPathsStillExit0:
+    def test_stats(self, good_trace, capsys):
+        assert main(["stats", str(good_trace)]) == 0
+        assert "Duplicate replies" in capsys.readouterr().out
