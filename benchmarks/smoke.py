@@ -23,10 +23,15 @@ Usage::
     python benchmarks/smoke.py --write-baseline   # refresh the baseline
     python benchmarks/smoke.py --stream-smoke     # CI memory gate only
     python benchmarks/smoke.py --chaos-smoke      # CI fault-injection gate
+    python benchmarks/smoke.py --obs-smoke        # CI span/monitor gate
 
 ``--chaos-smoke`` is the fault-injection counterpart: one faulted
 CAMPUS day run twice, gating on byte-identical reruns and on the fault
 ledger predicting the pairing stats exactly (see docs/FAULTS.md).
+``--obs-smoke`` gates the span layer: sampling must not perturb the
+trace bytes or blow its wall-time budget, and ``repro monitor``
+segments must rotate and answer ``repro query`` round-trips (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -249,6 +254,130 @@ def run_chaos_smoke() -> int:
     return 0
 
 
+def run_obs_smoke() -> int:
+    """Observability gate for CI (budget: well under a minute).
+
+    Three checks end to end:
+
+    * span overhead — a hash-sampled (rate 0.1) faulted CAMPUS day
+      must leave the trace byte-identical to the unsampled run and
+      cost at most 50% extra wall time.  The budget sounds generous
+      but is not: the simulator spends only ~20 us of Python per
+      *whole* NFS operation, so the span layer's ~2 us of per-op
+      sampling checks plus ~8 us per emitted span measure out around
+      +40% here (and would be noise on any real workload); the gate
+      catches order-of-magnitude regressions, not microseconds;
+    * rotation — ``repro monitor`` with small segments must rotate
+      trace/span segments on disk;
+    * query round-trip — ``repro query --trace-id`` must reconstruct
+      a sampled operation's full hop chain (client, link, server,
+      capture, pairer) from the rotated segments.
+    """
+    import contextlib
+    import io
+
+    from repro.cli import main as repro_main
+    from repro.obs.eventlog import EventLog
+    from repro.obs.rotate import list_segments
+    from repro.trace.record import record_to_line
+    from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+    spec = "drop(p=0.02);dup(p=0.01,kind=reply);reorder(p=0.05,ms=40)"
+    started = time.perf_counter()
+
+    def one_run(rate):
+        sink = EventLog() if rate > 0 else None
+        system = TracedSystem(seed=77, quota_bytes=50 * 1024 * 1024,
+                              faults=spec, trace_sample=rate, span_sink=sink)
+        CampusEmailWorkload(CampusParams(users=4)).attach(system)
+        run_started = time.perf_counter()
+        system.run(DAY)
+        wall = time.perf_counter() - run_started
+        text = "\n".join(record_to_line(r) for r in system.records())
+        emitted = system.spans.close() if system.spans is not None else 0
+        return text, wall, emitted
+
+    # best-of-3 walls: min is the right noise estimator for a
+    # deterministic CPU-bound run on a shared CI runner
+    text_off, wall_off, _ = one_run(0.0)
+    text_on, wall_on, emitted = one_run(0.1)
+    for _ in range(2):
+        _, wall, _ = one_run(0.0)
+        wall_off = min(wall_off, wall)
+        _, wall, _ = one_run(0.1)
+        wall_on = min(wall_on, wall)
+    overhead = wall_on / wall_off - 1.0
+    print(f"obs-smoke: unsampled {wall_off:.2f}s, sampled(0.1) "
+          f"{wall_on:.2f}s (+{overhead:.1%}), {emitted:,} spans")
+    if text_on != text_off:
+        print("obs-smoke REGRESSION: sampling changed the trace bytes")
+        return 1
+    if emitted == 0:
+        print("obs-smoke REGRESSION: rate 0.1 exported no spans")
+        return 1
+    if overhead > 0.50:
+        print(f"obs-smoke REGRESSION: span overhead {overhead:.1%} exceeds "
+              "the 50% budget")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(io.StringIO()):
+            code = repro_main([
+                "monitor", "--system", "campus", "--days", "0.25",
+                "--users", "2", "--seed", "77", "--faults", spec,
+                "--dir", tmp, "--segment-bytes", "16384",
+                "--trace-sample", "1.0",
+            ])
+        if code != 0:
+            print(f"obs-smoke REGRESSION: repro monitor exited {code}")
+            print(out.getvalue())
+            return 1
+        span_segments = list_segments(tmp, "spans", ".jsonl")
+        print(f"obs-smoke: monitor wrote {len(span_segments)} span segments, "
+              f"{len(list_segments(tmp, 'trace'))} trace segments")
+        if len(span_segments) < 2:
+            print("obs-smoke REGRESSION: 16 KiB segments never rotated")
+            return 1
+
+        tid = None
+        for path in span_segments:
+            for line in path.read_text().splitlines():
+                record = json.loads(line)
+                if record.get("hop") == "pairer":
+                    tid = record["trace"]
+                    break
+            if tid:
+                break
+        if tid is None:
+            print("obs-smoke REGRESSION: no pairer spans in segments")
+            return 1
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = repro_main(["query", "--dir", tmp, "--trace-id", tid,
+                               "--json"])
+        if code != 0:
+            print(f"obs-smoke REGRESSION: repro query exited {code}")
+            return 1
+        hops = {span["hop"] for span in json.loads(out.getvalue())}
+        missing = {"client", "link", "server", "capture", "pairer"} - hops
+        if missing:
+            print(f"obs-smoke REGRESSION: query round-trip lost hops "
+                  f"{sorted(missing)}")
+            return 1
+        print(f"obs-smoke: query round-tripped trace {tid} "
+              f"({len(hops)} hops)")
+
+    wall = time.perf_counter() - started
+    if wall > 60.0:
+        print(f"obs-smoke REGRESSION: wall {wall:.1f}s exceeds the 60s "
+              "budget")
+        return 1
+    print("obs-smoke gate passed")
+    return 0
+
+
 def check(result: dict, baseline_path: Path) -> int:
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping the gate")
@@ -282,11 +411,15 @@ def main(argv=None) -> int:
                         help="run only the streaming-memory gate")
     parser.add_argument("--chaos-smoke", action="store_true",
                         help="run only the fault-injection gate")
+    parser.add_argument("--obs-smoke", action="store_true",
+                        help="run only the span-tracing/monitor gate")
     args = parser.parse_args(argv)
     if args.stream_smoke:
         return run_stream_smoke()
     if args.chaos_smoke:
         return run_chaos_smoke()
+    if args.obs_smoke:
+        return run_obs_smoke()
     result = run_bench()
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -100,12 +100,15 @@ def pair_records(
     *,
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
     stats: PairingStats | None = None,
+    spans=None,
 ) -> Iterator[PairedOp]:
     """Pair a wire-time-ordered record stream into operations.
 
     Yields ops in *call* wire-time order (close enough given the small
     reply latency).  Pass a :class:`PairingStats` to collect loss
-    accounting.
+    accounting.  Pass a :class:`~repro.obs.spans.SpanRecorder` to emit
+    a ``pairer`` span per resolution verdict (paired / orphan_reply /
+    duplicate_reply) for sampled operations.
     """
     if stats is None:
         stats = PairingStats()
@@ -139,8 +142,18 @@ def pair_records(
                 if seen is not None and time - seen <= reply_timeout:
                     stats.duplicate_replies += 1
                     recent[key] = time
+                    verdict = "duplicate_reply"
                 else:
                     stats.orphan_replies += 1
+                    verdict = "orphan_reply"
+                if spans is not None:
+                    tid = spans.trace_of(
+                        record.client, record.xid, record.proc._value_
+                    )
+                    if tid is not None:
+                        spans.pairer_span(
+                            tid, record.proc._value_, time, time, verdict
+                        )
                 continue
             recent[key] = time
             # _merge(call, record), inlined for the per-reply path;
@@ -155,6 +168,14 @@ def pair_records(
             stats.paired += 1
             if status is not ok_status:
                 stats.errors += 1
+            if spans is not None:
+                tid = spans.trace_of(
+                    call.client, call.xid, call.proc._value_
+                )
+                if tid is not None:
+                    spans.pairer_span(
+                        tid, call.proc._value_, call.time, time, "paired"
+                    )
             yield PairedOp(
                 call.time, time, call.proc, call.client, call.xid, status,
                 call.version, call.uid, call.fh, call.name, call.target_fh,
@@ -201,17 +222,21 @@ class StreamPairer:
     (calls awaiting replies within ``reply_timeout``).
     """
 
-    __slots__ = ("stats", "reply_timeout", "_outstanding", "_recent",
-                 "_last_time")
+    __slots__ = ("stats", "reply_timeout", "spans", "_outstanding",
+                 "_recent", "_last_time")
 
     def __init__(
         self,
         *,
         reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
         stats: PairingStats | None = None,
+        spans=None,
     ) -> None:
         self.stats = stats if stats is not None else PairingStats()
         self.reply_timeout = reply_timeout
+        #: optional repro.obs.spans.SpanRecorder — same verdict spans
+        #: as pair_records, so batch and stream span streams agree
+        self.spans = spans
         self._outstanding: dict[tuple[str, int], TraceRecord] = {}
         self._recent: dict[tuple[str, int], float] = {}
         self._last_time = 0.0
@@ -234,19 +259,38 @@ class StreamPairer:
             stats.replies += 1
             key = (record.client, record.xid)
             call = self._outstanding.pop(key, None)
+            spans = self.spans
             if call is None:
                 seen = self._recent.get(key)
                 if seen is not None and time - seen <= self.reply_timeout:
                     stats.duplicate_replies += 1
                     self._recent[key] = time
+                    verdict = "duplicate_reply"
                 else:
                     stats.orphan_replies += 1
+                    verdict = "orphan_reply"
+                if spans is not None:
+                    tid = spans.trace_of(
+                        record.client, record.xid, record.proc._value_
+                    )
+                    if tid is not None:
+                        spans.pairer_span(
+                            tid, record.proc._value_, time, time, verdict
+                        )
             else:
                 stats.paired += 1
                 self._recent[key] = time
                 op = _merge(call, record)
                 if op.status is not NfsStatus.OK:
                     stats.errors += 1
+                if spans is not None:
+                    tid = spans.trace_of(
+                        call.client, call.xid, call.proc._value_
+                    )
+                    if tid is not None:
+                        spans.pairer_span(
+                            tid, call.proc._value_, call.time, time, "paired"
+                        )
         # expire stale outstanding calls and recent-pair entries
         # occasionally (same cadence as pair_records, so the two paths
         # account loss identically)

@@ -24,6 +24,7 @@ see :func:`repro.cli.main.cmd_analyze`.
 
 from __future__ import annotations
 
+import functools
 import io
 import multiprocessing
 import time as _time
@@ -35,6 +36,7 @@ from typing import Iterable
 from repro.errors import TraceFormatError
 from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import sample_decision, sample_threshold, trace_id
 from repro.trace.binfmt import (
     _CONTAINER_ERRORS,
     _FRAME_HEAD,
@@ -96,6 +98,9 @@ class PairedChunk:
     #: pairing reply's time — lets the merge classify a duplicate reply
     #: whose original pair completed in an earlier chunk
     recent: dict = field(default_factory=dict)
+    #: duplicate-reply records of *span-sampled* operations (normally
+    #: duplicates are only counted; span emission needs the records)
+    dup_records: list[TraceRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
 
 
@@ -286,10 +291,15 @@ def _init_worker() -> None:
     gc.disable()
 
 
-def pair_chunk(spec: ChunkSpec) -> PairedChunk:
-    """Decode and pair one chunk (worker side)."""
+def pair_chunk(spec: ChunkSpec, span_threshold: int = 0) -> PairedChunk:
+    """Decode and pair one chunk (worker side).
+
+    ``span_threshold`` (a :func:`repro.obs.spans.sample_threshold`
+    value) makes the worker keep the duplicate-reply records of
+    span-sampled operations for the parent's span emission.
+    """
     started = _time.perf_counter()
-    partial = _pair_partial(decode_chunk(spec))
+    partial = _pair_partial(decode_chunk(spec), span_threshold=span_threshold)
     partial.wall_seconds = _time.perf_counter() - started
     return partial
 
@@ -299,6 +309,7 @@ def _pair_partial(
     *,
     recent: dict | None = None,
     reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    span_threshold: int = 0,
 ) -> PairedChunk:
     """Pair what can be paired locally; return the rest as leftovers.
 
@@ -341,6 +352,11 @@ def _pair_partial(
                 if seen is not None and time - seen <= reply_timeout:
                     dups += 1
                     recent[key] = time
+                    if span_threshold and sample_decision(
+                        record.client, record.xid, record.proc._value_,
+                        span_threshold,
+                    ):
+                        partial.dup_records.append(record)
                 else:
                     orphans.append(record)
                 continue
@@ -360,6 +376,43 @@ def _pair_partial(
     horizon = last_time - reply_timeout
     partial.recent = {k: t for k, t in recent.items() if t >= horizon}
     return partial
+
+
+def _emit_pairer_spans(spans, ops, boundary, partials) -> None:
+    """Emit pairer verdict spans from the merged parallel results.
+
+    Same verdicts as the serial pairer: ``paired`` from the final op
+    list, ``orphan_reply`` from the boundary's unmatched replies, and
+    ``duplicate_reply`` from the span-sampled duplicate records the
+    workers kept.  Emission order is irrelevant — the buffered
+    recorder's close() sorts canonically.
+    """
+    for op in ops:
+        tid = spans.trace_of(op.client, op.xid, op.proc._value_)
+        if tid is not None:
+            spans.pairer_span(
+                tid, op.proc._value_, op.time, op.reply_time, "paired"
+            )
+    for record in boundary.head_orphans:
+        tid = spans.trace_of(record.client, record.xid, record.proc._value_)
+        if tid is not None:
+            spans.pairer_span(
+                tid, record.proc._value_, record.time, record.time,
+                "orphan_reply",
+            )
+    for partial in partials:
+        for record in partial.dup_records:
+            spans.pairer_span(
+                trace_id(record.client, record.xid, record.proc._value_),
+                record.proc._value_, record.time, record.time,
+                "duplicate_reply",
+            )
+    for record in boundary.dup_records:
+        spans.pairer_span(
+            trace_id(record.client, record.xid, record.proc._value_),
+            record.proc._value_, record.time, record.time,
+            "duplicate_reply",
+        )
 
 
 def _leftover_sort_key(record: TraceRecord):
@@ -382,6 +435,7 @@ def parallel_pair(
     jobs: int = 1,
     chunk_records: int = DEFAULT_CHUNK_RECORDS,
     metrics: MetricsRegistry | None = None,
+    spans=None,
 ) -> tuple[list[PairedOp], PairingStats]:
     """Pair a whole trace, fanning chunks over a process pool.
 
@@ -391,19 +445,26 @@ def parallel_pair(
     merge is deterministic.  Boundary-crossing pairs are resolved by a
     final pairing pass over each chunk's unmatched tail calls and head
     replies; anything still unmatched is charged as capture loss.
+
+    With a *buffered* :class:`~repro.obs.spans.SpanRecorder` the merge
+    also emits pairer verdict spans for sampled operations; the
+    recorder's canonical close order makes the exported span stream
+    byte-identical to the serial and streaming pairers'.
     """
     started = _time.perf_counter()
+    span_threshold = sample_threshold(spans.sample) if spans is not None else 0
     specs = plan_chunks(path, chunk_records=chunk_records)
     if jobs > 1 and len(specs) > 1:
+        pair = functools.partial(pair_chunk, span_threshold=span_threshold)
         with multiprocessing.Pool(
             processes=min(jobs, len(specs)), initializer=_init_worker
         ) as pool:
             # the parent unpickles hundreds of thousands of returned
             # ops; pause its cyclic GC like pair_all does
             with paused_gc():
-                partials = pool.map(pair_chunk, specs)
+                partials = pool.map(pair, specs)
     else:
-        partials = [pair_chunk(spec) for spec in specs]
+        partials = [pair_chunk(spec, span_threshold) for spec in specs]
 
     leftovers: list[TraceRecord] = []
     boundary_recent: dict[tuple[str, int], float] = {}
@@ -415,7 +476,9 @@ def parallel_pair(
             if prev is None or when > prev:
                 boundary_recent[key] = when
     leftovers.sort(key=_leftover_sort_key)
-    boundary = _pair_partial(leftovers, recent=boundary_recent)
+    boundary = _pair_partial(
+        leftovers, recent=boundary_recent, span_threshold=span_threshold
+    )
 
     stats = PairingStats(
         calls=sum(p.calls for p in partials),
@@ -440,6 +503,9 @@ def parallel_pair(
         if boundary.ops:
             ops.extend(boundary.ops)
             ops.sort(key=_op_sort_key)
+
+    if spans is not None:
+        _emit_pairer_spans(spans, ops, boundary, partials)
 
     if metrics is not None:
         wall = _time.perf_counter() - started

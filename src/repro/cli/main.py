@@ -28,12 +28,24 @@ from repro.analysis.runs import RunBuilder, classify_runs
 from repro.analysis.summary import summarize_trace
 from repro.anonymize import Anonymizer, default_rules
 from repro.anonymize.rules import omit_rules
-from repro.errors import ReproError
-from repro.obs import EventLog, PhaseTimer, to_prom_text
+from repro.errors import ReproError, StreamMemoryError
+from repro.obs import (
+    EventLog,
+    PhaseTimer,
+    RotatingEventLog,
+    RotatingTraceWriter,
+    RotationPolicy,
+    SpanRecorder,
+    list_segments,
+    parse_prom_text,
+    to_prom_text,
+)
 from repro.report import format_table
 from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.stream import (
+    LiveMonitor,
     LiveWatch,
+    MonitorServer,
     StreamEngine,
     StreamLatency,
     StreamRates,
@@ -80,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a JSON-lines event log of the run here")
     sim.add_argument("--progress", action="store_true",
                      help="print periodic sim-time/ops progress to stderr")
+    _add_span_args(sim)
     sim.set_defaults(func=cmd_simulate)
 
     watch = sub.add_parser(
@@ -105,7 +118,66 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--metrics-out", default=None,
                        help="write the end-of-run metrics snapshot here "
                             "(.prom -> Prometheus text, else JSON)")
+    _add_span_args(watch)
     watch.set_defaults(func=cmd_watch)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="continuous monitoring daemon: rotated trace/span segments "
+             "on disk, live /metrics and /spans over a local socket",
+    )
+    monitor.add_argument("--system", choices=("campus", "eecs"), required=True)
+    monitor.add_argument("--days", type=float, default=1.0)
+    monitor.add_argument("--users", type=int, default=None)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--mirror-bandwidth", type=float, default=None,
+                         help="mirror port bytes/s (default: lossless)")
+    monitor.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fault schedule (same grammar as simulate)")
+    monitor.add_argument("--interval", type=float, default=SECONDS_PER_HOUR,
+                         help="simulated seconds between snapshots")
+    monitor.add_argument("--top", type=int, default=5,
+                         help="hot files tracked in each snapshot")
+    monitor.add_argument("--dir", required=True,
+                         help="segment directory (trace-*.rtb.gz and, when "
+                              "sampling, spans-*.jsonl)")
+    monitor.add_argument("--segment-bytes", type=int, default=8 * 1024 * 1024,
+                         help="rotate a segment at this many written bytes")
+    monitor.add_argument("--segment-age", type=float, default=None,
+                         help="rotate a segment after this many simulated "
+                              "seconds (default: size-only)")
+    monitor.add_argument("--retain", type=int, default=None,
+                         help="keep at most N segments per stream, deleting "
+                              "the oldest (default: keep all)")
+    monitor.add_argument("--trace-sample", type=float, default=0.0,
+                         help="span-sampling rate in [0,1]; 0 disables span "
+                              "tracing (trace bytes never change)")
+    monitor.add_argument("--span-tail", type=int, default=256,
+                         help="live span records kept for /spans")
+    monitor.add_argument("--serve", action="store_true",
+                         help="serve /metrics, /spans, /healthz on 127.0.0.1")
+    monitor.add_argument("--port", type=int, default=0,
+                         help="port for --serve (default: ephemeral)")
+    monitor.add_argument("--max-items", type=int, default=None,
+                         help="streaming-state budget; exceeding it stops "
+                              "the run with a StreamMemoryError")
+    monitor.set_defaults(func=cmd_monitor)
+
+    query = sub.add_parser(
+        "query",
+        help="query rotated monitor segments: the span chain of one "
+             "trace ID, or span/trace stats for one file handle",
+    )
+    query.add_argument("--dir", required=True,
+                       help="segment directory written by repro monitor")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--trace-id", default=None,
+                      help="32-hex trace ID (see repro.obs.spans.trace_id)")
+    what.add_argument("--file", dest="file_handle", default=None,
+                      help="file handle (hex) to summarize across segments")
+    query.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    query.set_defaults(func=cmd_query)
 
     stats = sub.add_parser(
         "stats", help="trace-level statistics (records, op mix, loss)"
@@ -113,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("trace", help="trace file to summarize")
     stats.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
+    stats.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also surface fault-injection and retransmission "
+                            "tallies from a metrics snapshot (.prom or JSON) "
+                            "written by simulate/watch/monitor")
     stats.set_defaults(func=cmd_stats)
 
     anon = sub.add_parser("anonymize", help="anonymize a trace for sharing")
@@ -174,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--metrics-out", default=None,
                          help="write pool/codec metrics snapshot here "
                               "(.prom -> Prometheus text, else JSON)")
+    _add_span_args(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     names = sub.add_parser(
@@ -205,6 +282,16 @@ def _add_window_args(sub) -> None:
     sub.add_argument("--end", type=float, default=None)
 
 
+def _add_span_args(sub) -> None:
+    sub.add_argument("--trace-sample", type=float, default=0.0,
+                     help="span-sampling rate in [0,1]; the decision is a "
+                          "hash of (client, xid, proc), so 0 (default) and "
+                          "any rate produce byte-identical traces")
+    sub.add_argument("--spans-out", default=None,
+                     help="write sampled spans here as JSON lines "
+                          "(requires --trace-sample > 0)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -228,9 +315,15 @@ def main(argv: list[str] | None = None) -> int:
 # -- subcommands -----------------------------------------------------------------
 
 
-def _build_system(args):
+def _build_system(args, *, span_sink=None, span_tail=0):
     """System + workload + params for simulate-style subcommands."""
     faults = getattr(args, "faults", None)
+    trace_sample = getattr(args, "trace_sample", 0.0)
+    spans_out = getattr(args, "spans_out", None)
+    if spans_out and trace_sample <= 0:
+        raise ValueError("--spans-out requires --trace-sample > 0")
+    if span_sink is None and spans_out:
+        span_sink = EventLog(spans_out)
     if args.system == "campus":
         params = CampusParams()
         if args.users:
@@ -240,6 +333,9 @@ def _build_system(args):
             quota_bytes=params.quota_bytes,
             mirror_bandwidth=args.mirror_bandwidth,
             faults=faults,
+            trace_sample=trace_sample,
+            span_sink=span_sink,
+            span_tail=span_tail,
         )
         workload = CampusEmailWorkload(params)
     else:
@@ -249,9 +345,35 @@ def _build_system(args):
         system = TracedSystem(
             seed=args.seed, mirror_bandwidth=args.mirror_bandwidth,
             faults=faults,
+            trace_sample=trace_sample,
+            span_sink=span_sink,
+            span_tail=span_tail,
         )
         workload = EecsResearchWorkload(params)
     return system, workload, params
+
+
+def _close_spans(system) -> int | None:
+    """Finalize a system's span recorder and its sink; returns the count."""
+    spans = getattr(system, "spans", None)
+    if spans is None:
+        return None
+    emitted = spans.close()
+    close = getattr(spans.sink, "close", None)
+    if close is not None:
+        close()
+    return emitted
+
+
+def _span_summary_line(system, emitted, args) -> str | None:
+    """The one-line span report simulate/watch print when sampling."""
+    if system.spans is None:
+        return None
+    destination = args.spans_out if args.spans_out else "memory (no --spans-out)"
+    return (
+        f"spans: {emitted} emitted at sample rate "
+        f"{args.trace_sample:g} -> {destination}"
+    )
 
 
 def cmd_simulate(args) -> int:
@@ -272,33 +394,44 @@ def cmd_simulate(args) -> int:
                        days=args.days, users=params.users)
     # the simulated week begins on a quiet Sunday; run through it so
     # the requested window starts Monday 00:00 with caches warm
-    with timer.phase("simulate"):
-        system.run(end)
     count = 0
-    with timer.phase("write_trace"):
-        with TraceWriter(args.out) as writer:
-            for record in system.collector.sorted_records():
-                if record.time >= SECONDS_PER_DAY:
-                    writer.write(record)
-                    count += 1
-    if args.metrics_out:
-        snapshot = system.metrics.snapshot()
-        if args.metrics_out.endswith(".prom"):
-            Path(args.metrics_out).write_text(to_prom_text(system.metrics))
-        else:
-            Path(args.metrics_out).write_text(json.dumps(snapshot, indent=2) + "\n")
-    if event_log is not None:
-        event_log.emit("simulate.done", time=system.clock.now, records=count,
-                       drop_rate=system.mirror.drop_rate,
-                       wall_seconds=round(timer.total, 3),
-                       phases=timer.as_dict()["phases"])
-        event_log.close()
+    try:
+        with timer.phase("simulate"):
+            system.run(end)
+        with timer.phase("write_trace"):
+            with TraceWriter(args.out) as writer:
+                for record in system.collector.sorted_records():
+                    if record.time >= SECONDS_PER_DAY:
+                        writer.write(record)
+                        count += 1
+        if args.metrics_out:
+            snapshot = system.metrics.snapshot()
+            if args.metrics_out.endswith(".prom"):
+                Path(args.metrics_out).write_text(to_prom_text(system.metrics))
+            else:
+                Path(args.metrics_out).write_text(
+                    json.dumps(snapshot, indent=2) + "\n"
+                )
+        if event_log is not None:
+            event_log.emit("simulate.done", time=system.clock.now,
+                           records=count,
+                           drop_rate=system.mirror.drop_rate,
+                           wall_seconds=round(timer.total, 3),
+                           phases=timer.as_dict()["phases"])
+    finally:
+        # abnormal exits too: whatever was logged so far reaches disk
+        if event_log is not None:
+            event_log.close()
+        spans_emitted = _close_spans(system)
     drop = system.mirror.drop_rate
     print(
         f"wrote {count} records to {args.out} "
         f"({args.days:g} day(s) from Monday 00:00, {params.users} users, "
         f"mirror loss {drop:.1%})"
     )
+    span_line = _span_summary_line(system, spans_emitted, args)
+    if span_line is not None:
+        print(span_line)
     if system.faults is not None:
         injected = sum(system.faults.injected.values())
         retransmits = sum(c.retransmits for c in system.clients.values())
@@ -320,7 +453,7 @@ def cmd_watch(args) -> int:
     system, workload, params = _build_system(args)
     if not args.out:
         system.collector.retain = False
-    engine = StreamEngine(metrics=system.metrics)
+    engine = StreamEngine(metrics=system.metrics, spans=system.spans)
     engine.register(StreamSummary())
     engine.register(StreamRates())
     engine.register(StreamTopFiles(k=args.top))
@@ -332,8 +465,11 @@ def cmd_watch(args) -> int:
     )
     workload.attach(system)
     watch.start(end)
-    system.run(end)
-    results = watch.finish()
+    try:
+        system.run(end)
+        results = watch.finish()
+    finally:
+        spans_emitted = _close_spans(system)
     summary = results["summary"]
     stats = results["pairing"]
     print(_summary_text(f"live {args.system} simulation", summary, stats))
@@ -342,6 +478,9 @@ def cmd_watch(args) -> int:
         f"({args.interval:g}s interval), {engine.records:,} records "
         f"streamed, peak state {engine.peak_items:,} items"
     )
+    span_line = _span_summary_line(system, spans_emitted, args)
+    if span_line is not None:
+        print(span_line)
     if args.out:
         count = 0
         with TraceWriter(args.out) as writer:
@@ -358,6 +497,239 @@ def cmd_watch(args) -> int:
                 json.dumps(system.metrics.snapshot(), indent=2) + "\n"
             )
     return 0
+
+
+def cmd_monitor(args) -> int:
+    """The continuous monitoring daemon.
+
+    Like ``repro watch`` but built to be left running: records stream
+    into rotated ``.rtb.gz`` segments (size/age policy, retention
+    budget), sampled spans into rotated ``.jsonl`` segments, and
+    ``--serve`` exposes ``/metrics`` (Prometheus text) and ``/spans``
+    (live span tail) on a loopback socket.  Memory is bounded: the
+    collector retains nothing, the engine enforces ``--max-items``
+    (a :class:`~repro.errors.StreamMemoryError` stops the run loudly
+    with all segments closed), and the span tail is a fixed deque.
+    The segment directory is queryable afterwards with ``repro query``.
+    """
+    policy = RotationPolicy(
+        max_bytes=args.segment_bytes,
+        max_age=args.segment_age,
+        retain=args.retain,
+    )
+    span_sink = None
+    if args.trace_sample > 0:
+        span_sink = RotatingEventLog(args.dir, policy=policy)
+    args.spans_out = None  # sink is managed here, not via --spans-out
+    system, workload, params = _build_system(
+        args, span_sink=span_sink,
+        span_tail=args.span_tail if args.trace_sample > 0 else 0,
+    )
+    if span_sink is not None:
+        span_sink.bind_metrics(system.metrics)
+    system.collector.retain = False
+    writer = RotatingTraceWriter(
+        args.dir, policy=policy, metrics=system.metrics
+    )
+    # the live engine pairs too: with sampling on, its pairer emits
+    # verdict spans inline, completing each sampled trace's hop chain
+    engine = StreamEngine(
+        metrics=system.metrics, max_items=args.max_items, spans=system.spans
+    )
+    engine.register(StreamSummary())
+    engine.register(StreamRates())
+    engine.register(StreamTopFiles(k=args.top))
+    engine.register(StreamLatency())
+    system.start_measurement(SECONDS_PER_DAY)
+    end = (1.0 + args.days) * SECONDS_PER_DAY
+    server = None
+    if args.serve:
+        server = MonitorServer(port=args.port)
+        server.start()
+        print(f"[monitor] serving http://{server.address}/metrics "
+              f"/spans /healthz", file=sys.stderr)
+    monitor = LiveMonitor(
+        system, engine, interval=args.interval, start_time=SECONDS_PER_DAY,
+        writer=writer, server=server,
+    )
+    workload.attach(system)
+    monitor.start(end)
+    try:
+        system.run(end)
+        results = monitor.finish()
+    finally:
+        # every exit path — including StreamMemoryError from the
+        # engine's budget — leaves only closed, scannable segments
+        writer.close()
+        spans_emitted = _close_spans(system)
+        if server is not None:
+            server.close()
+    summary = results["summary"]
+    stats = results["pairing"]
+    print(_summary_text(f"monitored {args.system} simulation", summary, stats))
+    print(
+        f"\n{monitor.snapshots_rendered} snapshots rendered "
+        f"({args.interval:g}s interval), {engine.records:,} records "
+        f"streamed, peak state {engine.peak_items:,} items"
+    )
+    print(
+        f"trace segments: {writer.segments_written} written, "
+        f"{writer.segments_retired} retired, "
+        f"{len(writer.paths)} on disk in {args.dir} "
+        f"({writer.records_written:,} records)"
+    )
+    if span_sink is not None:
+        print(
+            f"span segments: {span_sink.segments_written} written, "
+            f"{span_sink.segments_retired} retired, "
+            f"{len(span_sink.paths)} on disk "
+            f"({spans_emitted} spans at rate {args.trace_sample:g})"
+        )
+    print(f"query with: repro query --dir {args.dir} "
+          f"--trace-id ID | --file FH")
+    return 0
+
+
+def _scan_span_segments(directory, keep) -> list[dict]:
+    """All span records in rotated ``spans-*.jsonl`` matching ``keep``."""
+    matches: list[dict] = []
+    for path in list_segments(directory, "spans", ".jsonl"):
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("event") == "span" and keep(record):
+                    matches.append(record)
+    return matches
+
+
+#: Sort spans of one trace into pipeline order for display.
+_QUERY_HOP_ORDER = {"client": 0, "link": 1, "server": 2,
+                    "capture": 3, "pairer": 4}
+
+
+def _query_trace(args, directory) -> int:
+    wanted = args.trace_id
+    spans = _scan_span_segments(directory, lambda r: r.get("trace") == wanted)
+    if not spans:
+        raise ValueError(
+            f"no spans for trace {wanted} in {args.dir} (is the ID right, "
+            f"was the run sampled, did retention delete its segment?)"
+        )
+    spans.sort(key=lambda r: (
+        r.get("start", 0.0), _QUERY_HOP_ORDER.get(r.get("hop"), 9),
+        r.get("end", 0.0),
+    ))
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        events = span.get("events") or []
+        detail = attrs.get("verdict") or ",".join(
+            e.get("name", "?") for e in events
+        )
+        rows.append([
+            span.get("hop"), span.get("name"),
+            f"{span.get('start', 0.0):.6f}", f"{span.get('end', 0.0):.6f}",
+            span.get("status"), detail or "-",
+        ])
+    print(format_table(
+        ["Hop", "Name", "Start", "End", "Status", "Detail"],
+        rows,
+        title=f"Trace {wanted} ({len(spans)} spans)",
+    ))
+    root = next((s for s in spans if s.get("hop") == "client"), None)
+    if root is not None:
+        attrs = root.get("attrs") or {}
+        print(f"\nclient={attrs.get('client')} xid={attrs.get('xid')} "
+              f"proc={attrs.get('proc')} fh={attrs.get('fh', '-')}")
+    return 0
+
+
+def _query_file(args, directory) -> int:
+    wanted = args.file_handle
+    per_proc: dict[str, int] = {}
+    records = calls = replies = 0
+    bytes_read = bytes_written = 0
+    first = last = None
+    from repro.nfs.procedures import NfsProc
+    from repro.trace.record import Direction
+
+    for path in list_segments(directory, "trace"):
+        with TraceReader(path) as reader:
+            for record in reader:
+                if record.fh != wanted:
+                    continue
+                records += 1
+                name = record.proc._value_
+                per_proc[name] = per_proc.get(name, 0) + 1
+                if record.direction == Direction.CALL:
+                    calls += 1
+                    if record.proc is NfsProc.WRITE and record.count:
+                        bytes_written += record.count
+                else:
+                    replies += 1
+                    if record.proc is NfsProc.READ and record.count:
+                        bytes_read += record.count
+                if first is None or record.time < first:
+                    first = record.time
+                if last is None or record.time > last:
+                    last = record.time
+    spans = _scan_span_segments(
+        directory, lambda r: (r.get("attrs") or {}).get("fh") == wanted
+    )
+    traces = sorted({s["trace"] for s in spans})
+    if records == 0 and not spans:
+        raise ValueError(f"no records or spans for file {wanted} in {args.dir}")
+    if args.json:
+        print(json.dumps({
+            "file": wanted,
+            "records": records,
+            "calls": calls,
+            "replies": replies,
+            "bytes_read": bytes_read,
+            "bytes_written": bytes_written,
+            "first_time": first,
+            "last_time": last,
+            "per_proc": dict(sorted(per_proc.items())),
+            "sampled_traces": traces,
+        }, indent=2))
+        return 0
+    rows = [
+        ["Records", records],
+        ["Calls / replies", f"{calls} / {replies}"],
+        ["Bytes read", bytes_read],
+        ["Bytes written", bytes_written],
+        ["First seen", f"{first:.3f}" if first is not None else "-"],
+        ["Last seen", f"{last:.3f}" if last is not None else "-"],
+        ["Sampled traces", len(traces)],
+    ]
+    for proc, count in sorted(per_proc.items()):
+        rows.append([f"  {proc}", count])
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"File {wanted} across segments in {args.dir}",
+    ))
+    if traces:
+        shown = ", ".join(traces[:3])
+        print(f"\nsampled trace IDs (first 3 of {len(traces)}): {shown}")
+        print("follow one with: repro query --dir "
+              f"{args.dir} --trace-id {traces[0]}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Query rotated monitor segments by trace ID or file handle."""
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"segment directory not found: {args.dir}")
+    if args.trace_id:
+        return _query_trace(args, directory)
+    return _query_file(args, directory)
 
 
 #: Simulated seconds between --progress reports.
@@ -390,6 +762,56 @@ def _schedule_progress(system, end: float, event_log=None) -> None:
     loop.schedule(PROGRESS_INTERVAL, tick)
 
 
+def _metric_samples(samples: dict, name: str) -> list[tuple[dict, float]]:
+    """Extract ``(labels, value)`` pairs for one metric from a snapshot.
+
+    Accepts both snapshot key styles: the JSON form
+    ``faults.injected{fault=drop,kind=call,where=wire}`` and the
+    Prometheus form ``faults_injected{fault="drop",...}``.
+    """
+    names = (name, name.replace(".", "_").replace("-", "_"))
+    out: list[tuple[dict, float]] = []
+    for key, value in samples.items():
+        base, _, label_part = key.partition("{")
+        if base not in names:
+            continue
+        if isinstance(value, dict):  # gauge/histogram snapshot objects
+            continue
+        labels: dict[str, str] = {}
+        if label_part:
+            for pair in label_part.rstrip("}").split(","):
+                k, _, v = pair.partition("=")
+                labels[k] = v.strip('"')
+        out.append((labels, value))
+    return out
+
+
+def _load_metrics_snapshot(path: str) -> dict:
+    """A metrics snapshot file as ``{sample_key: value}`` (either format)."""
+    text = Path(path).read_text()
+    if path.endswith(".prom"):
+        return parse_prom_text(text)
+    return json.loads(text)
+
+
+def _fault_stats_report(path: str) -> tuple[list[list], int]:
+    """Fault-injection rows and the retransmission total from a snapshot."""
+    samples = _load_metrics_snapshot(path)
+    rows = []
+    for labels, value in _metric_samples(samples, "faults.injected"):
+        rows.append([
+            labels.get("fault", "?"), labels.get("kind", "?"),
+            labels.get("where", "?"), int(value),
+        ])
+    rows.sort()
+    retransmits = int(sum(
+        value for _labels, value in _metric_samples(
+            samples, "client.retransmits"
+        )
+    ))
+    return rows, retransmits
+
+
 def cmd_stats(args) -> int:
     """Trace-level statistics: record mix, per-procedure ops, loss.
 
@@ -409,7 +831,7 @@ def cmd_stats(args) -> int:
     paired, errors = tally.paired, tally.errors
     first, last = tally.first, tally.last
     if args.json:
-        print(json.dumps({
+        payload = {
             "trace": args.trace,
             "records": tally.records,
             "first_time": first,
@@ -424,7 +846,15 @@ def cmd_stats(args) -> int:
             "unanswered_calls": stats.unanswered_calls,
             "duplicate_replies": stats.duplicate_replies,
             "estimated_loss_rate": stats.estimated_loss_rate,
-        }, indent=2))
+        }
+        if args.metrics:
+            fault_rows, retransmits = _fault_stats_report(args.metrics)
+            payload["faults_injected"] = [
+                {"fault": fault, "kind": kind, "where": where, "count": count}
+                for fault, kind, where, count in fault_rows
+            ]
+            payload["client_retransmits"] = retransmits
+        print(json.dumps(payload, indent=2))
         return 0
     rows = [
         [proc, calls[proc], replies.get(proc, 0), paired.get(proc, 0),
@@ -453,6 +883,19 @@ def cmd_stats(args) -> int:
             ["Estimated capture loss", f"{stats.estimated_loss_rate:.3%}"],
         ],
     ))
+    if args.metrics:
+        fault_rows, retransmits = _fault_stats_report(args.metrics)
+        print()
+        if fault_rows:
+            total = sum(row[3] for row in fault_rows)
+            print(format_table(
+                ["Fault", "Kind", "Where", "Count"],
+                fault_rows + [["total", "", "", total]],
+                title=f"Injected faults ({args.metrics})",
+            ))
+        else:
+            print(f"no fault-injection samples in {args.metrics}")
+        print(f"client retransmissions: {retransmits}")
     return 0
 
 
@@ -646,19 +1089,58 @@ def cmd_analyze(args) -> int:
     if args.stream:
         return _cmd_analyze_stream(args)
     metrics = MetricsRegistry()
-    ops, stats = parallel_pair(args.input, jobs=args.jobs, metrics=metrics)
-    if not ops:
-        raise ValueError(f"no pairable operations in {args.input}")
-    start = args.start if args.start is not None else min(op.time for op in ops)
-    end = args.end if args.end is not None else max(op.time for op in ops) + 1e-6
-    print(_summary_text(args.input, summarize_trace(ops, start, end), stats))
-    print()
-    table = _batch_runs_table(ops, start, end, args.window_ms, args.jumps)
-    print(_runs_text(args.input, table, args.window_ms, args.jumps))
-    print()
-    print(_report_text(args.input, ops, start, end))
+    spans, span_sink = _analysis_spans(args, metrics)
+    try:
+        ops, stats = parallel_pair(
+            args.input, jobs=args.jobs, metrics=metrics, spans=spans
+        )
+        if not ops:
+            raise ValueError(f"no pairable operations in {args.input}")
+        start = (args.start if args.start is not None
+                 else min(op.time for op in ops))
+        end = (args.end if args.end is not None
+               else max(op.time for op in ops) + 1e-6)
+        print(_summary_text(args.input, summarize_trace(ops, start, end), stats))
+        print()
+        table = _batch_runs_table(ops, start, end, args.window_ms, args.jumps)
+        print(_runs_text(args.input, table, args.window_ms, args.jumps))
+        print()
+        print(_report_text(args.input, ops, start, end))
+    finally:
+        spans_emitted = _finish_analysis_spans(spans, span_sink)
+    if spans_emitted is not None:
+        print(f"\nwrote {spans_emitted} pairer spans to {args.spans_out}")
     _write_metrics(args.metrics_out, metrics)
     return 0
+
+
+def _analysis_spans(args, metrics):
+    """The buffered pairer-span recorder for analyze, or ``(None, None)``.
+
+    Buffering matters: spans are sorted canonically at close, so the
+    exported stream is byte-identical whether pairing ran serially,
+    chunked over ``--jobs N``, or through ``--stream``.
+    """
+    rate = getattr(args, "trace_sample", 0.0)
+    spans_out = getattr(args, "spans_out", None)
+    if rate <= 0:
+        if spans_out:
+            raise ValueError("--spans-out requires --trace-sample > 0")
+        return None, None
+    if not spans_out:
+        raise ValueError("analyze --trace-sample requires --spans-out")
+    sink = EventLog(spans_out)
+    recorder = SpanRecorder(sink, sample=rate, buffered=True, metrics=metrics)
+    return recorder, sink
+
+
+def _finish_analysis_spans(spans, sink) -> int | None:
+    """Flush and close an analysis span recorder; returns the count."""
+    if spans is None:
+        return None
+    emitted = spans.close()
+    sink.close()
+    return emitted
 
 
 def _write_metrics(path, metrics) -> None:
@@ -681,7 +1163,8 @@ def _cmd_analyze_stream(args) -> int:
     from repro.obs import MetricsRegistry
 
     metrics = MetricsRegistry()
-    engine = StreamEngine(metrics=metrics)
+    spans, span_sink = _analysis_spans(args, metrics)
+    engine = StreamEngine(metrics=metrics, spans=spans)
     engine.register(StreamSummary(start=args.start, end=args.end))
     engine.register(StreamRuns(
         window=args.window_ms / 1000.0, jump_blocks=args.jumps,
@@ -689,11 +1172,14 @@ def _cmd_analyze_stream(args) -> int:
     ))
     top = engine.register(StreamTopFiles())
     latency = engine.register(StreamLatency())
-    with TraceReader(args.input) as reader:
-        results = engine.run(reader)
-    stats = results["pairing"]
-    if stats.paired == 0:
-        raise ValueError(f"no pairable operations in {args.input}")
+    try:
+        with TraceReader(args.input) as reader:
+            results = engine.run(reader)
+        stats = results["pairing"]
+        if stats.paired == 0:
+            raise ValueError(f"no pairable operations in {args.input}")
+    finally:
+        spans_emitted = _finish_analysis_spans(spans, span_sink)
     print(_summary_text(args.input, results["summary"], stats))
     print()
     print(_runs_text(args.input, results["runs"], args.window_ms, args.jumps))
@@ -720,6 +1206,8 @@ def _cmd_analyze_stream(args) -> int:
         title="Reply latency (P2 estimates)",
     ))
     print(f"\npeak streaming state: {engine.peak_items:,} items")
+    if spans_emitted is not None:
+        print(f"wrote {spans_emitted} pairer spans to {args.spans_out}")
     _write_metrics(args.metrics_out, metrics)
     return 0
 

@@ -85,6 +85,7 @@ class NfsClient:
         rpc_timeout_max: float = 4.0,
         rpc_max_retransmits: int = 100,
         metrics: MetricsRegistry | None = None,
+        spans=None,
     ) -> None:
         self.host = host
         self.server_addr = server_addr
@@ -104,6 +105,9 @@ class NfsClient:
         self.rpc_timeout_max = rpc_timeout_max
         self.rpc_max_retransmits = rpc_max_retransmits
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional repro.obs.spans.SpanRecorder; None keeps the RPC
+        #: path span-free (a single is-None check per call)
+        self._spans = spans
         self.cache = ClientCache(
             ac_timeout=ac_timeout,
             name_timeout=name_timeout,
@@ -483,10 +487,20 @@ class NfsClient:
         )
         outstanding = channel._outstanding
         outstanding[xid] = call
+        spans = self._spans
+        tid = events = None
+        if spans is not None:
+            tid = spans.trace_of(self.host, xid, proc._value_)
+            if tid is not None:
+                events = [{"name": "issue", "time": issue_time}]
+                if wire_time != issue_time:
+                    events.append({"name": "wire", "time": wire_time})
         reply = self.exchange(call)
         if reply is None:  # fault-injected loss: retransmit until answered
-            reply = self._retransmit(call)
+            reply = self._retransmit(call, events)
         outstanding.pop(reply.xid, None)
+        if tid is not None:
+            self._emit_client_span(spans, tid, proc, call, reply, events)
         self._n_calls_sent += 1
         gap = self.op_gap * (0.5 + self.rng.random())
         if asynchronous:
@@ -500,7 +514,23 @@ class NfsClient:
             self._cursor = max(self._cursor, reply.time) + gap
         return reply
 
-    def _retransmit(self, call: NfsCall) -> NfsReply:
+    def _emit_client_span(self, spans, tid, proc, call, reply, events) -> None:
+        """Emit the root span for one sampled RPC (issue to reply)."""
+        attrs = {"client": self.host, "xid": call.xid, "proc": proc._value_}
+        if call.fh is not None:
+            attrs["fh"] = call.fh.hex
+        if call.name is not None:
+            attrs["name"] = call.name
+        if call.offset is not None:
+            attrs["offset"] = call.offset
+        if call.count is not None:
+            attrs["count"] = call.count
+        spans.client_span(
+            tid, proc._value_, call.issue_time, reply.time,
+            status=reply.status._value_, attrs=attrs, events=events,
+        )
+
+    def _retransmit(self, call: NfsCall, events: list | None = None) -> NfsReply:
         """Resend ``call`` with exponential backoff until answered.
 
         The retransmission keeps its XID — on the wire it is the same
@@ -514,6 +544,8 @@ class NfsClient:
         for _ in range(self.rpc_max_retransmits):
             call.time += timeout
             self._n_retransmits += 1
+            if events is not None:
+                events.append({"name": "retransmit", "time": call.time})
             reply = self.exchange(call)
             if reply is not None:
                 return reply

@@ -61,6 +61,11 @@ class FaultInjector:
         self.schedule = FaultSchedule.parse(schedule)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ledger = ledger if ledger is not None else FaultLedger()
+        #: optional repro.obs.spans.SpanRecorder; every injected event
+        #: is also attached to the in-flight link span (when the
+        #: affected operation is sampled), so a span's fault events
+        #: match the ledger's tallies exactly
+        self.spans = None
         #: injected-event tallies keyed ``fault.kind.where``
         self.injected: dict[str, int] = {}
         self._m: dict[str, Counter] = {}
@@ -112,7 +117,7 @@ class FaultInjector:
         else:  # pragma: no cover - schedule validation forbids this
             raise TypeError(f"unknown fault clause {clause!r}")
 
-    def _count(self, fault: str, kind: str, where: str) -> None:
+    def _count(self, fault: str, kind: str, where: str, time: float) -> None:
         key = f"{fault}.{kind}.{where}"
         self.injected[key] = self.injected.get(key, 0) + 1
         counter = self._m.get(key)
@@ -122,6 +127,9 @@ class FaultInjector:
             )
             self._m[key] = counter
         counter.inc()
+        spans = self.spans
+        if spans is not None:
+            spans.exchange_event(fault, time, kind=kind, where=where)
 
     # -- wire hooks (called by NetworkPath) -----------------------------------
 
@@ -132,14 +140,14 @@ class FaultInjector:
             if clause.active(time) and rng.random() < clause.p:
                 extra += min(rng.expovariate(1000.0 / clause.ms),
                              MAX_FAULT_DELAY)
-                self._count("reorder", "call", "wire")
+                self._count("reorder", "call", "wire", time)
         return extra
 
     def drop_call_wire(self, time: float) -> bool:
         """True when the call packet is lost before server and mirror."""
         for clause, rng in self._wire_call_drops:
             if clause.active(time) and rng.random() < clause.p:
-                self._count("drop", "call", "wire")
+                self._count("drop", "call", "wire", time)
                 return True
         return False
 
@@ -147,7 +155,7 @@ class FaultInjector:
         """True when the server is down: the call is captured but lost."""
         for clause in self._crashes:
             if clause.crashed(time):
-                self._count("crash", "call", "wire")
+                self._count("crash", "call", "wire", time)
                 return True
         return False
 
@@ -157,7 +165,7 @@ class FaultInjector:
         for clause in self._slowdisks:
             if clause.slowed(time):
                 factor *= clause.factor
-                self._count("slowdisk", "reply", "wire")
+                self._count("slowdisk", "reply", "wire", time)
         return factor
 
     def reply_wire_delay(self, time: float) -> float:
@@ -167,14 +175,14 @@ class FaultInjector:
             if clause.active(time) and rng.random() < clause.p:
                 extra += min(rng.expovariate(1000.0 / clause.ms),
                              MAX_FAULT_DELAY)
-                self._count("delay", "reply", "wire")
+                self._count("delay", "reply", "wire", time)
         return extra
 
     def drop_reply_wire(self, time: float) -> bool:
         """True when the reply is lost after capture, before the client."""
         for clause, rng in self._wire_reply_drops:
             if clause.active(time) and rng.random() < clause.p:
-                self._count("drop", "reply", "wire")
+                self._count("drop", "reply", "wire", time)
                 return True
         return False
 
@@ -204,13 +212,13 @@ class _CaptureTap:
         time = call.time
         for clause, rng in inj._capture_call_drops:
             if clause.active(time) and rng.random() < clause.p:
-                inj._count("drop", "call", "capture")
+                inj._count("drop", "call", "capture", time)
                 return
         self._down.on_call(call)
         inj.ledger.on_call(call)
         for clause, rng in inj._capture_call_dups:
             if clause.active(time) and rng.random() < clause.p:
-                inj._count("dup", "call", "capture")
+                inj._count("dup", "call", "capture", time)
                 self._down.on_call(call)
                 inj.ledger.on_call(call)
 
@@ -219,12 +227,12 @@ class _CaptureTap:
         time = reply.time
         for clause, rng in inj._capture_reply_drops:
             if clause.active(time) and rng.random() < clause.p:
-                inj._count("drop", "reply", "capture")
+                inj._count("drop", "reply", "capture", time)
                 return
         self._down.on_reply(reply)
         inj.ledger.on_reply(reply)
         for clause, rng in inj._capture_reply_dups:
             if clause.active(time) and rng.random() < clause.p:
-                inj._count("dup", "reply", "capture")
+                inj._count("dup", "reply", "capture", time)
                 self._down.on_reply(reply)
                 inj.ledger.on_reply(reply)

@@ -76,12 +76,16 @@ class NetworkPath:
         taps: list | None = None,
         metrics: MetricsRegistry | None = None,
         faults=None,
+        spans=None,
     ) -> None:
         self.server = server
         self.rng = rng
         self.base_latency = base_latency
         self.taps = list(taps) if taps else []
         self.faults = faults
+        #: optional repro.obs.spans.SpanRecorder; one link span per
+        #: exchange attempt (retransmissions are separate attempts)
+        self.spans = spans
         self.exchanges = 0
         #: Per-procedure service-time histograms live under the server
         #: namespace: the latency is assigned here, but it models the
@@ -104,6 +108,12 @@ class NetworkPath:
         if self.faults is not None:
             return self._exchange_faulted(call)
         self.exchanges += 1
+        spans = self.spans
+        link_span = None
+        if spans is not None:
+            tid = spans.trace_of(call.client, call.xid, call.proc._value_)
+            if tid is not None:
+                link_span = spans.link_open(tid, call.proc._value_, call.time)
         taps = self.taps
         for tap in taps:
             tap.on_call(call)
@@ -122,6 +132,8 @@ class NetworkPath:
             histogram.observe(latency)
         for tap in taps:
             tap.on_reply(reply)
+        if link_span is not None:
+            spans.link_close(link_span, reply.time, "ok")
         return reply
 
     def _exchange_faulted(self, call: NfsCall) -> NfsReply | None:
@@ -145,15 +157,27 @@ class NetworkPath:
         """
         faults = self.faults
         self.exchanges += 1
+        spans = self.spans
+        link_span = None
+        if spans is not None:
+            # open before the fault hooks run, so injector verdicts
+            # (reorder/drop/delay/crash) land on this span as events
+            tid = spans.trace_of(call.client, call.xid, call.proc._value_)
+            if tid is not None:
+                link_span = spans.link_open(tid, call.proc._value_, call.time)
         extra = faults.call_wire_delay(call.time)
         if extra:
             call.time += extra
         if faults.drop_call_wire(call.time):
+            if link_span is not None:
+                spans.link_close(link_span, call.time, "lost")
             return None
         taps = self.taps
         for tap in taps:
             tap.on_call(call)
         if faults.crashed_in_flight(call.time):
+            if link_span is not None:
+                spans.link_close(link_span, call.time, "lost")
             return None
         reply = self.server.process(call)
         latency = (
@@ -176,5 +200,10 @@ class NetworkPath:
         for tap in taps:
             tap.on_reply(reply)
         if faults.drop_reply_wire(reply.time):
+            # the reply was captured but the client never saw it
+            if link_span is not None:
+                spans.link_close(link_span, reply.time, "reply_lost")
             return None
+        if link_span is not None:
+            spans.link_close(link_span, reply.time, "ok")
         return reply

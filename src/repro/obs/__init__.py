@@ -11,6 +11,11 @@ pieces:
 * :mod:`repro.obs.promtext` — Prometheus-style text exposition plus a
   parser, so snapshots are diffable across runs.
 * :mod:`repro.obs.eventlog` — a structured JSON-lines event stream.
+* :mod:`repro.obs.spans` — operation-level span tracing: stable
+  hash-derived trace IDs, deterministic hash-ratio sampling (zero RNG
+  draws), one span per pipeline hop.
+* :mod:`repro.obs.rotate` — size/age segment rotation with retention
+  for long-running capture (``repro monitor``).
 * :mod:`repro.obs.timers` — wall-clock phase timers for benchmarks and
   the CLI.
 * :mod:`repro.obs.gcpause` — cyclic-GC suspension for the
@@ -30,7 +35,25 @@ from repro.obs.metrics import (
     format_sample_name,
     log_buckets,
 )
-from repro.obs.promtext import parse_prom_text, to_prom_text
+from repro.obs.promtext import (
+    escape_label_value,
+    parse_prom_text,
+    prom_name,
+    to_prom_text,
+)
+from repro.obs.rotate import (
+    RotatingEventLog,
+    RotatingTraceWriter,
+    RotationPolicy,
+    list_segments,
+)
+from repro.obs.spans import (
+    HOPS,
+    SpanRecorder,
+    sample_decision,
+    span_id,
+    trace_id,
+)
 from repro.obs.timers import PhaseTimer
 
 __all__ = [
@@ -41,9 +64,20 @@ __all__ = [
     "EventLog",
     "PhaseTimer",
     "DEFAULT_TIME_BUCKETS",
+    "HOPS",
+    "RotatingEventLog",
+    "RotatingTraceWriter",
+    "RotationPolicy",
+    "SpanRecorder",
+    "escape_label_value",
     "format_sample_name",
+    "prom_name",
+    "list_segments",
     "log_buckets",
     "parse_prom_text",
     "paused_gc",
+    "sample_decision",
+    "span_id",
     "to_prom_text",
+    "trace_id",
 ]

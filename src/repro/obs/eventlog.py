@@ -14,6 +14,7 @@ file object it streams instead and keeps nothing.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, Any
 
@@ -58,9 +59,23 @@ class EventLog:
             self._sink.flush()
 
     def close(self) -> None:
-        """Close a sink this log opened itself (no-op otherwise)."""
-        if self._sink is not None and self._owns_sink:
-            self._sink.close()
+        """Flush (and fsync) the sink; close it if this log opened it.
+
+        Called from ``finally`` blocks on abnormal exits too, so a
+        crashed run's event log is durable up to its last event: the
+        stream is flushed even for caller-owned sinks, and sinks this
+        log opened are fsynced to disk before closing.
+        """
+        sink = self._sink
+        if sink is None:
+            return
+        sink.flush()
+        if self._owns_sink:
+            try:
+                os.fsync(sink.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass  # not a real file (StringIO, closed fd, ...)
+            sink.close()
             self._sink = None
 
     def __enter__(self) -> "EventLog":

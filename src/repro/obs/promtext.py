@@ -16,20 +16,34 @@ import math
 from repro.obs.metrics import Labels, MetricsRegistry
 
 
-def _prom_name(name: str) -> str:
+#: Exposition-format label-value escapes: backslash, double quote, and
+#: newline (in that order of the spec).  A single translate pass cannot
+#: double-escape — each input character maps exactly once, so a literal
+#: ``\n`` in a label survives as ``\\n`` and round-trips.
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def prom_name(name: str) -> str:
+    """A dotted/dashed metric name as a Prometheus metric name."""
     return name.replace(".", "_").replace("-", "_")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value for the text exposition format.
+
+    Hostile values — embedded quotes, backslashes, newlines — render to
+    one well-formed ``name{k="..."} v`` line instead of splitting the
+    sample or terminating the quote early.
+    """
+    return str(value).translate(_LABEL_ESCAPES)
 
 
 def _prom_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = tuple(labels) + tuple(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs)
     return f"{{{inner}}}"
-
-
-def _escape(value: str) -> str:
-    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
 def _fmt(value: float) -> str:
@@ -45,7 +59,7 @@ def to_prom_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     typed: set[str] = set()
     for instrument in registry:
-        name = _prom_name(instrument.name)
+        name = prom_name(instrument.name)
         if name not in typed:
             lines.append(f"# TYPE {name} {instrument.kind}")
             typed.add(name)

@@ -55,10 +55,14 @@ class NfsServer:
         *,
         name: str = "nfs-server",
         metrics: MetricsRegistry | None = None,
+        spans=None,
     ) -> None:
         self.fs = fs
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional repro.obs.spans.SpanRecorder; one dispatch span per
+        #: processed call on sampled operations
+        self._spans = spans
         self.measure_from = 0.0
         # per-call tallies stay plain integers; _sync publishes them
         self._c_calls: dict[NfsProc, int] = {}
@@ -116,6 +120,8 @@ class NfsServer:
                         self._c_replies[cached.status] += 1
                     except KeyError:
                         self._c_replies[cached.status] = 1
+                if self._spans is not None:
+                    self._emit_span(call, cached, drc_hit=True)
                 return cached
         try:
             reply = self._dispatch(call)
@@ -139,7 +145,33 @@ class NfsServer:
                 self._c_replies[reply.status] += 1
             except KeyError:
                 self._c_replies[reply.status] = 1
+        if self._spans is not None:
+            self._emit_span(call, reply, drc_hit=False)
         return reply
+
+    def _emit_span(self, call: NfsCall, reply: NfsReply, *, drc_hit: bool) -> None:
+        """Emit the dispatch span for one sampled call."""
+        spans = self._spans
+        tid = spans.wire_trace()  # dispatch runs inside the exchange
+        if tid is None:
+            return
+        attrs: dict = {"status": reply.status._value_}
+        if drc_hit:
+            attrs["drc_hit"] = True
+        events = []
+        proc = call.proc
+        if proc is NfsProc.READ or proc is NfsProc.WRITE or proc is NfsProc.COMMIT:
+            nbytes = call.count or 0
+            if proc is NfsProc.READ and reply.count is not None:
+                nbytes = reply.count
+            events.append(
+                {"name": "disk_io", "time": call.time, "bytes": nbytes}
+            )
+        spans.server_span(
+            tid, proc._value_, call.time,
+            status="ok" if reply.status is _OK else "error",
+            attrs=attrs, events=events,
+        )
 
     # -- dispatch -----------------------------------------------------------
 

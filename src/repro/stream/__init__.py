@@ -15,7 +15,10 @@ Three layers:
   within documented sketch error elsewhere (see ``docs/STREAMING.md``).
 
 :mod:`~repro.stream.live` adds :class:`LiveWatch`, which drives the
-engine from a running simulation and renders periodic snapshots.
+engine from a running simulation and renders periodic snapshots;
+:mod:`~repro.stream.monitor` grows it into :class:`LiveMonitor`, the
+``repro monitor`` daemon — rotating trace/span segments on disk and a
+loopback :class:`MonitorServer` serving ``/metrics`` and ``/spans``.
 """
 
 from repro.stream.engine import StreamAnalysis, StreamEngine
@@ -31,6 +34,7 @@ from repro.stream.analyses import (
     StreamTopFiles,
 )
 from repro.stream.live import LiveWatch
+from repro.stream.monitor import LiveMonitor, MonitorServer
 from repro.stream.operators import (
     ExpDecayRate,
     P2Quantile,
@@ -55,6 +59,8 @@ __all__ = [
     "StreamSummary",
     "StreamTopFiles",
     "LiveWatch",
+    "LiveMonitor",
+    "MonitorServer",
     "ExpDecayRate",
     "P2Quantile",
     "ReservoirSample",

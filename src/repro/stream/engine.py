@@ -84,6 +84,8 @@ class StreamEngine:
         max_items: optional cap on total retained items — outstanding
             calls plus every analysis's :meth:`~StreamAnalysis.memory_items`.
             Exceeding it raises :class:`~repro.errors.StreamMemoryError`.
+        spans: optional :class:`~repro.obs.spans.SpanRecorder` handed
+            to the internal pairer for verdict spans.
     """
 
     def __init__(
@@ -93,9 +95,10 @@ class StreamEngine:
         metrics: MetricsRegistry | None = None,
         advance_every: int = 1024,
         max_items: int | None = None,
+        spans=None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.pairer = StreamPairer(reply_timeout=reply_timeout)
+        self.pairer = StreamPairer(reply_timeout=reply_timeout, spans=spans)
         self.advance_every = advance_every
         self.max_items = max_items
         self.analyses: list[StreamAnalysis] = []

@@ -52,6 +52,7 @@ class LiveWatch:
         self.stream = stream if stream is not None else sys.stderr
         self.snapshots_rendered = 0
         self._end: float | None = None
+        self._rendered_records = 0
         self._m_snapshots = engine.metrics.counter("stream.snapshots")
         system.collector.subscribe(self._on_record)
 
@@ -73,8 +74,16 @@ class LiveWatch:
             self.system.loop.schedule_in(self.interval, self._tick)
 
     def finish(self) -> dict:
-        """Close the engine; returns its results dict."""
-        return self.engine.finish()
+        """Close the engine; returns its results dict.
+
+        Records that arrived after the last scheduled tick still get a
+        snapshot: the final partial interval renders here, so a run
+        whose end falls between ticks never silently drops its tail.
+        """
+        results = self.engine.finish()
+        if self.engine.records > self._rendered_records:
+            self.render()
+        return results
 
     # -- rendering -------------------------------------------------------------
 
@@ -82,6 +91,7 @@ class LiveWatch:
         """Render one snapshot now (also driven by the tick schedule)."""
         self.snapshots_rendered += 1
         self._m_snapshots.inc()
+        self._rendered_records = self.engine.records
         print(self.render_text(), file=self.stream)
 
     def render_text(self) -> str:

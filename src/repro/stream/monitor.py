@@ -1,0 +1,171 @@
+"""Continuous monitoring daemon (``repro monitor``).
+
+Grows ``repro watch`` into something the paper's operators could have
+left running for months: :class:`LiveMonitor` drives the streaming
+engine exactly like :class:`~repro.stream.live.LiveWatch`, but also
+
+* writes every measured record into a
+  :class:`~repro.obs.rotate.RotatingTraceWriter`, so the capture is a
+  sequence of bounded ``.rtb.gz`` segments under a retention budget
+  instead of one unbounded file;
+* publishes a Prometheus text snapshot and a live span tail to a
+  :class:`MonitorServer` on every snapshot tick, so ``curl
+  localhost:PORT/metrics`` works while the simulation runs.
+
+:class:`MonitorServer` is a stdlib ``http.server`` bound to the
+loopback interface only.  It serves *cached strings* — the simulation
+thread publishes under a lock, the daemon thread serves — so a scrape
+can never block or reenter the event loop.  Memory stays bounded end
+to end: the engine's ``max_items`` budget still applies (a
+:class:`~repro.errors.StreamMemoryError` stops the run loudly), the
+span tail is a fixed-size deque, and rotation caps the disk footprint.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO
+
+from repro.obs.promtext import to_prom_text
+from repro.obs.rotate import RotatingTraceWriter
+from repro.stream.engine import StreamEngine
+from repro.stream.live import LiveWatch
+
+__all__ = ["LiveMonitor", "MonitorServer"]
+
+
+class MonitorServer:
+    """A loopback HTTP endpoint serving the monitor's cached state.
+
+    Routes:
+        ``/metrics``  Prometheus text exposition (as of the last tick).
+        ``/spans``    the most recent sampled span records, JSON lines.
+        ``/healthz``  ``ok`` — liveness only.
+
+    The handler thread only ever reads strings the simulation published
+    with :meth:`publish`; it never touches live simulator state.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._payloads = {"/metrics": "", "/spans": "", "/healthz": "ok\n"}
+        publisher = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                with publisher._lock:
+                    body = publisher._payloads.get(path)
+                if body is None:
+                    self.send_error(404, "unknown endpoint")
+                    return
+                payload = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # quiet by design
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` actually bound (port 0 picks an ephemeral one)."""
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> None:
+        """Serve forever on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-monitor-http",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def publish(self, path: str, body: str) -> None:
+        """Atomically replace the payload served at ``path``."""
+        with self._lock:
+            self._payloads[path] = body
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MonitorServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LiveMonitor(LiveWatch):
+    """A :class:`~repro.stream.live.LiveWatch` that also captures and serves.
+
+    Args:
+        system: the :class:`~repro.workloads.TracedSystem` to observe.
+        engine: the streaming engine (same contract as LiveWatch).
+        interval: simulated seconds between snapshot ticks.
+        start_time: measurement start; earlier records are neither
+            analyzed nor written.
+        stream: snapshot text destination (default stderr).
+        writer: optional :class:`~repro.obs.rotate.RotatingTraceWriter`
+            receiving every measured record.
+        server: optional :class:`MonitorServer`; each snapshot tick
+            (and the final one) publishes ``/metrics`` and ``/spans``.
+    """
+
+    def __init__(
+        self,
+        system,
+        engine: StreamEngine,
+        *,
+        interval: float,
+        start_time: float = 0.0,
+        stream: IO[str] | None = None,
+        writer: RotatingTraceWriter | None = None,
+        server: MonitorServer | None = None,
+    ) -> None:
+        super().__init__(
+            system, engine, interval=interval, start_time=start_time,
+            stream=stream,
+        )
+        self.writer = writer
+        self.server = server
+
+    def _on_record(self, record) -> None:
+        if record.time >= self.start_time:
+            self.engine.feed(record)
+            if self.writer is not None:
+                self.writer.write(record)
+
+    def render(self) -> None:
+        """One snapshot: text to the stream, state to the server."""
+        super().render()
+        self.publish()
+
+    def publish(self) -> None:
+        """Push the current metrics and span tail to the server."""
+        if self.server is None:
+            return
+        self.server.publish("/metrics", to_prom_text(self.system.metrics))
+        spans = getattr(self.system, "spans", None)
+        if spans is not None and spans.tail is not None:
+            self.server.publish("/spans", spans.tail_text())
+
+    def finish(self) -> dict:
+        """Close the engine; final state is published even without a tick."""
+        results = super().finish()
+        self.publish()
+        return results

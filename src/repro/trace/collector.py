@@ -43,9 +43,15 @@ class TraceCollector:
         *,
         metrics: MetricsRegistry | None = None,
         retain: bool = True,
+        spans=None,
     ) -> None:
         self.records: list[TraceRecord] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional repro.obs.spans.SpanRecorder; one capture span per
+        #: packet of a sampled operation (duplicates captured twice get
+        #: two spans, dropped packets get none — exactly what the trace
+        #: itself shows)
+        self._spans = spans
         self.measure_from = 0.0
         #: keep captured records in ``self.records``; turn off when a
         #: subscriber is the only consumer (live watch) to cap memory
@@ -96,6 +102,11 @@ class TraceCollector:
         if self._subscribers:
             for callback in self._subscribers:
                 callback(record)
+        spans = self._spans
+        if spans is not None:
+            tid = spans.wire_trace()  # taps run inside the exchange
+            if tid is not None:
+                spans.capture_span(tid, "call", call.time)
         if call.time >= self.measure_from:
             self._n_calls += 1
             # wire_size(call), inlined for the per-packet path
@@ -115,6 +126,11 @@ class TraceCollector:
         if self._subscribers:
             for callback in self._subscribers:
                 callback(record)
+        spans = self._spans
+        if spans is not None:
+            tid = spans.wire_trace()  # taps run inside the exchange
+            if tid is not None:
+                spans.capture_span(tid, "reply", reply.time)
         if reply.time >= self.measure_from:
             self._n_replies += 1
             size = HEADER_BYTES

@@ -15,8 +15,10 @@ from repro.netsim.link import NetworkPath
 from repro.netsim.mirror import MirrorPort
 from repro.nfs.procedures import NfsVersion
 from repro.nfs.rpc import Transport
+from repro.obs.eventlog import EventLog
 from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder, sample_threshold
 from repro.server.nfs_server import NfsServer
 from repro.simcore.events import EventLoop
 from repro.simcore.rng import RngRegistry
@@ -39,6 +41,15 @@ class TracedSystem:
             for a perfect wire.  Fault RNG streams derive from the
             same master seed, so one (seed, schedule) pair always
             reproduces the same trace byte for byte.
+        trace_sample: span-sampling rate in [0, 1].  0 (the default)
+            disables span tracing entirely; any rate uses hash-ratio
+            sampling (no RNG draws), so the trace bytes never change.
+        span_sink: where sampled spans go — an
+            :class:`~repro.obs.eventlog.EventLog`-compatible object
+            (e.g. a :class:`~repro.obs.rotate.RotatingEventLog`);
+            defaults to an in-memory EventLog.
+        span_tail: keep the last N span records in memory for live
+            serving (``repro monitor``).
     """
 
     def __init__(
@@ -50,16 +61,34 @@ class TracedSystem:
         mirror_buffer: int = 512 * 1024,
         server_addr: str = "10.0.0.100",
         faults: FaultSchedule | str | None = None,
+        trace_sample: float = 0.0,
+        span_sink=None,
+        span_tail: int = 0,
     ) -> None:
         self.rngs = RngRegistry(seed)
         #: One registry for the whole world; every component surfaces
         #: its counters here.  ``system.metrics.snapshot()`` is the
         #: uniform way to read them all.
         self.metrics = MetricsRegistry()
+        #: operation-level span tracing (repro.obs.spans).  The sampling
+        #: decision is a deterministic hash of (client, xid, proc) — no
+        #: RNG stream is consulted at any rate, so traces stay
+        #: byte-identical whether sampling is off, on, or partial.  At
+        #: rate 0 no recorder exists and every hop's check is a single
+        #: ``is not None``.
+        if trace_sample > 0.0:
+            sink = span_sink if span_sink is not None else EventLog()
+            self.spans = SpanRecorder(
+                sink, sample=trace_sample, metrics=self.metrics,
+                tail=span_tail,
+            )
+        else:
+            sample_threshold(trace_sample)  # validate even when off
+            self.spans = None
         self.fs = SimFileSystem(fsid=1, quota_bytes=quota_bytes)
-        self.server = NfsServer(self.fs, metrics=self.metrics)
+        self.server = NfsServer(self.fs, metrics=self.metrics, spans=self.spans)
         self.server_addr = server_addr
-        self.collector = TraceCollector(metrics=self.metrics)
+        self.collector = TraceCollector(metrics=self.metrics, spans=self.spans)
         if faults is not None:
             #: the injector and its ledger; the capture tap sits between
             #: the mirror and the collector so the ledger sees exactly
@@ -68,6 +97,7 @@ class TracedSystem:
             self.faults = FaultInjector(
                 faults, self.rngs, metrics=self.metrics
             )
+            self.faults.spans = self.spans
             capture = self.faults.wrap_capture(self.collector)
         else:
             self.faults = None
@@ -84,6 +114,7 @@ class TracedSystem:
             taps=[self.mirror],
             metrics=self.metrics,
             faults=self.faults,
+            spans=self.spans,
         )
         self.loop = EventLoop(metrics=self.metrics)
         self.clients: dict[str, NfsClient] = {}
@@ -129,6 +160,7 @@ class TracedSystem:
             cache_blocks=cache_blocks,
             readahead_blocks=readahead_blocks,
             metrics=self.metrics,
+            spans=self.spans,
         )
         self.clients[host] = client
         return client

@@ -1,0 +1,211 @@
+"""Unit tests for operation-level span tracing (repro.obs.spans)."""
+
+import json
+
+import pytest
+
+from repro.obs.eventlog import EventLog
+from repro.obs.spans import (
+    HOPS,
+    SpanRecorder,
+    sample_decision,
+    sample_threshold,
+    span_id,
+    trace_id,
+)
+
+
+def _recorder(**kwargs):
+    """A recorder over an in-memory EventLog sink."""
+    sink = EventLog()
+    return SpanRecorder(sink, **kwargs), sink
+
+
+class TestTraceIdentity:
+    def test_trace_id_is_stable(self):
+        assert trace_id("mail-01", 42, "read") == trace_id("mail-01", 42, "read")
+
+    def test_trace_id_distinguishes_every_field(self):
+        base = trace_id("mail-01", 42, "read")
+        assert trace_id("mail-02", 42, "read") != base
+        assert trace_id("mail-01", 43, "read") != base
+        assert trace_id("mail-01", 42, "write") != base
+
+    def test_trace_id_is_32_hex(self):
+        tid = trace_id("c", 1, "read")
+        assert len(tid) == 32
+        int(tid, 16)
+
+    def test_span_id_is_16_hex_and_occurrence_scoped(self):
+        tid = trace_id("c", 1, "read")
+        root = span_id(tid, "client", 0)
+        assert len(root) == 16
+        assert root != span_id(tid, "client", 1)
+        assert root != span_id(tid, "link", 0)
+
+
+class TestSampling:
+    def test_threshold_validates_range(self):
+        with pytest.raises(ValueError):
+            sample_threshold(-0.1)
+        with pytest.raises(ValueError):
+            sample_threshold(1.1)
+
+    def test_rate_zero_samples_nothing(self):
+        threshold = sample_threshold(0.0)
+        assert not any(
+            sample_decision("c", xid, "read", threshold) for xid in range(500)
+        )
+
+    def test_rate_one_samples_everything(self):
+        threshold = sample_threshold(1.0)
+        assert all(
+            sample_decision("c", xid, "read", threshold) for xid in range(500)
+        )
+
+    def test_fractional_rate_approximates_ratio(self):
+        threshold = sample_threshold(0.25)
+        hits = sum(
+            sample_decision("c", xid, "read", threshold)
+            for xid in range(20000)
+        )
+        assert 0.22 < hits / 20000 < 0.28
+
+    def test_decision_is_deterministic_across_callers(self):
+        # every hop (and every process) must agree with no shared state
+        threshold = sample_threshold(0.5)
+        first = [sample_decision("c", x, "read", threshold) for x in range(200)]
+        second = [sample_decision("c", x, "read", threshold) for x in range(200)]
+        assert first == second
+
+    def test_trace_of_gates_on_the_decision(self):
+        recorder, _sink = _recorder(sample=0.0)
+        assert recorder.trace_of("c", 1, "read") is None
+        recorder, _sink = _recorder(sample=1.0)
+        assert recorder.trace_of("c", 1, "read") == trace_id("c", 1, "read")
+
+
+class TestRecorder:
+    def test_client_span_emits_root_and_releases(self):
+        recorder, sink = _recorder()
+        tid = recorder.trace_of("c", 1, "read")
+        recorder.client_span(tid, "read", 1.0, 2.0,
+                             attrs={"client": "c", "xid": 1})
+        (event,) = sink.events
+        assert event["event"] == "span"
+        assert event["span"] == span_id(tid, "client", 0)
+        assert event["parent"] is None
+        assert tid not in recorder._occ  # released on root close
+
+    def test_occurrence_counters_per_hop(self):
+        recorder, sink = _recorder()
+        tid = trace_id("c", 1, "read")
+        link_a = recorder.link_open(tid, "read", 1.0)
+        recorder.link_close(link_a, 1.1, "lost")
+        link_b = recorder.link_open(tid, "read", 1.2)
+        recorder.link_close(link_b, 1.3, "ok")
+        first, second = sink.events
+        assert first["span"] == span_id(tid, "link", 0)
+        assert second["span"] == span_id(tid, "link", 1)
+        assert first["status"] == "lost"
+        assert second["status"] == "ok"
+
+    def test_open_trace_cap_evicts_oldest(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.spans.MAX_OPEN_TRACES", 2)
+        recorder, _sink = _recorder()
+        for index in range(3):
+            recorder._occurrence(trace_id("c", index, "read"), "capture")
+        assert len(recorder._occ) == 2
+        assert trace_id("c", 0, "read") not in recorder._occ
+
+    def test_exchange_event_attaches_to_open_link(self):
+        recorder, sink = _recorder()
+        tid = trace_id("c", 1, "read")
+        span = recorder.link_open(tid, "read", 1.0)
+        recorder.exchange_event("drop", 1.05, kind="call", where="wire")
+        recorder.link_close(span, 1.05, "lost")
+        (event,) = sink.events
+        assert event["events"] == [
+            {"name": "drop", "time": 1.05, "kind": "call", "where": "wire"}
+        ]
+
+    def test_exchange_event_without_open_link_is_ignored(self):
+        recorder, sink = _recorder()
+        recorder.exchange_event("drop", 1.0, kind="call", where="wire")
+        assert sink.events == []
+
+    def test_server_span_parents_the_open_link(self):
+        recorder, sink = _recorder()
+        tid = trace_id("c", 1, "read")
+        link = recorder.link_open(tid, "read", 1.0)
+        recorder.server_span(tid, "read", 1.01)
+        recorder.link_close(link, 1.02, "ok")
+        server_event = next(e for e in sink.events if e["hop"] == "server")
+        assert server_event["parent"] == link.span
+
+    def test_server_span_falls_back_to_root_parent(self):
+        recorder, sink = _recorder()
+        tid = trace_id("c", 1, "read")
+        recorder.server_span(tid, "read", 1.0)
+        (event,) = sink.events
+        assert event["parent"] == span_id(tid, "client", 0)
+
+    def test_metrics_count_per_hop(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        recorder, _sink = _recorder(metrics=metrics)
+        tid = trace_id("c", 1, "read")
+        recorder.capture_span(tid, "call", 1.0)
+        recorder.capture_span(tid, "reply", 1.1)
+        assert metrics.value("spans.emitted", hop="capture") == 2
+
+    def test_tail_keeps_newest(self):
+        recorder, _sink = _recorder(tail=2)
+        tid = trace_id("c", 1, "read")
+        for index in range(3):
+            recorder.capture_span(tid, "call", float(index))
+        lines = [json.loads(l) for l in recorder.tail_text().splitlines()]
+        assert [line["start"] for line in lines] == [1.0, 2.0]
+
+    def test_tail_text_empty_without_tail(self):
+        recorder, _sink = _recorder()
+        assert recorder.tail_text() == ""
+
+
+class TestBufferedRecorder:
+    def test_close_sorts_canonically_and_assigns_ids(self):
+        # two recorders fed the same spans in different orders must
+        # export byte-identical streams
+        spans = [
+            (trace_id("c", 2, "read"), "read", 2.0, 2.1, "paired"),
+            (trace_id("c", 1, "read"), "read", 1.0, 1.1, "paired"),
+            (trace_id("c", 3, "read"), "read", 3.0, 3.0, "orphan_reply"),
+        ]
+
+        def run(order):
+            recorder, sink = _recorder(buffered=True)
+            for item in order:
+                recorder.pairer_span(*item)
+            recorder.close()
+            return json.dumps(sink.events, sort_keys=True)
+
+        assert run(spans) == run(list(reversed(spans)))
+
+    def test_buffered_emits_nothing_before_close(self):
+        recorder, sink = _recorder(buffered=True)
+        recorder.pairer_span(trace_id("c", 1, "read"), "read", 1.0, 1.1,
+                             "paired")
+        assert sink.events == []
+        assert recorder.close() == 1
+        assert len(sink.events) == 1
+
+    def test_close_returns_total_emitted(self):
+        recorder, _sink = _recorder()
+        tid = trace_id("c", 1, "read")
+        recorder.capture_span(tid, "call", 1.0)
+        assert recorder.close() == 1
+
+
+def test_hop_tuple_is_pipeline_ordered():
+    assert HOPS == ("client", "link", "server", "capture", "pairer")

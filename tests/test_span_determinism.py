@@ -1,0 +1,163 @@
+"""Span determinism under chaos: same workload+seed => same spans.
+
+The span layer's headline guarantees, checked end to end over the
+chaos-matrix schedules:
+
+* non-interference — turning sampling on (at any rate) consumes zero
+  RNG draws, so the trace itself stays byte-identical to an unsampled
+  run of the same (seed, schedule) pair;
+* exact fault accounting — at rate 1.0 the injector's ledger equals
+  the fault events attached to link spans, event for event;
+* replay determinism — re-running a cell reproduces the exported span
+  stream byte for byte;
+* pipeline equivalence — the serial pairer, the streaming pairer, and
+  ``parallel_pair`` at any job count export byte-identical buffered
+  span streams over the same faulted trace.
+
+Simulations are cached per (schedule, rate) cell at module scope.
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.analysis.pairing import StreamPairer, pair_records
+from repro.analysis.parallel import parallel_pair
+from repro.obs.eventlog import EventLog
+from repro.obs.spans import SpanRecorder
+from repro.simcore.clock import SECONDS_PER_DAY
+from repro.trace.record import record_to_line
+from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+from tests.test_chaos_matrix import SCHEDULES
+
+SEED = 11
+SIM_SECONDS = SECONDS_PER_DAY
+
+
+def _simulate(spec, rate):
+    """One faulted campus day with span sampling at ``rate``."""
+    sink = EventLog()
+    system = TracedSystem(
+        seed=SEED, quota_bytes=50 * 1024 * 1024, faults=spec,
+        trace_sample=rate, span_sink=sink,
+    )
+    # three users, like the chaos matrix: enough traffic that every
+    # schedule (crash windows included) actually fires
+    CampusEmailWorkload(CampusParams(users=3)).attach(system)
+    system.run(SIM_SECONDS)
+    records = system.records()
+    text = "\n".join(record_to_line(r) for r in records) + "\n"
+    injected = dict(system.faults.injected)
+    if system.spans is not None:
+        system.spans.close()
+    span_text = "\n".join(
+        json.dumps(event, sort_keys=True) for event in sink.events
+    )
+    return text, injected, span_text
+
+
+@functools.lru_cache(maxsize=None)
+def _cached(schedule_name, rate):
+    return _simulate(SCHEDULES[schedule_name], rate)
+
+
+def _fault_events(span_text):
+    """Tally ``fault.kind.where`` span events across the stream."""
+    counts = {}
+    for line in span_text.splitlines():
+        for event in json.loads(line).get("events") or []:
+            if "where" not in event:
+                continue  # client-hop lifecycle events (issue, ...)
+            key = f"{event['name']}.{event['kind']}.{event['where']}"
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def test_rate_zero_builds_no_recorder():
+    system = TracedSystem(seed=SEED, trace_sample=0.0)
+    assert system.spans is None
+
+
+@pytest.mark.parametrize("schedule_name", sorted(SCHEDULES))
+class TestChaosSpans:
+    def test_sampling_never_changes_the_trace(self, schedule_name):
+        text_off, injected_off, span_text = _cached(schedule_name, 0.0)
+        text_on, injected_on, _ = _cached(schedule_name, 1.0)
+        assert span_text == ""  # rate 0: no recorder, no spans
+        assert text_on == text_off
+        assert injected_on == injected_off
+
+    def test_ledger_equals_span_fault_events(self, schedule_name):
+        _, injected, span_text = _cached(schedule_name, 1.0)
+        assert sum(injected.values()) > 0  # the schedule actually fired
+        assert _fault_events(span_text) == injected
+
+    def test_span_stream_replays_byte_identical(self, schedule_name):
+        _, _, span_text = _cached(schedule_name, 1.0)
+        _, _, again = _simulate(SCHEDULES[schedule_name], 1.0)
+        assert again == span_text
+        assert span_text  # non-trivial: every op sampled
+
+
+def test_partial_rate_samples_a_subset():
+    _, _, full = _cached("mixed", 1.0)
+    text_partial, _, partial = _simulate(SCHEDULES["mixed"], 0.25)
+    text_off, _, _ = _cached("mixed", 0.0)
+    assert text_partial == text_off  # partial sampling: same trace bytes
+    full_traces = {json.loads(l)["trace"] for l in full.splitlines()}
+    partial_traces = {json.loads(l)["trace"] for l in partial.splitlines()}
+    assert 0 < len(partial_traces) < len(full_traces)
+    assert partial_traces <= full_traces
+
+
+class TestPairerPathEquivalence:
+    """Serial, streaming, and parallel pairing export the same spans."""
+
+    RATE = 1.0
+
+    def _span_stream(self, run):
+        sink = EventLog()
+        spans = SpanRecorder(sink, sample=self.RATE, buffered=True)
+        run(spans)
+        spans.close()
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in sink.events
+        )
+
+    @pytest.fixture(scope="class")
+    def faulted(self, tmp_path_factory):
+        records_text, _, _ = _cached("mixed", 0.0)
+        path = tmp_path_factory.mktemp("spans") / "mixed.trace"
+        path.write_text(records_text)
+        from repro.trace.reader import read_trace
+
+        return path, list(read_trace(path))
+
+    def test_all_pairing_paths_agree(self, faulted):
+        path, records = faulted
+
+        def serial(spans):
+            for _op in pair_records(records, spans=spans):
+                pass
+
+        def stream(spans):
+            pairer = StreamPairer(spans=spans)
+            for record in records:
+                pairer.push(record)
+            pairer.close()
+
+        def parallel(jobs):
+            def run(spans):
+                parallel_pair(
+                    path, jobs=jobs, chunk_records=2000, spans=spans
+                )
+            return run
+
+        streams = [
+            self._span_stream(run)
+            for run in (serial, stream, parallel(1), parallel(2))
+        ]
+        assert streams[0]  # non-trivial
+        assert all(stream == streams[0] for stream in streams[1:])
