@@ -24,6 +24,7 @@ Usage::
     python benchmarks/smoke.py --stream-smoke     # CI memory gate only
     python benchmarks/smoke.py --chaos-smoke      # CI fault-injection gate
     python benchmarks/smoke.py --obs-smoke        # CI span/monitor gate
+    python benchmarks/smoke.py --speedup-gate     # CI parallel/encode gate
 
 ``--chaos-smoke`` is the fault-injection counterpart: one faulted
 CAMPUS day run twice, gating on byte-identical reruns and on the fault
@@ -378,6 +379,130 @@ def run_obs_smoke() -> int:
     return 0
 
 
+#: Encode-parity tolerance for the speedup gate.  ``*_encode_mb_s`` is
+#: measured on *output* bytes, and the binary container is ~2.4x
+#: smaller than text — at equal wall time binary would score ~0.4x the
+#: text MB/s.  Requiring binary >= (1 - tolerance) x text MB/s *and*
+#: strictly less encode wall time therefore demands that binary encode
+#: the same records roughly 2x faster, while the tolerance absorbs the
+#: +-10% per-metric jitter shared CI runners show.
+ENCODE_MBS_TOLERANCE = 0.15
+
+#: ``speedup_N`` floor when the runner has >= N cores.
+SPEEDUP_FLOOR = 1.0
+
+#: Relaxed floor when the runner has fewer than N cores: ``jobs=N`` is
+#: then oversubscribed and cannot beat sequential, so the gate only
+#: bounds the fan-out's overhead (IPC, pool dispatch, segment
+#: encode/decode, merge) to ~40% — measured ~32% on a 1-core runner.
+OVERSUBSCRIBED_FLOOR = 0.60
+
+
+def run_speedup_gate(out_path: str | None = None) -> int:
+    """CI gate: parallel pairing must pay, binary encode must beat text.
+
+    Fails when any ``speedup_N`` (N in {2, 4}) lands below its floor —
+    :data:`SPEEDUP_FLOOR` on runners with >= N cores,
+    :data:`OVERSUBSCRIBED_FLOOR` otherwise — or when the binary
+    encoder is not faster than text (wall time strictly, MB/s within
+    :data:`ENCODE_MBS_TOLERANCE`; see its docstring for why MB/s alone
+    would be the wrong gate).  Each timing is the best of three runs:
+    for a deterministic CPU-bound workload, min is the noise-resistant
+    estimator on a shared runner.
+    """
+    import os
+
+    from repro.analysis.parallel import parallel_pair
+    from repro.trace import write_trace
+    from repro.workloads import CampusEmailWorkload, CampusParams, TracedSystem
+
+    cores = os.cpu_count() or 1
+    system = TracedSystem(seed=1001, quota_bytes=50 * 1024 * 1024)
+    CampusEmailWorkload(CampusParams(users=8)).attach(system)
+    system.run(2 * DAY)
+    records = system.records()
+
+    def best_of(fn, repeats=3):
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            wall = time.perf_counter() - started
+            best = wall if best is None else min(best, wall)
+        return best
+
+    with tempfile.TemporaryDirectory() as tmp:
+        text = Path(tmp) / "gate.trace"
+        binary = Path(tmp) / "gate.rtb"
+        encode_text = best_of(lambda: write_trace(text, records))
+        encode_binary = best_of(lambda: write_trace(binary, records))
+        text_mb_s = text.stat().st_size / 1e6 / encode_text
+        binary_mb_s = binary.stat().st_size / 1e6 / encode_binary
+
+        walls: dict[int, float] = {}
+        results: dict[int, tuple] = {}
+        for jobs in (1, 2, 4):
+            # first call per pool size forks and warms the worker pool;
+            # best-of-3 then times the steady reused-pool state CI cares
+            # about (the cold call is one of the three, so a pool that
+            # only wins warm still has to win twice)
+            walls[jobs] = best_of(
+                lambda j=jobs: results.__setitem__(
+                    j, parallel_pair(binary, jobs=j)
+                )
+            )
+
+        result = {
+            "bench": "speedup-gate",
+            "cores": cores,
+            "records": len(records),
+            "ops": len(results[1][0]),
+            "text_encode_mb_s": round(text_mb_s, 2),
+            "binary_encode_mb_s": round(binary_mb_s, 2),
+            "encode_text_seconds": round(encode_text, 3),
+            "encode_binary_seconds": round(encode_binary, 3),
+            "jobs_1_seconds": round(walls[1], 3),
+        }
+        for jobs in (2, 4):
+            result[f"jobs_{jobs}_seconds"] = round(walls[jobs], 3)
+            result[f"speedup_{jobs}"] = round(walls[1] / walls[jobs], 3)
+
+    failures = []
+    if results[2] != results[1] or results[4] != results[1]:
+        failures.append("parallel_pair results diverged across jobs")
+    for jobs in (2, 4):
+        floor = SPEEDUP_FLOOR if cores >= jobs else OVERSUBSCRIBED_FLOOR
+        speedup = result[f"speedup_{jobs}"]
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        print(f"speedup_{jobs}: {speedup} (floor {floor}, {cores} cores) "
+              f"{verdict}")
+        if speedup < floor:
+            failures.append(f"speedup_{jobs} {speedup} < {floor}")
+    mbs_floor = text_mb_s * (1.0 - ENCODE_MBS_TOLERANCE)
+    verdict = "ok" if binary_mb_s >= mbs_floor else "REGRESSION"
+    print(f"binary_encode_mb_s: {result['binary_encode_mb_s']} "
+          f"(text {result['text_encode_mb_s']}, floor {mbs_floor:.2f}) "
+          f"{verdict}")
+    if binary_mb_s < mbs_floor:
+        failures.append(
+            f"binary_encode_mb_s {binary_mb_s:.2f} < {mbs_floor:.2f}"
+        )
+    verdict = "ok" if encode_binary < encode_text else "REGRESSION"
+    print(f"encode wall: binary {result['encode_binary_seconds']}s vs text "
+          f"{result['encode_text_seconds']}s {verdict}")
+    if encode_binary >= encode_text:
+        failures.append("binary encode wall not faster than text")
+
+    if out_path:
+        Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    if failures:
+        print("speedup gate failed: " + "; ".join(failures))
+        return 1
+    print("speedup gate passed")
+    return 0
+
+
 def check(result: dict, baseline_path: Path) -> int:
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping the gate")
@@ -413,9 +538,16 @@ def main(argv=None) -> int:
                         help="run only the fault-injection gate")
     parser.add_argument("--obs-smoke", action="store_true",
                         help="run only the span-tracing/monitor gate")
+    parser.add_argument("--speedup-gate", action="store_true",
+                        help="run only the parallel-speedup/encode gate")
     args = parser.parse_args(argv)
     if args.stream_smoke:
         return run_stream_smoke()
+    if args.speedup_gate:
+        return run_speedup_gate(
+            args.out if args.out != str(BENCH_DIR / "BENCH_smoke.json")
+            else None
+        )
     if args.chaos_smoke:
         return run_chaos_smoke()
     if args.obs_smoke:

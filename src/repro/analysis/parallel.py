@@ -1,21 +1,37 @@
 """Parallel analysis fan-out over trace chunks.
 
 Decode + pairing dominate analysis wall time, and both parallelize:
-the trace is split into *content-derived* chunks (fixed record count,
-boundary nudged so records sharing one timestamp stay together), each
-chunk is decoded and paired by a worker, and a deterministic merge
-resolves the call/reply pairs that straddle chunk boundaries.
+the trace is split into *content-derived* chunks (boundaries nudged so
+records sharing one timestamp stay together), each chunk is decoded
+and paired by a worker, and a deterministic merge resolves the
+call/reply pairs that straddle chunk boundaries.
 
 Chunk planning depends only on the trace — never on the worker count —
 so ``jobs=1`` and ``jobs=N`` walk identical chunk lists through
 identical merge code and produce identical results, byte for byte.
 ``jobs=1`` runs the same code path inline without a pool.
 
-Workers never receive record objects: a :class:`ChunkSpec` carries a
-path plus a byte range, and each worker seeks and decodes its own
-slice.  For the binary container that needs the string table as it
-stood at the chunk boundary (ids are assigned by definition order), so
-the planner's index pass collects it; text chunks are self-contained.
+The fan-out is built to keep the *parent's* serial section small,
+because that is what Amdahl charges for:
+
+* Workers never receive record objects: a :class:`ChunkSpec` carries a
+  path plus a byte range, and each worker seeks and decodes its own
+  slice.  Gzipped inputs are decompressed once into a spooled copy so
+  workers seek raw bytes instead of each re-inflating the prefix.
+* Workers never *return* op objects either.  ``Pool.map`` used to
+  pickle every :class:`~repro.analysis.pairing.PairedOp` back through
+  the result queue, and the parent-side unpickle cost more than the
+  pairing saved (speedup_N < 1).  Each worker now key-sorts its ops,
+  serializes them into a binary segment
+  (:mod:`repro.analysis.opsegment`: shared memory, or spooled files),
+  and returns a small stats struct plus a handle; the parent does one
+  streaming k-way merge-decode by the ``(time, client, xid)`` key.
+* The binary string table is written once to a side file that workers
+  read directly, instead of pickling a per-chunk snapshot of the whole
+  table into every :class:`ChunkSpec`.
+* Pools are kept warm in a per-size cache and reused by later
+  ``parallel_pair`` calls, so repeated analyses don't pay fork+spawn
+  per call.
 
 The paired operation list is built once and reused by every analysis
 (summary, runs, characterization) instead of re-pairing per analysis —
@@ -24,11 +40,16 @@ see :func:`repro.cli.main.cmd_analyze`.
 
 from __future__ import annotations
 
+import atexit
 import functools
+import heapq
 import io
 import multiprocessing
+import os
+import shutil
+import tempfile
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from struct import Struct
 from typing import Iterable
@@ -49,6 +70,14 @@ from repro.trace.binfmt import (
 )
 from repro.nfs.messages import NfsStatus
 from repro.trace.record import Direction, TraceRecord, record_from_line
+from repro.analysis.opsegment import (
+    claim_segment,
+    decode_ops,
+    default_transport,
+    encode_ops,
+    publish_segment,
+    sweep_segments,
+)
 from repro.analysis.pairing import (
     DEFAULT_REPLY_TIMEOUT,
     PairedOp,
@@ -56,12 +85,23 @@ from repro.analysis.pairing import (
     _merge,
 )
 
-#: Nominal records per chunk.  Small enough that a week-scale trace
-#: yields plenty of chunks to balance over, large enough that per-chunk
-#: overhead (seek, fork, pickle of the partials) stays negligible.
+#: Nominal records per chunk when a fixed size is requested.  The
+#: default (``chunk_records=None``) auto-tunes from the trace instead:
+#: see :data:`_AUTO_TARGET_CHUNKS`.
 DEFAULT_CHUNK_RECORDS = 65536
 
+#: Auto-tuning: scan at a fine granule, then coalesce to ~this many
+#: chunks (clamped to [_AUTO_MIN, _AUTO_MAX] records per chunk).  Many
+#: smallish chunks balance well up to 8 workers; the clamp keeps
+#: per-chunk overhead (task dispatch, segment setup) negligible on
+#: tiny and huge traces alike.  Content-derived and jobs-independent.
+_AUTO_GRANULE = 8192
+_AUTO_TARGET_CHUNKS = 32
+_AUTO_MIN_RECORDS = 16384
+_AUTO_MAX_RECORDS = 262144
+
 _TIME_STRUCT = Struct("<d")
+_TABLE_LEN = Struct("<I")
 
 
 @dataclass(frozen=True)
@@ -69,8 +109,11 @@ class ChunkSpec:
     """One self-contained slice of a trace file.
 
     ``offset``/``nbytes`` are in *decompressed* stream coordinates for
-    ``.gz`` inputs (workers seek through the gzip stream).  ``strings``
-    is the binary string table as of ``offset``; empty for text.
+    ``.gz`` inputs (workers seek through the gzip stream).  For binary
+    traces the string table as of ``offset`` comes either inline
+    (``strings``) or — when planned for a pool — as the first
+    ``table_count`` entries of the shared side file ``table``, which
+    workers read and cache instead of unpickling a snapshot per chunk.
     """
 
     path: str
@@ -79,6 +122,8 @@ class ChunkSpec:
     nbytes: int
     records: int
     strings: tuple[str, ...] = ()
+    table: str | None = None
+    table_count: int = 0
 
 
 @dataclass
@@ -102,19 +147,83 @@ class PairedChunk:
     #: duplicates are only counted; span emission needs the records)
     dup_records: list[TraceRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: pool mode: ops travel as a published segment, not in ``ops``
+    segment: tuple[str, str, int] | None = None
+    op_count: int = 0
 
 
 def plan_chunks(
-    path: str | Path, *, chunk_records: int = DEFAULT_CHUNK_RECORDS
+    path: str | Path, *, chunk_records: int | None = DEFAULT_CHUNK_RECORDS
 ) -> list[ChunkSpec]:
-    """Index a trace into chunk specs (content-derived boundaries)."""
-    path = str(path)
+    """Index a trace into chunk specs (content-derived boundaries).
+
+    ``chunk_records=None`` auto-tunes the chunk size from the trace's
+    record count; an explicit value is honored exactly.
+    """
+    return _plan(str(path), chunk_records, table_dir=None)
+
+
+def _plan(
+    path: str, chunk_records: int | None, table_dir: str | None
+) -> list[ChunkSpec]:
+    auto = chunk_records is None
+    granule = _AUTO_GRANULE if auto else chunk_records
     if is_binary_trace_path(path):
-        return _plan_binary(path, chunk_records)
-    return _plan_text(path, chunk_records)
+        specs = _plan_binary(path, granule, table_dir)
+    else:
+        specs = _plan_text(path, granule)
+    if not auto or len(specs) <= 1:
+        return specs
+    total = sum(spec.records for spec in specs)
+    target = -(-total // _AUTO_TARGET_CHUNKS)  # ceil
+    target = min(max(target, _AUTO_MIN_RECORDS), _AUTO_MAX_RECORDS)
+    return _coalesce(specs, target)
 
 
-def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
+def _coalesce(minis: list[ChunkSpec], target: int) -> list[ChunkSpec]:
+    """Merge adjacent fine-granule chunks up to ~``target`` records.
+
+    Every mini boundary already respects the equal-timestamp rule, so
+    any subset of those boundaries does too.
+    """
+    specs: list[ChunkSpec] = []
+    acc: ChunkSpec | None = None
+    for spec in minis:
+        if acc is None:
+            acc = spec
+        elif acc.records >= target:
+            specs.append(acc)
+            acc = spec
+        else:
+            acc = replace(
+                acc, nbytes=acc.nbytes + spec.nbytes,
+                records=acc.records + spec.records,
+            )
+    if acc is not None:
+        specs.append(acc)
+    return specs
+
+
+class _TableWriter:
+    """Appends string definitions to the shared side file."""
+
+    def __init__(self, directory: str) -> None:
+        self.path = str(Path(directory) / "strings.tbl")
+        self._file = open(self.path, "wb")
+        self.count = 0
+
+    def add(self, data: bytes) -> None:
+        self._file.write(_TABLE_LEN.pack(len(data)))
+        self._file.write(data)
+        self.count += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def _plan_binary(
+    path: str, chunk_records: int, table_dir: str | None = None
+) -> list[ChunkSpec]:
     # A light frame scan: no record objects, just frame heads, string
     # payloads (future chunk seeds) and each record's leading f64 time.
     frame_head = _FRAME_HEAD
@@ -122,17 +231,37 @@ def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
     unpack_time = _TIME_STRUCT.unpack_from
     specs: list[ChunkSpec] = []
     strings: list[str] = []
+    table = _TableWriter(table_dir) if table_dir is not None else None
     fileobj = open_binary_for_read(path)
     try:
         offset = read_trace_header(fileobj)
         chunk_start = offset
-        chunk_strings = 0  # len(strings) at chunk_start
+        chunk_strings = 0  # string count at chunk_start
         count = 0
         last_time = None
         file_read = fileobj.read
         chunk_size = 1 << 20
         buf = b""
         pos = 0
+
+        def emit() -> None:
+            if table is None:
+                specs.append(
+                    ChunkSpec(
+                        path=path, binary=True, offset=chunk_start,
+                        nbytes=offset - chunk_start, records=count,
+                        strings=tuple(strings[:chunk_strings]),
+                    )
+                )
+            else:
+                specs.append(
+                    ChunkSpec(
+                        path=path, binary=True, offset=chunk_start,
+                        nbytes=offset - chunk_start, records=count,
+                        table=table.path, table_count=chunk_strings,
+                    )
+                )
+
         while True:
             if len(buf) - pos < frame_head_size:
                 buf = buf[pos:] + file_read(chunk_size)
@@ -158,44 +287,35 @@ def _plan_binary(path: str, chunk_records: int) -> list[ChunkSpec]:
             if tag == _RECORD_TAG:
                 (when,) = unpack_time(buf, body)
                 if count >= chunk_records and when != last_time:
-                    specs.append(
-                        ChunkSpec(
-                            path=path,
-                            binary=True,
-                            offset=chunk_start,
-                            nbytes=offset - chunk_start,
-                            records=count,
-                            strings=tuple(strings[:chunk_strings]),
-                        )
-                    )
+                    emit()
                     chunk_start = offset
-                    chunk_strings = len(strings)
+                    chunk_strings = (
+                        len(strings) if table is None else table.count
+                    )
                     count = 0
                 count += 1
                 last_time = when
             elif tag == _STRING_TAG:
-                try:
-                    strings.append(buf[body:end].decode("utf-8"))
-                except UnicodeDecodeError as exc:
-                    raise TraceFormatError("corrupt string frame") from exc
+                data = buf[body:end]
+                if table is None:
+                    try:
+                        strings.append(data.decode("utf-8"))
+                    except UnicodeDecodeError as exc:
+                        raise TraceFormatError("corrupt string frame") from exc
+                else:
+                    # workers decode; the planner only spools the bytes
+                    table.add(data)
             else:
                 raise TraceFormatError(f"unknown frame tag 0x{tag:02x}")
             offset += frame_head_size + length
             pos = end
         if offset > chunk_start:
-            specs.append(
-                ChunkSpec(
-                    path=path,
-                    binary=True,
-                    offset=chunk_start,
-                    nbytes=offset - chunk_start,
-                    records=count,
-                    strings=tuple(strings[:chunk_strings]),
-                )
-            )
+            emit()
     except _CONTAINER_ERRORS as exc:
         raise TraceFormatError(f"corrupt compressed container: {exc}") from exc
     finally:
+        if table is not None:
+            table.close()
         fileobj.close()
     return specs
 
@@ -207,6 +327,26 @@ def _open_raw(path: str):
 
         return io.BufferedReader(gzip.open(path, "rb"))
     return open(path, "rb")
+
+
+def _spool_gz(path: str, workdir: str) -> str:
+    """Decompress ``path`` once into ``workdir``; return the copy.
+
+    Chunk offsets are decompressed-stream coordinates, so a worker
+    seeking into a ``.gz`` file re-inflates everything before its
+    chunk — O(n²) total re-decompression across the plan plus the
+    planning pass itself.  One spooled copy makes every later seek a
+    raw file seek.
+    """
+    import gzip
+
+    out = Path(workdir) / Path(path).name[: -len(".gz")]
+    try:
+        with gzip.open(path, "rb") as src, open(out, "wb") as dst:
+            shutil.copyfileobj(src, dst, 1 << 20)
+    except _CONTAINER_ERRORS as exc:
+        raise TraceFormatError(f"corrupt compressed container: {exc}") from exc
+    return str(out)
 
 
 def _plan_text(path: str, chunk_records: int) -> list[ChunkSpec]:
@@ -254,14 +394,50 @@ def _plan_text(path: str, chunk_records: int) -> list[ChunkSpec]:
     return specs
 
 
+#: Per-process cache of shared string tables: path -> loaded strings.
+#: The table file is complete before any worker reads it, and pooled
+#: workers handle many chunks of the same plan, so each process parses
+#: the table once and slices prefixes per chunk.
+_TABLE_CACHE: dict[str, list[str]] = {}
+
+
+def _table_prefix(path: str, count: int) -> list[str]:
+    strings = _TABLE_CACHE.get(path)
+    if strings is None:
+        # one plan at a time per pool: a new table path means the old
+        # run is over, so don't let warm workers hoard dead tables
+        _TABLE_CACHE.clear()
+        strings = []
+        unpack = _TABLE_LEN.unpack_from
+        len_size = _TABLE_LEN.size
+        with open(path, "rb") as fileobj:
+            data = fileobj.read()
+        pos = 0
+        total = len(data)
+        try:
+            while pos < total:
+                (nbytes,) = unpack(data, pos)
+                pos += len_size
+                strings.append(str(data[pos : pos + nbytes], "utf-8"))
+                pos += nbytes
+        except (IndexError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(f"corrupt string table: {exc}") from exc
+        _TABLE_CACHE[path] = strings
+    return strings[:count]
+
+
 def decode_chunk(spec: ChunkSpec) -> list[TraceRecord]:
     """Decode one chunk's records (worker side; strict)."""
     if spec.binary:
         with open_binary_for_read(spec.path) as fileobj:
             fileobj.seek(spec.offset)
             payload = fileobj.read(spec.nbytes)
+        if spec.table is not None:
+            strings: Iterable[str] = _table_prefix(spec.table, spec.table_count)
+        else:
+            strings = spec.strings
         decoder = BinaryTraceDecoder(
-            io.BytesIO(payload), expect_header=False, strings=spec.strings
+            io.BytesIO(payload), expect_header=False, strings=strings
         )
         with paused_gc():
             return list(decoder)
@@ -278,17 +454,50 @@ def decode_chunk(spec: ChunkSpec) -> list[TraceRecord]:
     return records
 
 
-def _init_worker() -> None:
-    """Pool worker setup: no cyclic GC in one-shot batch children.
+# ---------------------------------------------------------------------------
+# Pool management: warm pools, reused across parallel_pair calls.
 
-    A collection in a forked worker walks the whole inherited parent
-    heap, and the refcount writes turn shared copy-on-write pages into
-    private copies — a page storm that can dwarf the chunk's own work.
-    The worker exits after its chunks, so leaks cannot accumulate.
+_POOLS: dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.terminate()
+    _POOLS.clear()
+
+
+def _get_pool(processes: int):
+    """A warm pool of exactly ``processes`` workers (cached per size)."""
+    pool = _POOLS.get(processes)
+    if pool is None:
+        if not _POOLS:
+            atexit.register(_shutdown_pools)
+        pool = multiprocessing.Pool(processes=processes, initializer=_init_worker)
+        _POOLS[processes] = pool
+    return pool
+
+
+def _discard_pool(processes: int) -> None:
+    pool = _POOLS.pop(processes, None)
+    if pool is not None:
+        pool.terminate()
+
+
+def _init_worker() -> None:
+    """Pool worker setup, fork-aware.
+
+    ``gc.freeze()`` moves everything inherited from the parent into
+    the permanent generation: the worker's collections no longer walk
+    the parent heap, whose refcount writes would turn shared
+    copy-on-write pages into private copies (a page storm that can
+    dwarf the chunk's own work).  Unlike the blanket ``gc.disable()``
+    this used to be, GC stays *enabled* for the worker's own garbage —
+    pooled workers are reused by later ``parallel_pair`` calls and
+    must not accumulate cycles with collection switched off.
     """
     import gc
 
-    gc.disable()
+    gc.freeze()
 
 
 def pair_chunk(spec: ChunkSpec, span_threshold: int = 0) -> PairedChunk:
@@ -300,6 +509,35 @@ def pair_chunk(spec: ChunkSpec, span_threshold: int = 0) -> PairedChunk:
     """
     started = _time.perf_counter()
     partial = _pair_partial(decode_chunk(spec), span_threshold=span_threshold)
+    partial.wall_seconds = _time.perf_counter() - started
+    return partial
+
+
+def _pair_chunk_segment(
+    item: tuple[int, ChunkSpec],
+    *,
+    token: str,
+    span_threshold: int,
+    transport: str,
+    workdir: str,
+) -> PairedChunk:
+    """Pool-side chunk task: pair, then publish ops as a segment.
+
+    The ops are key-sorted *here*, in the worker, so the parent can
+    k-way merge the per-chunk streams instead of sorting the world.
+    """
+    index, spec = item
+    started = _time.perf_counter()
+    with paused_gc():
+        partial = _pair_partial(
+            decode_chunk(spec), span_threshold=span_threshold
+        )
+        ops = partial.ops
+        ops.sort(key=_op_sort_key)
+        payload = encode_ops(ops)
+    partial.op_count = len(ops)
+    partial.ops = []
+    partial.segment = publish_segment(payload, token, index, transport, workdir)
     partial.wall_seconds = _time.perf_counter() - started
     return partial
 
@@ -429,11 +667,39 @@ def _op_sort_key(op: PairedOp):
     return (op.time, op.client, op.xid)
 
 
+def _map_chunks(
+    specs: list[ChunkSpec],
+    *,
+    jobs: int,
+    span_threshold: int,
+    workdir: str,
+) -> tuple[list[PairedChunk], str]:
+    """Fan chunks over a warm pool; ops come back as segments."""
+    processes = min(jobs, len(specs))
+    token = f"repro-{os.getpid():x}-{os.urandom(4).hex()}"
+    pair = functools.partial(
+        _pair_chunk_segment,
+        token=token,
+        span_threshold=span_threshold,
+        transport=default_transport(),
+        workdir=workdir,
+    )
+    pool = _get_pool(processes)
+    try:
+        partials = pool.map(pair, list(enumerate(specs)))
+    except Exception:
+        # a broken pool (killed worker, corrupt chunk) is not reusable
+        # state worth keeping; published segments are swept by caller
+        _discard_pool(processes)
+        raise
+    return partials, token
+
+
 def parallel_pair(
     path: str | Path,
     *,
     jobs: int = 1,
-    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    chunk_records: int | None = None,
     metrics: MetricsRegistry | None = None,
     spans=None,
 ) -> tuple[list[PairedOp], PairingStats]:
@@ -441,10 +707,14 @@ def parallel_pair(
 
     Returns ``(ops, stats)`` like
     :func:`repro.analysis.pairing.pair_all`.  Results are identical for
-    every ``jobs`` value: the chunk plan is content-derived and the
-    merge is deterministic.  Boundary-crossing pairs are resolved by a
-    final pairing pass over each chunk's unmatched tail calls and head
-    replies; anything still unmatched is charged as capture loss.
+    every ``jobs`` value: the chunk plan is content-derived
+    (``chunk_records=None`` auto-tunes it from the record count) and
+    the merge is deterministic — per-chunk op streams arrive key-sorted
+    and the k-way merge ties break in chunk order, exactly like the
+    stable sort of the concatenated lists that ``jobs=1`` performs.
+    Boundary-crossing pairs are resolved by a final pairing pass over
+    each chunk's unmatched tail calls and head replies; anything still
+    unmatched is charged as capture loss.
 
     With a *buffered* :class:`~repro.obs.spans.SpanRecorder` the merge
     also emits pairer verdict spans for sampled operations; the
@@ -453,56 +723,82 @@ def parallel_pair(
     """
     started = _time.perf_counter()
     span_threshold = sample_threshold(spans.sample) if spans is not None else 0
-    specs = plan_chunks(path, chunk_records=chunk_records)
-    if jobs > 1 and len(specs) > 1:
-        pair = functools.partial(pair_chunk, span_threshold=span_threshold)
-        with multiprocessing.Pool(
-            processes=min(jobs, len(specs)), initializer=_init_worker
-        ) as pool:
-            # the parent unpickles hundreds of thousands of returned
-            # ops; pause its cyclic GC like pair_all does
-            with paused_gc():
-                partials = pool.map(pair, specs)
-    else:
-        partials = [pair_chunk(spec, span_threshold) for spec in specs]
-
-    leftovers: list[TraceRecord] = []
-    boundary_recent: dict[tuple[str, int], float] = {}
-    for partial in partials:
-        leftovers.extend(partial.tail_calls)
-        leftovers.extend(partial.head_orphans)
-        for key, when in partial.recent.items():
-            prev = boundary_recent.get(key)
-            if prev is None or when > prev:
-                boundary_recent[key] = when
-    leftovers.sort(key=_leftover_sort_key)
-    boundary = _pair_partial(
-        leftovers, recent=boundary_recent, span_threshold=span_threshold
-    )
-
-    stats = PairingStats(
-        calls=sum(p.calls for p in partials),
-        replies=sum(p.replies for p in partials),
-        paired=sum(p.paired for p in partials) + boundary.paired,
-        orphan_replies=len(boundary.head_orphans),
-        unanswered_calls=(
-            sum(p.retransmissions for p in partials)
-            + boundary.retransmissions
-            + len(boundary.tail_calls)
-        ),
-        errors=sum(p.errors for p in partials) + boundary.errors,
-        duplicate_replies=(
-            sum(p.duplicates for p in partials) + boundary.duplicates
-        ),
-    )
-    with paused_gc():
-        ops = sorted(
-            (op for partial in partials for op in partial.ops),
-            key=_op_sort_key,
+    path = str(path)
+    workdir: str | None = None
+    token: str | None = None
+    specs: list[ChunkSpec] = []
+    try:
+        if jobs > 1 or path.endswith(".gz"):
+            workdir = tempfile.mkdtemp(prefix="repro-pair-")
+        plan_path = _spool_gz(path, workdir) if path.endswith(".gz") else path
+        specs = _plan(
+            plan_path, chunk_records, table_dir=workdir if jobs > 1 else None
         )
-        if boundary.ops:
-            ops.extend(boundary.ops)
-            ops.sort(key=_op_sort_key)
+        fanout = jobs > 1 and len(specs) > 1
+        if fanout:
+            with paused_gc():
+                partials, token = _map_chunks(
+                    specs, jobs=jobs, span_threshold=span_threshold,
+                    workdir=workdir,
+                )
+        else:
+            partials = [pair_chunk(spec, span_threshold) for spec in specs]
+
+        leftovers: list[TraceRecord] = []
+        boundary_recent: dict[tuple[str, int], float] = {}
+        for partial in partials:
+            leftovers.extend(partial.tail_calls)
+            leftovers.extend(partial.head_orphans)
+            for key, when in partial.recent.items():
+                prev = boundary_recent.get(key)
+                if prev is None or when > prev:
+                    boundary_recent[key] = when
+        leftovers.sort(key=_leftover_sort_key)
+        boundary = _pair_partial(
+            leftovers, recent=boundary_recent, span_threshold=span_threshold
+        )
+
+        stats = PairingStats(
+            calls=sum(p.calls for p in partials),
+            replies=sum(p.replies for p in partials),
+            paired=sum(p.paired for p in partials) + boundary.paired,
+            orphan_replies=len(boundary.head_orphans),
+            unanswered_calls=(
+                sum(p.retransmissions for p in partials)
+                + boundary.retransmissions
+                + len(boundary.tail_calls)
+            ),
+            errors=sum(p.errors for p in partials) + boundary.errors,
+            duplicate_replies=(
+                sum(p.duplicates for p in partials) + boundary.duplicates
+            ),
+        )
+        with paused_gc():
+            if fanout:
+                # Streaming k-way merge-decode: each chunk's segment is
+                # already key-sorted, the sorted boundary ops go last so
+                # equal keys resolve (chunk order, then boundary) exactly
+                # as the stable concat-sort below resolves them.
+                streams = [
+                    decode_ops(claim_segment(p.segment)) for p in partials
+                ]
+                if boundary.ops:
+                    boundary.ops.sort(key=_op_sort_key)
+                    streams.append(iter(boundary.ops))
+                ops = list(heapq.merge(*streams, key=_op_sort_key))
+            else:
+                ops = sorted(
+                    (op for partial in partials for op in partial.ops),
+                    key=_op_sort_key,
+                )
+                if boundary.ops:
+                    ops.extend(boundary.ops)
+                    ops.sort(key=_op_sort_key)
+    finally:
+        if token is not None:
+            sweep_segments(token, len(specs))
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
 
     if spans is not None:
         _emit_pairer_spans(spans, ops, boundary, partials)
@@ -516,6 +812,9 @@ def parallel_pair(
         metrics.gauge("analysis.pool.utilization").set(
             busy / (pool_size * wall) if wall > 0 else 0.0
         )
+        chunk_hist = metrics.histogram("analysis.pool.chunk_seconds")
+        for partial in partials:
+            chunk_hist.observe(partial.wall_seconds)
         metrics.counter("analysis.pool.records").inc(stats.calls + stats.replies)
         metrics.counter("analysis.pool.ops").inc(len(ops))
     return ops, stats

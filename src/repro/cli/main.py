@@ -186,9 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     stats.add_argument("--metrics", default=None, metavar="PATH",
-                       help="also surface fault-injection and retransmission "
-                            "tallies from a metrics snapshot (.prom or JSON) "
-                            "written by simulate/watch/monitor")
+                       help="also surface fault-injection/retransmission "
+                            "tallies and analysis fan-out health (pool "
+                            "utilization, chunks, per-chunk wall) from a "
+                            "metrics snapshot (.prom or JSON) written by "
+                            "simulate/watch/monitor or analyze --metrics-out")
     stats.set_defaults(func=cmd_stats)
 
     anon = sub.add_parser("anonymize", help="anonymize a trace for sharing")
@@ -812,6 +814,56 @@ def _fault_stats_report(path: str) -> tuple[list[list], int]:
     return rows, retransmits
 
 
+def _scalar_sample(samples: dict, name: str):
+    """One gauge/counter value from a snapshot, either key style."""
+    for key in (name, name.replace(".", "_")):
+        value = samples.get(key)
+        if isinstance(value, dict):  # JSON gauge: {value, high_water}
+            return value.get("value")
+        if value is not None:
+            return value
+    return None
+
+
+def _histogram_sample(samples: dict, name: str):
+    """A histogram's ``(count, sum)`` from a snapshot, either format."""
+    value = samples.get(name)
+    if isinstance(value, dict) and "count" in value:
+        return int(value["count"]), float(value["sum"])
+    flat = name.replace(".", "_")
+    count = samples.get(f"{flat}_count")
+    if count is None:
+        return None
+    return int(count), float(samples.get(f"{flat}_sum", 0.0))
+
+
+def _pool_stats_report(path: str) -> dict | None:
+    """Fan-out health from an ``analyze --metrics-out`` snapshot.
+
+    Returns None when the snapshot has no ``analysis.pool.*`` samples
+    (e.g. it came from a simulation run instead of an analysis).
+    """
+    samples = _load_metrics_snapshot(path)
+    jobs = _scalar_sample(samples, "analysis.pool.jobs")
+    if jobs is None:
+        return None
+    report = {
+        "jobs": int(jobs),
+        "chunks": int(_scalar_sample(samples, "analysis.pool.chunks") or 0),
+        "utilization": float(
+            _scalar_sample(samples, "analysis.pool.utilization") or 0.0
+        ),
+        "records": int(_scalar_sample(samples, "analysis.pool.records") or 0),
+        "ops": int(_scalar_sample(samples, "analysis.pool.ops") or 0),
+    }
+    chunk_wall = _histogram_sample(samples, "analysis.pool.chunk_seconds")
+    if chunk_wall is not None:
+        count, total = chunk_wall
+        report["chunk_wall_seconds_total"] = total
+        report["chunk_wall_seconds_mean"] = total / count if count else 0.0
+    return report
+
+
 def cmd_stats(args) -> int:
     """Trace-level statistics: record mix, per-procedure ops, loss.
 
@@ -854,6 +906,9 @@ def cmd_stats(args) -> int:
                 for fault, kind, where, count in fault_rows
             ]
             payload["client_retransmits"] = retransmits
+            pool = _pool_stats_report(args.metrics)
+            if pool is not None:
+                payload["analysis_pool"] = pool
         print(json.dumps(payload, indent=2))
         return 0
     rows = [
@@ -896,6 +951,29 @@ def cmd_stats(args) -> int:
         else:
             print(f"no fault-injection samples in {args.metrics}")
         print(f"client retransmissions: {retransmits}")
+        pool = _pool_stats_report(args.metrics)
+        if pool is not None:
+            rows = [
+                ["Pool jobs", pool["jobs"]],
+                ["Chunks", pool["chunks"]],
+                ["Pool utilization", f"{pool['utilization']:.1%}"],
+                ["Records fanned out", pool["records"]],
+                ["Ops merged", pool["ops"]],
+            ]
+            if "chunk_wall_seconds_total" in pool:
+                rows.append([
+                    "Chunk wall (total s)",
+                    f"{pool['chunk_wall_seconds_total']:.3f}",
+                ])
+                rows.append([
+                    "Chunk wall (mean s)",
+                    f"{pool['chunk_wall_seconds_mean']:.4f}",
+                ])
+            print()
+            print(format_table(
+                ["Fan-out", "Value"], rows,
+                title=f"Analysis fan-out ({args.metrics})",
+            ))
     return 0
 
 

@@ -177,7 +177,9 @@ class RotatingTraceWriter(_RotatingBase):
         """Write one record, cutting a new segment when the policy says."""
         writer = self._writer
         if writer is None:
-            writer = TraceWriter(self._next_path())
+            # block_records=1: rotation reads bytes_written after every
+            # record, so the writer must not hold records in a block.
+            writer = TraceWriter(self._next_path(), block_records=1)
             self._writer = writer
             self._segment_start = record.time
             self._opened()

@@ -1,5 +1,7 @@
 """Tests for the chunked parallel decode+pair runner."""
 
+import json
+
 import pytest
 
 from repro.analysis.pairing import pair_all
@@ -11,6 +13,8 @@ from repro.analysis.parallel import (
 )
 from repro.nfs import NfsProc, NfsStatus
 from repro.obs import MetricsRegistry
+from repro.obs.eventlog import EventLog
+from repro.obs.spans import SpanRecorder
 from repro.trace import read_trace, write_trace
 from repro.trace.record import Direction, TraceRecord
 
@@ -136,6 +140,25 @@ class TestParallelPair:
         binary = parallel_pair(tmp_path / "t.rtb", jobs=1, chunk_records=64)
         assert text == binary
 
+    def test_gz_input_matches_plain(self, tmp_path):
+        records = make_stream()
+        write_trace(tmp_path / "t.trace", records)
+        write_trace(tmp_path / "t.trace.gz", records)
+        plain = parallel_pair(tmp_path / "t.trace", jobs=2, chunk_records=64)
+        gz = parallel_pair(tmp_path / "t.trace.gz", jobs=2, chunk_records=64)
+        assert plain == gz
+
+    def test_auto_chunking_matches_explicit(self, trace_path):
+        # chunk_records=None (the default) auto-tunes; results identical
+        auto = parallel_pair(trace_path, jobs=2)
+        explicit = parallel_pair(trace_path, jobs=2, chunk_records=64)
+        assert auto == explicit
+
+    def test_file_transport_matches_shm(self, trace_path, monkeypatch):
+        base = parallel_pair(trace_path, jobs=2, chunk_records=64)
+        monkeypatch.setenv("REPRO_PAIR_TRANSPORT", "file")
+        assert parallel_pair(trace_path, jobs=2, chunk_records=64) == base
+
     def test_pool_metrics_published(self, trace_path):
         metrics = MetricsRegistry()
         ops, stats = parallel_pair(
@@ -149,3 +172,77 @@ class TestParallelPair:
         )
         assert metrics.get("analysis.pool.ops").value == len(ops)
         assert 0.0 <= metrics.get("analysis.pool.utilization").value <= 1.0
+
+
+def make_adversarial_stream(n_pairs=400):
+    """A stream salted with retransmissions and duplicate replies.
+
+    The duplicates trail their originals by several seconds, so with a
+    small chunk size they routinely land in a *different chunk* — the
+    cases the boundary merge must classify exactly like a sequential
+    pass (retransmitted call charged once, late duplicate reply counted
+    as duplicate rather than orphan).
+    """
+    records = make_stream(n_pairs)
+    extras = []
+    for record in records:
+        if record.direction == Direction.CALL and record.xid % 17 == 0:
+            extras.append(TraceRecord(
+                time=round(record.time + 2.0, 6), direction=Direction.CALL,
+                xid=record.xid, client=record.client, server=record.server,
+                proc=record.proc, version=record.version,
+                uid=record.uid, fh=record.fh,
+                offset=record.offset, count=record.count,
+            ))
+        if record.direction == Direction.REPLY and record.xid % 13 == 0:
+            extras.append(TraceRecord(
+                time=round(record.time + 3.0, 6), direction=Direction.REPLY,
+                xid=record.xid, client=record.client, server=record.server,
+                proc=record.proc, version=record.version,
+                status=record.status, count=record.count, eof=record.eof,
+            ))
+    records.extend(extras)
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+class TestJobsByteIdentity:
+    """ISSUE 7 acceptance: identical results for jobs in {1, 2, 4, 8},
+    boundary retransmissions and duplicate replies included, and
+    byte-identical span streams at sampling rates 0.25 and 1.0."""
+
+    @pytest.fixture(scope="class", params=["adv.trace", "adv.rtb"])
+    def adv_path(self, request, tmp_path_factory):
+        path = tmp_path_factory.mktemp("identity") / request.param
+        write_trace(path, make_adversarial_stream())
+        return path
+
+    def test_ops_and_stats_identical_across_jobs(self, adv_path):
+        base = parallel_pair(adv_path, jobs=1, chunk_records=64)
+        for jobs in (2, 4, 8):
+            assert parallel_pair(
+                adv_path, jobs=jobs, chunk_records=64
+            ) == base, f"jobs={jobs} diverged"
+
+    def test_adversarial_cases_counted_once(self, adv_path):
+        _ops, stats = parallel_pair(adv_path, jobs=4, chunk_records=64)
+        _seq_ops, seq_stats = pair_all(read_trace(adv_path))
+        assert stats.duplicate_replies == seq_stats.duplicate_replies > 0
+        assert stats.unanswered_calls == seq_stats.unanswered_calls > 0
+        assert stats == seq_stats
+
+    @pytest.mark.parametrize("rate", [0.25, 1.0])
+    def test_span_streams_identical_across_jobs(self, adv_path, rate):
+        def stream_for(jobs):
+            sink = EventLog()
+            spans = SpanRecorder(sink, sample=rate, buffered=True)
+            parallel_pair(adv_path, jobs=jobs, chunk_records=64, spans=spans)
+            spans.close()
+            return "\n".join(
+                json.dumps(event, sort_keys=True) for event in sink.events
+            )
+
+        base = stream_for(1)
+        assert base  # non-trivial: sampled ops exist
+        for jobs in (2, 4, 8):
+            assert stream_for(jobs) == base, f"jobs={jobs} span stream diverged"

@@ -237,6 +237,27 @@ class TestStats:
         empty.write_text("")
         assert main(["stats", str(empty)]) == 2
 
+    def test_fanout_health_from_analyze_snapshot(
+        self, campus_trace, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "pool.json"
+        assert main(["analyze", "--in", str(campus_trace),
+                     "--jobs", "2", "--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(campus_trace),
+                     "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Analysis fan-out" in out
+        assert "Pool utilization" in out
+        assert main(["stats", str(campus_trace),
+                     "--metrics", str(metrics_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        pool = doc["analysis_pool"]
+        assert pool["records"] > 0
+        assert pool["ops"] > 0
+        assert 0.0 <= pool["utilization"] <= 1.0
+        assert pool["chunk_wall_seconds_total"] > 0
+
 
 class TestMetricsOut:
     def _simulate(self, tmp_path, capsys, *extra):

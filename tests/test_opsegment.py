@@ -1,0 +1,119 @@
+"""Tests for the worker->parent paired-op segment codec and transport."""
+
+import pytest
+
+from repro.analysis.opsegment import (
+    claim_segment,
+    decode_ops,
+    default_transport,
+    encode_ops,
+    publish_segment,
+    segment_name,
+    sweep_segments,
+)
+from repro.analysis.pairing import PairedOp
+from repro.errors import TraceFormatError
+from repro.nfs import NfsProc, NfsStatus
+
+
+def make_ops(n=200):
+    """Ops exercising every optional-field shape the pairer produces."""
+    ops = []
+    for i in range(n):
+        op = PairedOp(
+            time=i * 0.5,
+            reply_time=i * 0.5 + 0.04,
+            proc=NfsProc.READ if i % 3 else NfsProc.LOOKUP,
+            client=f"10.0.0.{i % 5}",
+            xid=1000 + i,
+            status=NfsStatus.OK if i % 7 else NfsStatus.NOENT,
+            version=3,
+        )
+        if i % 2:
+            op.uid = 100 + (i % 4)
+            op.fh = f"{i % 9:02x}"
+            op.offset = (i % 6) * 8192
+            op.count = 8192
+            op.eof = i % 4 == 1
+        if i % 5 == 0:
+            op.name = f"file-{i}.txt"
+            op.reply_fh = f"aa{i % 3}"
+            op.post_size = i * 100
+            op.post_mtime = i * 0.25
+            op.post_ftype = "REG"
+        if i % 11 == 0:
+            op.target_fh = "fe"
+            op.target_name = f"renamed-{i}"
+            op.size = i
+        ops.append(op)
+    return ops
+
+
+class TestCodec:
+    def test_round_trip_is_exact(self):
+        ops = make_ops()
+        assert list(decode_ops(encode_ops(ops))) == ops
+
+    def test_empty_segment(self):
+        assert encode_ops([]) == b""
+        assert list(decode_ops(b"")) == []
+
+    def test_strings_are_interned(self):
+        ops = make_ops()
+        payload = encode_ops(ops)
+        # far fewer string frames than string field occurrences
+        assert payload.count(b"10.0.0.0") == 1
+
+    def test_corrupt_payload_raises_trace_format_error(self):
+        payload = bytearray(encode_ops(make_ops(10)))
+        with pytest.raises(TraceFormatError):
+            list(decode_ops(bytes(payload[: len(payload) - 3])))
+        with pytest.raises(TraceFormatError):
+            list(decode_ops(b"\xff\x04\x00\x00\x00abcd"))
+
+
+class TestTransport:
+    @pytest.fixture(params=["file", "shm"])
+    def transport(self, request):
+        if request.param == "shm":
+            pytest.importorskip("multiprocessing.shared_memory")
+        return request.param
+
+    def test_publish_claim_round_trip(self, transport, tmp_path):
+        payload = encode_ops(make_ops(50))
+        handle = publish_segment(payload, "tok-rt", 0, transport, str(tmp_path))
+        assert claim_segment(handle) == payload
+
+    def test_claim_releases_the_segment(self, transport, tmp_path):
+        handle = publish_segment(b"abc", "tok-rel", 1, transport, str(tmp_path))
+        claim_segment(handle)
+        if transport == "file":
+            assert not list(tmp_path.glob("*.ops"))
+        else:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment_name("tok-rel", 1))
+
+    def test_empty_payload(self, transport, tmp_path):
+        handle = publish_segment(b"", "tok-empty", 2, transport, str(tmp_path))
+        assert claim_segment(handle) == b""
+
+    def test_sweep_removes_unclaimed_shm(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        from multiprocessing import shared_memory
+
+        publish_segment(b"xyz", "tok-sweep", 0, "shm", "")
+        publish_segment(b"xyz", "tok-sweep", 2, "shm", "")
+        sweep_segments("tok-sweep", 3)  # index 1 missing: must not raise
+        for index in (0, 2):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment_name("tok-sweep", index))
+
+    def test_default_transport_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIR_TRANSPORT", "file")
+        assert default_transport() == "file"
+        monkeypatch.setenv("REPRO_PAIR_TRANSPORT", "shm")
+        assert default_transport() == "shm"
+        monkeypatch.delenv("REPRO_PAIR_TRANSPORT")
+        assert default_transport() in ("shm", "file")
