@@ -25,6 +25,7 @@ Usage::
     python benchmarks/smoke.py --chaos-smoke      # CI fault-injection gate
     python benchmarks/smoke.py --obs-smoke        # CI span/monitor gate
     python benchmarks/smoke.py --speedup-gate     # CI parallel/encode gate
+    python benchmarks/smoke.py --shard-smoke      # CI sharded-simulator gate
 
 ``--chaos-smoke`` is the fault-injection counterpart: one faulted
 CAMPUS day run twice, gating on byte-identical reruns and on the fault
@@ -526,6 +527,104 @@ def check(result: dict, baseline_path: Path) -> int:
     return 0
 
 
+def run_shard_smoke(out_path: str | None = None) -> int:
+    """CI gate: the sharded simulator must be exact *and* must pay.
+
+    Exactness: the merged trace bytes, the aggregated fault-ledger
+    prediction, and the span stream must be byte-identical for
+    ``--shards`` in {1, 2, 4} (see docs/PERFORMANCE.md for why the
+    client-group scheme guarantees this).  Performance:
+    ``shard_speedup_2`` (1-shard wall over 2-shard wall, best of
+    three, warm pool) must clear :data:`SPEEDUP_FLOOR` on runners with
+    >= 2 cores and :data:`OVERSUBSCRIBED_FLOOR` otherwise.
+    """
+    import io
+    import os
+
+    from repro.obs.eventlog import EventLog
+    from repro.trace.binfmt import BinaryTraceEncoder
+    from repro.workloads import run_sharded
+
+    cores = os.cpu_count() or 1
+    days = 0.6
+    users = 8
+
+    def simulate(shards):
+        return run_sharded(
+            "campus", users=users, days=days, seed=1001, shards=shards,
+            mirror_bandwidth=2e6, faults="drop(p=0.01)", trace_sample=0.25,
+        )
+
+    def trace_bytes(run):
+        buffer = io.BytesIO()
+        encoder = BinaryTraceEncoder(buffer, buffered=True)
+        encoder.encode_block(list(run.merged()))
+        encoder.flush()
+        return buffer.getvalue()
+
+    def span_count(run):
+        log = EventLog()
+        return run.replay_spans(log)
+
+    runs = {}
+    walls: dict[int, float] = {}
+    for shards in (1, 2, 4):
+        # first call per pool size forks and warms the worker pool;
+        # best-of-3 then times the steady reused-pool state
+        best = None
+        for _ in range(3):
+            started = time.perf_counter()
+            runs[shards] = simulate(shards)
+            wall = time.perf_counter() - started
+            best = wall if best is None else min(best, wall)
+        walls[shards] = best
+
+    failures = []
+    reference = trace_bytes(runs[1])
+    for shards in (2, 4):
+        if trace_bytes(runs[shards]) != reference:
+            failures.append(f"trace bytes diverged at shards={shards}")
+        if runs[shards].fault_stats != runs[1].fault_stats:
+            failures.append(f"fault stats diverged at shards={shards}")
+        if runs[shards].span_events() != runs[1].span_events():
+            failures.append(f"span stream diverged at shards={shards}")
+    identical = not failures
+    print(f"byte-identity across shards 1/2/4: "
+          f"{'ok' if identical else 'DIVERGED'} "
+          f"({runs[1].record_count} records, {span_count(runs[1])} spans)")
+
+    result = {
+        "bench": "shard-smoke",
+        "cores": cores,
+        "users": users,
+        "days": days,
+        "groups": runs[1].groups,
+        "records": runs[1].record_count,
+        "byte_identical": identical,
+        "shards_1_seconds": round(walls[1], 3),
+    }
+    for shards in (2, 4):
+        result[f"shards_{shards}_seconds"] = round(walls[shards], 3)
+        result[f"shard_speedup_{shards}"] = round(walls[1] / walls[shards], 3)
+
+    floor = SPEEDUP_FLOOR if cores >= 2 else OVERSUBSCRIBED_FLOOR
+    speedup = result["shard_speedup_2"]
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(f"shard_speedup_2: {speedup} (floor {floor}, {cores} cores) "
+          f"{verdict}")
+    if speedup < floor:
+        failures.append(f"shard_speedup_2 {speedup} < {floor}")
+
+    if out_path:
+        Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    if failures:
+        print("shard smoke failed: " + "; ".join(failures))
+        return 1
+    print("shard smoke passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(BENCH_DIR / "BENCH_smoke.json"))
@@ -540,11 +639,19 @@ def main(argv=None) -> int:
                         help="run only the span-tracing/monitor gate")
     parser.add_argument("--speedup-gate", action="store_true",
                         help="run only the parallel-speedup/encode gate")
+    parser.add_argument("--shard-smoke", action="store_true",
+                        help="run only the sharded-simulator gate "
+                             "(byte-identity + speedup)")
     args = parser.parse_args(argv)
     if args.stream_smoke:
         return run_stream_smoke()
     if args.speedup_gate:
         return run_speedup_gate(
+            args.out if args.out != str(BENCH_DIR / "BENCH_smoke.json")
+            else None
+        )
+    if args.shard_smoke:
+        return run_shard_smoke(
             args.out if args.out != str(BENCH_DIR / "BENCH_smoke.json")
             else None
         )

@@ -31,9 +31,7 @@ is no magic or version header to keep it cheap.
 
 from __future__ import annotations
 
-import os
 from operator import attrgetter
-from pathlib import Path
 from struct import Struct, error as StructError
 
 from repro.analysis.pairing import PairedOp
@@ -246,104 +244,16 @@ def decode_ops(payload: bytes):
 
 
 # ---------------------------------------------------------------------------
-# Segment transport: shared memory with a temp-file fallback.
+# Segment transport: shared with the simulation fan-out (repro.parallel).
+# Re-exported here because this is where the analysis fan-out historically
+# found them; both fan-outs now run over the exact same plumbing.
 
-def _shared_memory_module():
-    try:
-        from multiprocessing import shared_memory
-    except ImportError:  # pragma: no cover - always present on CPython 3.8+
-        return None
-    return shared_memory
-
-
-def _untrack(tracked_name: str) -> None:
-    """Drop one shared-memory name from this process's resource tracker."""
-    try:
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(tracked_name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker variations across OSes
-        pass
-
-
-def default_transport() -> str:
-    """``"shm"`` when POSIX shared memory is usable, else ``"file"``.
-
-    Overridable with ``REPRO_PAIR_TRANSPORT=shm|file`` — the file
-    transport trades a copy through the page cache for independence
-    from ``/dev/shm`` sizing.
-    """
-    forced = os.environ.get("REPRO_PAIR_TRANSPORT")
-    if forced in ("shm", "file"):
-        return forced
-    return "shm" if _shared_memory_module() is not None else "file"
-
-
-def segment_name(token: str, index: int) -> str:
-    """Deterministic per-chunk segment name.
-
-    Deterministic names are what make error paths safe: the parent can
-    sweep every possible segment of a run without having heard back
-    from the workers that created them.
-    """
-    return f"{token}-{index}"
-
-
-def publish_segment(
-    payload: bytes, token: str, index: int, transport: str, workdir: str
-) -> tuple[str, str, int]:
-    """Publish segment bytes (worker side); returns a claimable handle."""
-    if transport == "shm":
-        shared_memory = _shared_memory_module()
-        name = segment_name(token, index)
-        # size=0 is rejected; an empty segment still needs a handle
-        shm = shared_memory.SharedMemory(
-            name=name, create=True, size=max(1, len(payload))
-        )
-        try:
-            shm.buf[: len(payload)] = payload
-        finally:
-            shm.close()
-            # Hand tracking ownership to the claiming parent: its
-            # attach re-registers the name and its unlink unregisters
-            # it.  Without this, the creating worker's resource tracker
-            # still lists the (long unlinked) segment at exit and warns.
-            _untrack(shm._name)
-        return ("shm", name, len(payload))
-    path = Path(workdir) / f"{segment_name(token, index)}.ops"
-    path.write_bytes(payload)
-    return ("file", str(path), len(payload))
-
-
-def claim_segment(handle: tuple[str, str, int]) -> bytes:
-    """Fetch and release one published segment (parent side)."""
-    kind, ref, size = handle
-    if kind == "shm":
-        shared_memory = _shared_memory_module()
-        shm = shared_memory.SharedMemory(name=ref)
-        try:
-            payload = bytes(shm.buf[:size])
-        finally:
-            shm.close()
-            shm.unlink()
-        return payload
-    path = Path(ref)
-    payload = path.read_bytes()
-    path.unlink(missing_ok=True)
-    return payload
-
-
-def sweep_segments(token: str, count: int) -> None:
-    """Unlink any shared-memory segments of a run that were never
-    claimed — the error-path backstop (file segments live in the run's
-    temp dir, which its owner removes wholesale)."""
-    shared_memory = _shared_memory_module()
-    if shared_memory is None:
-        return
-    for index in range(count):
-        try:
-            shm = shared_memory.SharedMemory(name=segment_name(token, index))
-        except FileNotFoundError:
-            continue
-        shm.close()
-        shm.unlink()
+from repro.parallel import (  # noqa: E402,F401  (re-export)
+    _shared_memory_module,
+    _untrack,
+    claim_segment,
+    default_transport,
+    publish_segment,
+    segment_name,
+    sweep_segments,
+)

@@ -40,12 +40,9 @@ see :func:`repro.cli.main.cmd_analyze`.
 
 from __future__ import annotations
 
-import atexit
 import functools
 import heapq
 import io
-import multiprocessing
-import os
 import shutil
 import tempfile
 import time as _time
@@ -54,6 +51,7 @@ from pathlib import Path
 from struct import Struct
 from typing import Iterable
 
+import repro.parallel as repro_parallel
 from repro.errors import TraceFormatError
 from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
@@ -455,49 +453,20 @@ def decode_chunk(spec: ChunkSpec) -> list[TraceRecord]:
 
 
 # ---------------------------------------------------------------------------
-# Pool management: warm pools, reused across parallel_pair calls.
+# Pool management: the shared (purpose, size)-keyed registry in
+# repro.parallel, under the "analysis" purpose.  Warm pools are reused
+# across parallel_pair calls; the registry owns the atexit teardown.
 
-_POOLS: dict[int, "multiprocessing.pool.Pool"] = {}
-
-
-def _shutdown_pools() -> None:
-    for pool in _POOLS.values():
-        pool.terminate()
-    _POOLS.clear()
+_POOL_PURPOSE = "analysis"
 
 
 def _get_pool(processes: int):
-    """A warm pool of exactly ``processes`` workers (cached per size)."""
-    pool = _POOLS.get(processes)
-    if pool is None:
-        if not _POOLS:
-            atexit.register(_shutdown_pools)
-        pool = multiprocessing.Pool(processes=processes, initializer=_init_worker)
-        _POOLS[processes] = pool
-    return pool
+    """A warm pool of exactly ``processes`` analysis workers."""
+    return repro_parallel.get_pool(_POOL_PURPOSE, processes)
 
 
 def _discard_pool(processes: int) -> None:
-    pool = _POOLS.pop(processes, None)
-    if pool is not None:
-        pool.terminate()
-
-
-def _init_worker() -> None:
-    """Pool worker setup, fork-aware.
-
-    ``gc.freeze()`` moves everything inherited from the parent into
-    the permanent generation: the worker's collections no longer walk
-    the parent heap, whose refcount writes would turn shared
-    copy-on-write pages into private copies (a page storm that can
-    dwarf the chunk's own work).  Unlike the blanket ``gc.disable()``
-    this used to be, GC stays *enabled* for the worker's own garbage —
-    pooled workers are reused by later ``parallel_pair`` calls and
-    must not accumulate cycles with collection switched off.
-    """
-    import gc
-
-    gc.freeze()
+    repro_parallel.discard_pool(_POOL_PURPOSE, processes)
 
 
 def pair_chunk(spec: ChunkSpec, span_threshold: int = 0) -> PairedChunk:
@@ -676,7 +645,7 @@ def _map_chunks(
 ) -> tuple[list[PairedChunk], str]:
     """Fan chunks over a warm pool; ops come back as segments."""
     processes = min(jobs, len(specs))
-    token = f"repro-{os.getpid():x}-{os.urandom(4).hex()}"
+    token = repro_parallel.run_token()
     pair = functools.partial(
         _pair_chunk_segment,
         token=token,

@@ -29,8 +29,10 @@ from repro.analysis.summary import summarize_trace
 from repro.anonymize import Anonymizer, default_rules
 from repro.anonymize.rules import omit_rules
 from repro.errors import ReproError, StreamMemoryError
+from repro.faults import FaultSchedule
 from repro.obs import (
     EventLog,
+    MetricsRegistry,
     PhaseTimer,
     RotatingEventLog,
     RotatingTraceWriter,
@@ -61,6 +63,7 @@ from repro.workloads import (
     EecsParams,
     EecsResearchWorkload,
     TracedSystem,
+    run_sharded,
 )
 
 
@@ -84,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "'drop(p=0.01);crash(at=3600,down=30)'; "
                           "seeded from --seed, so runs reproduce "
                           "byte-identically (see docs/FAULTS.md)")
+    sim.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="fan the client fleet out over N worker "
+                          "processes; the merged trace (and stats, "
+                          "ledger, spans) is byte-identical for every N "
+                          "(see docs/PERFORMANCE.md)")
     sim.add_argument("--out", required=True)
     sim.add_argument("--metrics-out", default=None,
                      help="write the end-of-run metrics snapshot here "
@@ -108,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mirror port bytes/s (default: lossless)")
     watch.add_argument("--faults", default=None, metavar="SPEC",
                        help="fault schedule (same grammar as simulate)")
+    watch.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="not supported for watch (live snapshots need "
+                            "the single in-process event loop); use "
+                            "simulate or monitor --shards instead")
     watch.add_argument("--interval", type=float, default=SECONDS_PER_HOUR,
                        help="simulated seconds between snapshots")
     watch.add_argument("--top", type=int, default=5,
@@ -134,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mirror port bytes/s (default: lossless)")
     monitor.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault schedule (same grammar as simulate)")
+    monitor.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="simulate over N worker processes, then "
+                              "stream the merged trace into segments; "
+                              "incompatible with --serve (no live loop)")
     monitor.add_argument("--interval", type=float, default=SECONDS_PER_HOUR,
                          help="simulated seconds between snapshots")
     monitor.add_argument("--top", type=int, default=5,
@@ -378,8 +394,103 @@ def _span_summary_line(system, emitted, args) -> str | None:
     )
 
 
+def _default_users(args) -> int:
+    """The population for simulate-style commands (params default)."""
+    if args.users:
+        return args.users
+    params = CampusParams() if args.system == "campus" else EecsParams()
+    return params.users
+
+
+def _simulate_sharded(args) -> int:
+    """``repro simulate --shards N``: the multi-process fan-out path.
+
+    Same window and output conventions as the in-process path (warm-up
+    Sunday excluded, trace windowed at Monday 00:00); the trace, the
+    fault ledger, and the span stream are byte-identical for every N.
+    """
+    if args.spans_out and args.trace_sample <= 0:
+        raise ValueError("--spans-out requires --trace-sample > 0")
+    if args.progress:
+        print("[repro] --progress is per event loop; sharded runs "
+              "report per-shard walls in --metrics-out instead",
+              file=sys.stderr)
+    users = _default_users(args)
+    event_log = EventLog(args.events_out) if args.events_out else None
+    timer = PhaseTimer()
+    if event_log is not None:
+        event_log.emit("simulate.start", system=args.system, seed=args.seed,
+                       days=args.days, users=users, shards=args.shards)
+    try:
+        with timer.phase("simulate"):
+            run = run_sharded(
+                args.system,
+                users=users,
+                days=args.days,
+                seed=args.seed,
+                shards=args.shards,
+                mirror_bandwidth=args.mirror_bandwidth,
+                faults=args.faults,
+                trace_sample=args.trace_sample,
+            )
+        count = 0
+        with timer.phase("merge_write"):
+            with TraceWriter(args.out) as writer:
+                for record in run.merged():
+                    writer.write(record)
+                    count += 1
+        spans_emitted = None
+        if args.spans_out:
+            with EventLog(args.spans_out) as span_log:
+                spans_emitted = run.replay_spans(span_log)
+        elif run.spans_emitted:
+            spans_emitted = run.spans_emitted
+        if args.metrics_out:
+            metrics = MetricsRegistry()
+            run.publish_metrics(
+                metrics, merge_seconds=timer.seconds.get("merge_write")
+            )
+            _write_metrics(args.metrics_out, metrics)
+        if event_log is not None:
+            event_log.emit("simulate.done", records=count,
+                           drop_rate=run.drop_rate,
+                           shards=run.shards, groups=run.groups,
+                           wall_seconds=round(timer.total, 3),
+                           phases=timer.as_dict()["phases"])
+    finally:
+        if event_log is not None:
+            event_log.close()
+    print(
+        f"wrote {count} records to {args.out} "
+        f"({args.days:g} day(s) from Monday 00:00, {users} users, "
+        f"mirror loss {run.drop_rate:.1%})"
+    )
+    busy = sum(run.shard_walls)
+    util = busy / (run.shards * run.fanout_seconds) \
+        if run.fanout_seconds > 0 else 0.0
+    print(
+        f"fan-out: {run.shards} shard(s) over {run.groups} client "
+        f"group(s), utilization {util:.0%}"
+    )
+    if spans_emitted is not None:
+        destination = (args.spans_out if args.spans_out
+                       else "memory (no --spans-out)")
+        print(f"spans: {spans_emitted} emitted at sample rate "
+              f"{args.trace_sample:g} -> {destination}")
+    if args.faults is not None:
+        spec = FaultSchedule.parse(args.faults).spec()
+        injected = sum(run.injected.values())
+        print(
+            f"faults: {spec} -> {injected} injected events, "
+            f"{run.retransmits} retransmissions"
+        )
+    return 0
+
+
 def cmd_simulate(args) -> int:
     """Generate a synthetic trace file."""
+    if args.shards is not None:
+        return _simulate_sharded(args)
     system, workload, params = _build_system(args)
     # the metrics window matches the trace window below: the warm-up
     # Sunday is simulated but not counted, so the snapshot agrees with
@@ -452,6 +563,11 @@ def cmd_watch(args) -> int:
     state no matter how many simulated days pass.  Snapshots go to
     stderr (like ``--progress``); the final Table 2 summary to stdout.
     """
+    if args.shards is not None and args.shards > 1:
+        raise ValueError(
+            "watch renders live snapshots from inside the event loop and "
+            "cannot shard; use simulate --shards or monitor --shards"
+        )
     system, workload, params = _build_system(args)
     if not args.out:
         system.collector.retain = False
@@ -514,6 +630,8 @@ def cmd_monitor(args) -> int:
     with all segments closed), and the span tail is a fixed deque.
     The segment directory is queryable afterwards with ``repro query``.
     """
+    if args.shards is not None:
+        return _monitor_sharded(args)
     policy = RotationPolicy(
         max_bytes=args.segment_bytes,
         max_age=args.segment_age,
@@ -573,6 +691,85 @@ def cmd_monitor(args) -> int:
         f"\n{monitor.snapshots_rendered} snapshots rendered "
         f"({args.interval:g}s interval), {engine.records:,} records "
         f"streamed, peak state {engine.peak_items:,} items"
+    )
+    print(
+        f"trace segments: {writer.segments_written} written, "
+        f"{writer.segments_retired} retired, "
+        f"{len(writer.paths)} on disk in {args.dir} "
+        f"({writer.records_written:,} records)"
+    )
+    if span_sink is not None:
+        print(
+            f"span segments: {span_sink.segments_written} written, "
+            f"{span_sink.segments_retired} retired, "
+            f"{len(span_sink.paths)} on disk "
+            f"({spans_emitted} spans at rate {args.trace_sample:g})"
+        )
+    print(f"query with: repro query --dir {args.dir} "
+          f"--trace-id ID | --file FH")
+    return 0
+
+
+def _monitor_sharded(args) -> int:
+    """``repro monitor --shards N``: fan out, then segment the merge.
+
+    The simulation runs sharded exactly as ``simulate --shards`` does;
+    the merged record stream is then fed through the rotating trace
+    writer and the streaming engine post-hoc, so the segment directory
+    (and the final summary) is the same as a live run's — only the
+    periodic snapshots and ``--serve``, which need a live in-process
+    event loop, are unavailable.
+    """
+    if args.serve:
+        raise ValueError(
+            "--serve needs the live in-process event loop; "
+            "drop --serve or run without --shards"
+        )
+    policy = RotationPolicy(
+        max_bytes=args.segment_bytes,
+        max_age=args.segment_age,
+        retain=args.retain,
+    )
+    metrics = MetricsRegistry()
+    run = run_sharded(
+        args.system,
+        users=_default_users(args),
+        days=args.days,
+        seed=args.seed,
+        shards=args.shards,
+        mirror_bandwidth=args.mirror_bandwidth,
+        faults=args.faults,
+        trace_sample=args.trace_sample,
+    )
+    span_sink = None
+    spans_emitted = 0
+    writer = RotatingTraceWriter(args.dir, policy=policy, metrics=metrics)
+    engine = StreamEngine(metrics=metrics, max_items=args.max_items)
+    engine.register(StreamSummary())
+    engine.register(StreamRates())
+    engine.register(StreamTopFiles(k=args.top))
+    engine.register(StreamLatency())
+    try:
+        for record in run.merged():
+            writer.write(record)
+            engine.feed(record)
+        results = engine.finish()
+        if args.trace_sample > 0:
+            span_sink = RotatingEventLog(args.dir, policy=policy)
+            span_sink.bind_metrics(metrics)
+            spans_emitted = run.replay_spans(span_sink)
+    finally:
+        writer.close()
+        if span_sink is not None:
+            span_sink.close()
+    run.publish_metrics(metrics)
+    summary = results["summary"]
+    stats = results["pairing"]
+    print(_summary_text(f"monitored {args.system} simulation", summary, stats))
+    print(
+        f"\nsharded run: {run.shards} shard(s) over {run.groups} client "
+        f"group(s), {engine.records:,} records streamed post-merge, "
+        f"peak state {engine.peak_items:,} items"
     )
     print(
         f"trace segments: {writer.segments_written} written, "
@@ -864,6 +1061,35 @@ def _pool_stats_report(path: str) -> dict | None:
     return report
 
 
+def _sim_stats_report(path: str) -> dict | None:
+    """Sharded-simulation fan-out health from a metrics snapshot.
+
+    Returns None when the snapshot has no ``sim.fanout.*`` samples
+    (e.g. it came from an unsharded run or an analysis).
+    """
+    samples = _load_metrics_snapshot(path)
+    shards = _scalar_sample(samples, "sim.fanout.shards")
+    if shards is None:
+        return None
+    report = {
+        "shards": int(shards),
+        "groups": int(_scalar_sample(samples, "sim.fanout.groups") or 0),
+        "utilization": float(
+            _scalar_sample(samples, "sim.fanout.utilization") or 0.0
+        ),
+        "records": int(_scalar_sample(samples, "sim.fanout.records") or 0),
+    }
+    shard_wall = _histogram_sample(samples, "sim.fanout.shard_seconds")
+    if shard_wall is not None:
+        count, total = shard_wall
+        report["shard_wall_seconds_total"] = total
+        report["shard_wall_seconds_mean"] = total / count if count else 0.0
+    merge = _scalar_sample(samples, "sim.fanout.merge_seconds")
+    if merge is not None:
+        report["merge_seconds"] = float(merge)
+    return report
+
+
 def cmd_stats(args) -> int:
     """Trace-level statistics: record mix, per-procedure ops, loss.
 
@@ -909,6 +1135,9 @@ def cmd_stats(args) -> int:
             pool = _pool_stats_report(args.metrics)
             if pool is not None:
                 payload["analysis_pool"] = pool
+            fanout = _sim_stats_report(args.metrics)
+            if fanout is not None:
+                payload["simulation_fanout"] = fanout
         print(json.dumps(payload, indent=2))
         return 0
     rows = [
@@ -973,6 +1202,32 @@ def cmd_stats(args) -> int:
             print(format_table(
                 ["Fan-out", "Value"], rows,
                 title=f"Analysis fan-out ({args.metrics})",
+            ))
+        fanout = _sim_stats_report(args.metrics)
+        if fanout is not None:
+            rows = [
+                ["Shards", fanout["shards"]],
+                ["Client groups", fanout["groups"]],
+                ["Merge utilization", f"{fanout['utilization']:.1%}"],
+                ["Records merged", fanout["records"]],
+            ]
+            if "shard_wall_seconds_total" in fanout:
+                rows.append([
+                    "Shard wall (total s)",
+                    f"{fanout['shard_wall_seconds_total']:.3f}",
+                ])
+                rows.append([
+                    "Shard wall (mean s)",
+                    f"{fanout['shard_wall_seconds_mean']:.4f}",
+                ])
+            if "merge_seconds" in fanout:
+                rows.append([
+                    "Merge wall (s)", f"{fanout['merge_seconds']:.3f}",
+                ])
+            print()
+            print(format_table(
+                ["Fan-out", "Value"], rows,
+                title=f"Simulation fan-out ({args.metrics})",
             ))
     return 0
 

@@ -105,3 +105,27 @@ class FaultLedger:
             errors=self.errors,
             duplicate_replies=self.duplicate_replies,
         )
+
+
+def aggregate_stats(parts):
+    """Field-wise sum of per-world :class:`PairingStats` predictions.
+
+    Sharded simulations run one ledger per client group.  Pairing keys
+    ``(client, xid)`` are disjoint across groups (host names are
+    group-tagged), so each ledger's per-world exactness makes the sum
+    exact for the merged trace: no cross-group retransmission,
+    duplicate, or orphan interaction is possible.
+    """
+    # deferred import: see expected_stats
+    from repro.analysis.pairing import PairingStats
+
+    total = PairingStats()
+    for part in parts:
+        total.calls += part.calls
+        total.replies += part.replies
+        total.paired += part.paired
+        total.orphan_replies += part.orphan_replies
+        total.unanswered_calls += part.unanswered_calls
+        total.errors += part.errors
+        total.duplicate_replies += part.duplicate_replies
+    return total

@@ -1,0 +1,197 @@
+"""Shared multiprocessing plumbing for the fan-outs.
+
+Two subsystems fan work over worker processes: the analysis pairing
+fan-out (``repro.analysis.parallel``, PR 7) and the sharded simulation
+engine (``repro.workloads.sharding``).  Both need the same two pieces
+of machinery, which live here exactly once:
+
+* **Warm pool registry** — ``multiprocessing.Pool`` creation costs a
+  fork per worker; repeated ``--jobs``/``--shards`` runs in one process
+  (benchmarks, tests, long-lived services) should reuse workers.
+  Pools are cached by ``(purpose, size)`` so the analysis fan-out and
+  the simulation fan-out never trade workers, and an ``atexit`` hook
+  terminates whatever is still warm.  Workers start via
+  :func:`init_worker`, which ``gc.freeze()``-es the inherited heap so
+  the child's collections stop touching copy-on-write pages.
+
+* **Segment transport** — workers hand bulk results back out-of-band
+  as binary *segments*: POSIX shared memory when available, a spooled
+  temp file otherwise (force with ``REPRO_PAIR_TRANSPORT=shm|file``).
+  Deterministic ``token-index`` names make error paths safe: the
+  parent can sweep every possible segment of a run without having
+  heard back from the workers that created them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Warm pool registry, keyed by (purpose, size).
+
+_POOLS: dict[tuple[str, int], "multiprocessing.pool.Pool"] = {}
+
+
+def init_worker() -> None:
+    """Pool worker setup, fork-aware.
+
+    ``gc.freeze()`` moves everything inherited from the parent into
+    the permanent generation: the worker's collections no longer walk
+    the parent heap, whose refcount writes would turn shared
+    copy-on-write pages into private copies (a page storm that can
+    dwarf the task's own work).  GC stays *enabled* for the worker's
+    own garbage — pooled workers are reused by later calls and must
+    not accumulate cycles with collection switched off.
+    """
+    import gc
+
+    gc.freeze()
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached pool (the atexit hook)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+    _POOLS.clear()
+
+
+def get_pool(purpose: str, processes: int):
+    """A warm pool of exactly ``processes`` workers for ``purpose``.
+
+    Cached per ``(purpose, size)``: asking again with the same pair
+    returns the same live pool, so repeated fan-outs skip the fork
+    storm.  Distinct purposes never share workers — a simulation
+    shard's memory-heavy world stays out of the analysis workers.
+    """
+    key = (purpose, processes)
+    pool = _POOLS.get(key)
+    if pool is None:
+        if not _POOLS:
+            atexit.register(shutdown_pools)
+        pool = multiprocessing.Pool(processes=processes, initializer=init_worker)
+        _POOLS[key] = pool
+    return pool
+
+
+def discard_pool(purpose: str, processes: int) -> None:
+    """Terminate and forget one cached pool (after a broken run)."""
+    pool = _POOLS.pop((purpose, processes), None)
+    if pool is not None:
+        pool.terminate()
+
+
+def pool_registry() -> dict[tuple[str, int], "multiprocessing.pool.Pool"]:
+    """The live registry (introspection for tests; treat as read-only)."""
+    return _POOLS
+
+
+def run_token(prefix: str = "repro") -> str:
+    """A collision-proof per-run token for segment names."""
+    return f"{prefix}-{os.getpid():x}-{os.urandom(4).hex()}"
+
+
+# ---------------------------------------------------------------------------
+# Segment transport: shared memory with a temp-file fallback.
+
+def _shared_memory_module():
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - always present on CPython 3.8+
+        return None
+    return shared_memory
+
+
+def _untrack(tracked_name: str) -> None:
+    """Drop one shared-memory name from this process's resource tracker."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(tracked_name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across OSes
+        pass
+
+
+def default_transport() -> str:
+    """``"shm"`` when POSIX shared memory is usable, else ``"file"``.
+
+    Overridable with ``REPRO_PAIR_TRANSPORT=shm|file`` — the file
+    transport trades a copy through the page cache for independence
+    from ``/dev/shm`` sizing.
+    """
+    forced = os.environ.get("REPRO_PAIR_TRANSPORT")
+    if forced in ("shm", "file"):
+        return forced
+    return "shm" if _shared_memory_module() is not None else "file"
+
+
+def segment_name(token: str, index: int) -> str:
+    """Deterministic per-task segment name.
+
+    Deterministic names are what make error paths safe: the parent can
+    sweep every possible segment of a run without having heard back
+    from the workers that created them.
+    """
+    return f"{token}-{index}"
+
+
+def publish_segment(
+    payload: bytes, token: str, index: int, transport: str, workdir: str
+) -> tuple[str, str, int]:
+    """Publish segment bytes (worker side); returns a claimable handle."""
+    if transport == "shm":
+        shared_memory = _shared_memory_module()
+        name = segment_name(token, index)
+        # size=0 is rejected; an empty segment still needs a handle
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, len(payload))
+        )
+        try:
+            shm.buf[: len(payload)] = payload
+        finally:
+            shm.close()
+            # Hand tracking ownership to the claiming parent: its
+            # attach re-registers the name and its unlink unregisters
+            # it.  Without this, the creating worker's resource tracker
+            # still lists the (long unlinked) segment at exit and warns.
+            _untrack(shm._name)
+        return ("shm", name, len(payload))
+    path = Path(workdir) / f"{segment_name(token, index)}.ops"
+    path.write_bytes(payload)
+    return ("file", str(path), len(payload))
+
+
+def claim_segment(handle: tuple[str, str, int]) -> bytes:
+    """Fetch and release one published segment (parent side)."""
+    kind, ref, size = handle
+    if kind == "shm":
+        shared_memory = _shared_memory_module()
+        shm = shared_memory.SharedMemory(name=ref)
+        try:
+            payload = bytes(shm.buf[:size])
+        finally:
+            shm.close()
+            shm.unlink()
+        return payload
+    path = Path(ref)
+    payload = path.read_bytes()
+    path.unlink(missing_ok=True)
+    return payload
+
+
+def sweep_segments(token: str, count: int) -> None:
+    """Unlink any shared-memory segments of a run that were never
+    claimed — the error-path backstop (file segments live in the run's
+    temp dir, which its owner removes wholesale)."""
+    shared_memory = _shared_memory_module()
+    if shared_memory is None:
+        return
+    for index in range(count):
+        try:
+            shm = shared_memory.SharedMemory(name=segment_name(token, index))
+        except FileNotFoundError:
+            continue
+        shm.close()
+        shm.unlink()

@@ -29,6 +29,21 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest, "little")
 
 
+def shard_seed(root_seed: int, gid: int) -> int:
+    """The master seed of client-group ``gid`` in a sharded simulation.
+
+    The sharded engine (``repro.workloads.sharding``) gives every
+    client group its own :class:`RngRegistry` seeded from the run's
+    master seed and the group id — *never* from the shard (worker)
+    the group happens to land on.  Group membership and group seeds
+    are therefore invariant under ``--shards N``, which is what makes
+    the merged trace byte-identical for every N.
+    """
+    if root_seed < 0:
+        root_seed = -root_seed
+    return derive_seed(root_seed, f"shard:g{gid:04d}")
+
+
 class RngRegistry:
     """A factory for named :class:`random.Random` streams.
 

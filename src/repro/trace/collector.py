@@ -28,7 +28,7 @@ from repro.netsim.link import HEADER_BYTES
 from repro.nfs.messages import NfsCall, NfsReply
 from repro.nfs.procedures import NfsProc
 from repro.obs.metrics import MetricsRegistry
-from repro.trace.record import TraceRecord
+from repro.trace.record import Direction, TraceRecord
 from repro.trace.writer import TraceWriter
 
 #: C-level sort key for the wire-time sort of a whole capture.
@@ -137,6 +137,42 @@ class TraceCollector:
             if reply.proc is NfsProc.READ and reply.count:
                 size += reply.count
             self._n_bytes += size
+
+    def ingest(self, records) -> int:
+        """Bulk-append already-captured :class:`TraceRecord` objects.
+
+        Merge-side entry point for sharded simulations: the parent
+        feeds the wire-time-merged stream here so the merged capture is
+        queryable (and writable) through the same collector interface a
+        live world offers.  Subscribers receive every record, and the
+        measured-window call/reply/byte tallies follow the same rules
+        as the live taps.  Returns the count ingested.
+        """
+        count = 0
+        for record in records:
+            count += 1
+            if self.retain:
+                self.records.append(record)
+            if self._subscribers:
+                for callback in self._subscribers:
+                    callback(record)
+            if record.time < self.measure_from:
+                continue
+            size = HEADER_BYTES
+            if record.direction == Direction.CALL:
+                self._n_calls += 1
+                if record.proc is NfsProc.WRITE and record.count:
+                    size += record.count
+                if record.name:
+                    size += len(record.name)
+            else:
+                self._n_replies += 1
+                if record.proc is NfsProc.READ and record.count:
+                    size += record.count
+            self._n_bytes += size
+        if count and self.retain:
+            self._sorted = None
+        return count
 
     # -- consumption -----------------------------------------------------------
 

@@ -21,6 +21,15 @@ from repro.workloads.users import User, UserPopulation
 from repro.workloads.harness import TracedSystem
 from repro.workloads.email_campus import CampusEmailWorkload, CampusParams
 from repro.workloads.research_eecs import EecsResearchWorkload, EecsParams
+# imported last: sharding composes the workloads above
+from repro.workloads.sharding import (
+    DEFAULT_GROUPS,
+    GroupSpec,
+    ShardRun,
+    partition_users,
+    plan_shards,
+    run_sharded,
+)
 
 __all__ = [
     "WorkloadGenerator",
@@ -32,4 +41,10 @@ __all__ = [
     "CampusParams",
     "EecsResearchWorkload",
     "EecsParams",
+    "DEFAULT_GROUPS",
+    "GroupSpec",
+    "ShardRun",
+    "partition_users",
+    "plan_shards",
+    "run_sharded",
 ]

@@ -23,15 +23,41 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.harness import TracedSystem
+    from repro.workloads.sharding import GroupSpec
 
 
 class WorkloadGenerator(abc.ABC):
-    """Base class for the CAMPUS and EECS generators."""
+    """Base class for the CAMPUS and EECS generators.
 
-    def __init__(self, name: str) -> None:
+    ``group`` scopes a generator to one client group of a sharded
+    simulation (``repro.workloads.sharding``): the population becomes
+    that group's user subset and every shared host name is tagged with
+    the group id via :meth:`domain`, so the merged trace never aliases
+    ``(client, xid)`` pairs across groups.
+    """
+
+    def __init__(self, name: str, *, group: "GroupSpec | None" = None) -> None:
         self.name = name
+        self.group = group
         self.counters: Counter[str] = Counter()
         self.system: "TracedSystem | None" = None
+
+    def domain(self, base: str) -> str:
+        """Host-name domain for shared hosts, group-tagged when sharded.
+
+        ``domain("campus")`` is ``"campus"`` unsharded and
+        ``"g3.campus"`` for group 3 — client host names are pairing
+        keys in the merged trace, so two groups must never reuse one.
+        """
+        if self.group is None:
+            return base
+        return f"g{self.group.gid}.{base}"
+
+    def population_indices(self, total: int) -> "list[int] | None":
+        """Global user indices this generator owns (None = all)."""
+        if self.group is None:
+            return None
+        return list(self.group.members)
 
     def attach(self, system: "TracedSystem") -> None:
         """Bind to a traced system; populates and installs."""

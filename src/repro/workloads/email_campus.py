@@ -75,8 +75,8 @@ class CampusParams:
 class CampusEmailWorkload(WorkloadGenerator):
     """Generates the CAMPUS email workload onto a TracedSystem."""
 
-    def __init__(self, params: CampusParams | None = None) -> None:
-        super().__init__("campus")
+    def __init__(self, params: CampusParams | None = None, *, group=None) -> None:
+        super().__init__("campus", group=group)
         self.params = params if params is not None else CampusParams()
         self.diurnal = DiurnalModel()
         self.population: UserPopulation | None = None
@@ -89,7 +89,11 @@ class CampusEmailWorkload(WorkloadGenerator):
         """Build home directories, dot files, inboxes, and folders."""
         p = self.params
         rng = system.rngs.stream("campus.populate")
-        self.population = UserPopulation(p.users, rng, login_prefix="cu")
+        indices = self.population_indices(p.users)
+        self.population = UserPopulation(
+            p.users if indices is None else len(indices), rng,
+            login_prefix="cu", indices=indices,
+        )
         fs = system.fs
         for user in self.population:
             home = fs.makedirs(user.home, 0.0, uid=user.uid, gid=user.gid)
@@ -113,21 +117,22 @@ class CampusEmailWorkload(WorkloadGenerator):
     def install(self, system: TracedSystem) -> None:
         """Create the server-host clients and start arrival processes."""
         p = self.params
+        domain = self.domain("campus")
         for i in range(p.smtp_hosts):
             system.add_client(
-                f"smtp{i}.campus", transport=Transport.TCP,
+                f"smtp{i}.{domain}", transport=Transport.TCP,
                 version=NfsVersion.V3, nfsiod_count=6,
             )
         for i in range(p.pop_hosts):
             system.add_client(
-                f"pop{i}.campus", transport=Transport.TCP,
+                f"pop{i}.{domain}", transport=Transport.TCP,
                 version=NfsVersion.V3, nfsiod_count=6,
                 cache_blocks=3000,
             )
         # the general-purpose login server: interactive shells, small
         # effective cache share per user
         system.add_client(
-            "login0.campus", transport=Transport.TCP,
+            f"login0.{domain}", transport=Transport.TCP,
             version=NfsVersion.V3, nfsiod_count=6, cache_blocks=8,
         )
         mean_mult = sum(self.diurnal.hourly_profile()) / len(
@@ -148,10 +153,12 @@ class CampusEmailWorkload(WorkloadGenerator):
     # -- host selection -------------------------------------------------------
 
     def _smtp_client(self, system: TracedSystem, user: User):
-        return system.clients[f"smtp{user.uid % self.params.smtp_hosts}.campus"]
+        host = f"smtp{user.uid % self.params.smtp_hosts}.{self.domain('campus')}"
+        return system.clients[host]
 
     def _pop_client(self, system: TracedSystem, user: User):
-        return system.clients[f"pop{user.uid % self.params.pop_hosts}.campus"]
+        host = f"pop{user.uid % self.params.pop_hosts}.{self.domain('campus')}"
+        return system.clients[host]
 
     # -- mail delivery ------------------------------------------------------------
 
@@ -195,7 +202,7 @@ class CampusEmailWorkload(WorkloadGenerator):
         client = self._pop_client(system, user)
         self.count("sessions")
         # login: the shell on the login server reads the dot files
-        login_client = system.clients["login0.campus"]
+        login_client = system.clients[f"login0.{self.domain('campus')}"]
         for dot in (".cshrc", ".login"):
             self._read_whole(login_client, user, f"{user.home}/{dot}")
         # mail client start: configuration, then the initial full scan

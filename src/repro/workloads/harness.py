@@ -50,6 +50,9 @@ class TracedSystem:
             defaults to an in-memory EventLog.
         span_tail: keep the last N span records in memory for live
             serving (``repro monitor``).
+        fsid: the exported file system's id, embedded in every file
+            handle.  Sharded simulations give each client group its
+            own (see :meth:`for_group`); standalone worlds keep 1.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class TracedSystem:
         trace_sample: float = 0.0,
         span_sink=None,
         span_tail: int = 0,
+        fsid: int = 1,
     ) -> None:
         self.rngs = RngRegistry(seed)
         #: One registry for the whole world; every component surfaces
@@ -85,7 +89,7 @@ class TracedSystem:
         else:
             sample_threshold(trace_sample)  # validate even when off
             self.spans = None
-        self.fs = SimFileSystem(fsid=1, quota_bytes=quota_bytes)
+        self.fs = SimFileSystem(fsid=fsid, quota_bytes=quota_bytes)
         self.server = NfsServer(self.fs, metrics=self.metrics, spans=self.spans)
         self.server_addr = server_addr
         self.collector = TraceCollector(metrics=self.metrics, spans=self.spans)
@@ -118,6 +122,22 @@ class TracedSystem:
         )
         self.loop = EventLoop(metrics=self.metrics)
         self.clients: dict[str, NfsClient] = {}
+
+    @classmethod
+    def for_group(cls, master_seed: int, group, **kwargs) -> "TracedSystem":
+        """A shard-local world for one client group.
+
+        The group's seed derives from ``(master_seed, gid)`` via
+        :func:`repro.simcore.rng.shard_seed` and its ``fsid`` is
+        ``gid + 1``, so file handles (which embed the fsid) never
+        collide across groups in the merged trace.  Both derive from
+        the *group*, never the worker it runs on — the foundation of
+        byte-identical output for every ``--shards N``.
+        """
+        from repro.simcore.rng import shard_seed
+
+        return cls(seed=shard_seed(master_seed, group.gid),
+                   fsid=group.gid + 1, **kwargs)
 
     @property
     def clock(self):

@@ -83,8 +83,8 @@ class EecsParams:
 class EecsResearchWorkload(WorkloadGenerator):
     """Generates the EECS research workload onto a TracedSystem."""
 
-    def __init__(self, params: EecsParams | None = None) -> None:
-        super().__init__("eecs")
+    def __init__(self, params: EecsParams | None = None, *, group=None) -> None:
+        super().__init__("eecs", group=group)
         self.params = params if params is not None else EecsParams()
         self.diurnal = DiurnalModel()
         self.population: UserPopulation | None = None
@@ -101,8 +101,10 @@ class EecsResearchWorkload(WorkloadGenerator):
         """Home directories with project trees, caches, and logs."""
         p = self.params
         rng = system.rngs.stream("eecs.populate")
+        indices = self.population_indices(p.users)
         self.population = UserPopulation(
-            p.users, rng, first_uid=2000, gid=200, login_prefix="eu"
+            p.users if indices is None else len(indices), rng,
+            first_uid=2000, gid=200, login_prefix="eu", indices=indices,
         )
         fs = system.fs
         for user in self.population:
@@ -160,7 +162,8 @@ class EecsResearchWorkload(WorkloadGenerator):
         )
         # the shared intermediate host for non-NFS protocol users
         system.add_client(
-            "gateway.eecs", transport=Transport.UDP, version=NfsVersion.V3,
+            f"gateway.{self.domain('eecs')}", transport=Transport.UDP,
+            version=NfsVersion.V3,
             nfsiod_count=8, cache_blocks=p.client_cache_blocks,
             name_timeout=900.0,
         )
@@ -187,13 +190,12 @@ class EecsResearchWorkload(WorkloadGenerator):
             if user_rng.random() < p.cron_users_fraction:
                 self._schedule_cron(system, user, user_rng)
 
-    @staticmethod
-    def _host(user: User) -> str:
-        return f"ws-{user.login}.eecs"
+    def _host(self, user: User) -> str:
+        return f"ws-{user.login}.{self.domain('eecs')}"
 
     def _client(self, system: TracedSystem, user: User):
         if user.uid in self._gateway_users:
-            return system.clients["gateway.eecs"]
+            return system.clients[f"gateway.{self.domain('eecs')}"]
         return system.clients[self._host(user)]
 
     # -- interactive sessions ---------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,14 +44,24 @@ class UserPopulation:
         home_root: str = "/home",
         login_prefix: str = "user",
         skew_alpha: float = 1.8,
+        indices: Sequence[int] | None = None,
     ) -> None:
+        """``indices`` builds a *subset* population: one user per given
+        global index, keeping the global uid/login/home derivation so a
+        sharded simulation's group populations tile the full fleet
+        (disjoint uids, no renumbering).  Activity weights are drawn
+        per-population and normalized to mean 1.0 within it — a pure
+        function of (rng, indices), independent of any other group.
+        """
+        positions = list(indices) if indices is not None else list(range(count))
+        count = len(positions)
         if count < 1:
             raise ValueError(f"population needs at least one user, got {count}")
         self.home_root = home_root
         raw_weights = [rng.paretovariate(skew_alpha) for _ in range(count)]
         mean = sum(raw_weights) / count
         self.users: list[User] = []
-        for index in range(count):
+        for slot, index in enumerate(positions):
             login = f"{login_prefix}{index:04d}"
             self.users.append(
                 User(
@@ -58,7 +69,7 @@ class UserPopulation:
                     gid=gid,
                     login=login,
                     home=f"{home_root}/{login}",
-                    activity=raw_weights[index] / mean,
+                    activity=raw_weights[slot] / mean,
                 )
             )
 

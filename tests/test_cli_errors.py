@@ -125,6 +125,34 @@ class TestSimulateAndWatchErrors:
             "--faults", "drop(p=0.1,window=banana)",
         ], "window")
 
+    def test_watch_rejects_shards(self, capsys):
+        _expect_error(capsys, [
+            "watch", "--system", "campus", "--days", "0.01",
+            "--shards", "2",
+        ], "cannot shard")
+
+    def test_simulate_shards_zero(self, tmp_path, capsys):
+        _expect_error(capsys, [
+            "simulate", "--system", "campus", "--days", "0.01",
+            "--users", "2", "--shards", "0",
+            "--out", str(tmp_path / "x.trace"),
+        ], "--shards")
+
+    def test_simulate_sharded_bad_fault_spec(self, tmp_path, capsys):
+        _expect_error(capsys, [
+            "simulate", "--system", "campus", "--days", "0.01",
+            "--users", "2", "--shards", "2",
+            "--faults", "meteor(p=1.0)",
+            "--out", str(tmp_path / "x.trace"),
+        ], "unknown fault")
+
+    def test_monitor_shards_rejects_serve(self, tmp_path, capsys):
+        _expect_error(capsys, [
+            "monitor", "--system", "campus", "--days", "0.01",
+            "--users", "2", "--shards", "2", "--serve",
+            "--dir", str(tmp_path / "segs"),
+        ], "--serve")
+
 
 class TestGoodPathsStillExit0:
     def test_stats(self, good_trace, capsys):
