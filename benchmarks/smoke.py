@@ -26,6 +26,7 @@ Usage::
     python benchmarks/smoke.py --obs-smoke        # CI span/monitor gate
     python benchmarks/smoke.py --speedup-gate     # CI parallel/encode gate
     python benchmarks/smoke.py --shard-smoke      # CI sharded-simulator gate
+    python benchmarks/smoke.py --scenario-smoke   # CI scenario-library gate
 
 ``--chaos-smoke`` is the fault-injection counterpart: one faulted
 CAMPUS day run twice, gating on byte-identical reruns and on the fault
@@ -527,6 +528,87 @@ def check(result: dict, baseline_path: Path) -> int:
     return 0
 
 
+def run_scenario_smoke() -> int:
+    """Scenario-library gate for CI (budget: well under a minute).
+
+    Every library scenario must validate (round-trip contract
+    included), simulate deterministically (two identically seeded
+    short runs, byte for byte), and actually generate traffic; the
+    ``campus``/``eecs`` entries must additionally stay byte-identical
+    to the legacy hand-coded generators — the DSL compatibility
+    contract (see docs/SCENARIOS.md).
+    """
+    from repro.scenarios import (
+        ScenarioSpec,
+        compile_workload,
+        get_scenario,
+        scenario_names,
+    )
+    from repro.trace.record import record_to_line
+    from repro.workloads import (
+        CampusEmailWorkload,
+        CampusParams,
+        EecsParams,
+        EecsResearchWorkload,
+        TracedSystem,
+    )
+
+    started = time.perf_counter()
+    users = {"campus": 3, "eecs": 2}
+    seconds = 0.2 * DAY
+
+    def one_run(name):
+        compiled = compile_workload(name, users=users.get(name, 4))
+        system = TracedSystem(seed=404, quota_bytes=compiled.quota_bytes)
+        compiled.workload.attach(system)
+        system.run(seconds)
+        return "\n".join(record_to_line(r) for r in system.records())
+
+    failures = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        if ScenarioSpec.parse(spec.spec()) != spec:
+            failures.append(f"{name}: round-trip contract broken")
+            continue
+        text = one_run(name)
+        records = text.count("\n") + 1 if text else 0
+        if text != one_run(name):
+            failures.append(f"{name}: two identically seeded runs diverged")
+        elif not text:
+            failures.append(f"{name}: generated no traffic")
+        else:
+            print(f"scenario-smoke: {name}: ok ({records:,} records, "
+                  f"deterministic)")
+
+    def legacy_run(name):
+        if name == "campus":
+            system = TracedSystem(seed=404, quota_bytes=50 * 1024 * 1024)
+            CampusEmailWorkload(CampusParams(users=users[name])).attach(system)
+        else:
+            system = TracedSystem(seed=404)
+            EecsResearchWorkload(EecsParams(users=users[name])).attach(system)
+        system.run(seconds)
+        return "\n".join(record_to_line(r) for r in system.records())
+
+    for name in ("campus", "eecs"):
+        if one_run(name) != legacy_run(name):
+            failures.append(
+                f"{name}: DSL trace diverged from the legacy generator"
+            )
+        else:
+            print(f"scenario-smoke: {name}: byte-identical to legacy")
+
+    wall = time.perf_counter() - started
+    print(f"scenario-smoke: wall {wall:.1f}s")
+    if wall > 60.0:
+        failures.append(f"wall {wall:.1f}s exceeds the 60s budget")
+    if failures:
+        print("scenario-smoke REGRESSION: " + "; ".join(failures))
+        return 1
+    print("scenario-smoke gate passed")
+    return 0
+
+
 def run_shard_smoke(out_path: str | None = None) -> int:
     """CI gate: the sharded simulator must be exact *and* must pay.
 
@@ -642,7 +724,12 @@ def main(argv=None) -> int:
     parser.add_argument("--shard-smoke", action="store_true",
                         help="run only the sharded-simulator gate "
                              "(byte-identity + speedup)")
+    parser.add_argument("--scenario-smoke", action="store_true",
+                        help="run only the scenario-library gate "
+                             "(validation, determinism, legacy parity)")
     args = parser.parse_args(argv)
+    if args.scenario_smoke:
+        return run_scenario_smoke()
     if args.stream_smoke:
         return run_stream_smoke()
     if args.speedup_gate:

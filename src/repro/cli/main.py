@@ -56,15 +56,13 @@ from repro.stream import (
     StreamSummary,
     StreamTopFiles,
 )
-from repro.trace import TraceReader, TraceWriter, is_binary_trace_path
-from repro.workloads import (
-    CampusEmailWorkload,
-    CampusParams,
-    EecsParams,
-    EecsResearchWorkload,
-    TracedSystem,
-    run_sharded,
+from repro.scenarios import (
+    compile_workload,
+    load_scenario,
+    scenario_names,
 )
+from repro.trace import TraceReader, TraceWriter, is_binary_trace_path
+from repro.workloads import TracedSystem, run_sharded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="generate a synthetic trace")
-    sim.add_argument("--system", choices=("campus", "eecs"), required=True)
+    _add_scenario_arg(sim)
     sim.add_argument("--days", type=float, default=1.0)
     sim.add_argument("--users", type=int, default=None)
     sim.add_argument("--seed", type=int, default=0)
@@ -108,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate with a live streaming analysis attached "
              "(periodic snapshots, bounded memory)",
     )
-    watch.add_argument("--system", choices=("campus", "eecs"), required=True)
+    _add_scenario_arg(watch)
     watch.add_argument("--days", type=float, default=1.0)
     watch.add_argument("--users", type=int, default=None)
     watch.add_argument("--seed", type=int, default=0)
@@ -138,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="continuous monitoring daemon: rotated trace/span segments "
              "on disk, live /metrics and /spans over a local socket",
     )
-    monitor.add_argument("--system", choices=("campus", "eecs"), required=True)
+    _add_scenario_arg(monitor)
     monitor.add_argument("--days", type=float, default=1.0)
     monitor.add_argument("--users", type=int, default=None)
     monitor.add_argument("--seed", type=int, default=0)
@@ -277,6 +275,34 @@ def build_parser() -> argparse.ArgumentParser:
     names.add_argument("--in", dest="input", required=True)
     names.set_defaults(func=cmd_names)
 
+    scen = sub.add_parser(
+        "scenarios",
+        help="list, show, or validate workload scenarios "
+             "(see docs/SCENARIOS.md)",
+    )
+    scen.add_argument("action", choices=("list", "show", "validate"),
+                      help="list the library; show a scenario's canonical "
+                           "spec; validate a scenario (or, with no REF, "
+                           "the whole library)")
+    scen.add_argument("ref", nargs="?", default=None, metavar="REF",
+                      help="scenario name, spec file, or inline spec text")
+    scen.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of tables")
+    scen.set_defaults(func=cmd_scenarios)
+
+    char = sub.add_parser(
+        "characterize",
+        help="fit a scenario-spec skeleton to a trace so it can "
+             "round-trip toward a synthetic twin",
+    )
+    char.add_argument("--in", dest="input", required=True,
+                      help="trace to fit (native text/binary)")
+    char.add_argument("--name", default="fitted",
+                      help="scenario name for the emitted spec")
+    char.add_argument("--out", default=None,
+                      help="write the spec here (default: stdout)")
+    char.set_defaults(func=cmd_characterize)
+
     convert = sub.add_parser(
         "convert",
         help="convert between trace formats "
@@ -292,6 +318,22 @@ def build_parser() -> argparse.ArgumentParser:
     convert.set_defaults(func=cmd_convert)
 
     return parser
+
+
+def _add_scenario_arg(sub) -> None:
+    """``--scenario`` (alias ``--system``) for simulate-style commands.
+
+    Accepts a library scenario name, a spec file path, or inline spec
+    text; resolution (and the one-line unknown-name error listing the
+    library) happens in :func:`repro.scenarios.load_scenario`, not in
+    argparse, so the same registry serves the CLI and the library API.
+    """
+    sub.add_argument(
+        "--scenario", "--system", dest="system", required=True,
+        metavar="NAME|FILE",
+        help="workload scenario: a library name (see 'repro scenarios "
+             "list'), a spec file, or inline spec text",
+    )
 
 
 def _add_window_args(sub) -> None:
@@ -334,7 +376,15 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _build_system(args, *, span_sink=None, span_tail=0):
-    """System + workload + params for simulate-style subcommands."""
+    """System + workload + compiled scenario for simulate-style commands.
+
+    Dispatch goes through the scenario registry
+    (:func:`repro.scenarios.compile_workload`): ``--scenario`` may be a
+    library name, a spec file, or inline spec text, and an unknown
+    name exits 2 with a one-line error listing the library.  The third
+    element keeps the old ``params`` position — callers read
+    ``.users`` off it, which :class:`CompiledScenario` carries.
+    """
     faults = getattr(args, "faults", None)
     trace_sample = getattr(args, "trace_sample", 0.0)
     spans_out = getattr(args, "spans_out", None)
@@ -342,33 +392,17 @@ def _build_system(args, *, span_sink=None, span_tail=0):
         raise ValueError("--spans-out requires --trace-sample > 0")
     if span_sink is None and spans_out:
         span_sink = EventLog(spans_out)
-    if args.system == "campus":
-        params = CampusParams()
-        if args.users:
-            params.users = args.users
-        system = TracedSystem(
-            seed=args.seed,
-            quota_bytes=params.quota_bytes,
-            mirror_bandwidth=args.mirror_bandwidth,
-            faults=faults,
-            trace_sample=trace_sample,
-            span_sink=span_sink,
-            span_tail=span_tail,
-        )
-        workload = CampusEmailWorkload(params)
-    else:
-        params = EecsParams()
-        if args.users:
-            params.users = args.users
-        system = TracedSystem(
-            seed=args.seed, mirror_bandwidth=args.mirror_bandwidth,
-            faults=faults,
-            trace_sample=trace_sample,
-            span_sink=span_sink,
-            span_tail=span_tail,
-        )
-        workload = EecsResearchWorkload(params)
-    return system, workload, params
+    compiled = compile_workload(args.system, users=args.users or None)
+    system = TracedSystem(
+        seed=args.seed,
+        quota_bytes=compiled.quota_bytes,
+        mirror_bandwidth=args.mirror_bandwidth,
+        faults=faults,
+        trace_sample=trace_sample,
+        span_sink=span_sink,
+        span_tail=span_tail,
+    )
+    return system, compiled.workload, compiled
 
 
 def _close_spans(system) -> int | None:
@@ -395,11 +429,10 @@ def _span_summary_line(system, emitted, args) -> str | None:
 
 
 def _default_users(args) -> int:
-    """The population for simulate-style commands (params default)."""
+    """The population for simulate-style commands (spec default)."""
     if args.users:
         return args.users
-    params = CampusParams() if args.system == "campus" else EecsParams()
-    return params.users
+    return load_scenario(args.system).default_users()
 
 
 def _simulate_sharded(args) -> int:
@@ -1590,6 +1623,85 @@ def cmd_names(args) -> int:
             title="Prediction from filenames",
         )
     )
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """List, show, or validate workload scenarios."""
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if args.action == "list":
+        rows = []
+        payload = []
+        for name in scenario_names():
+            spec = get_scenario(name)
+            kind = spec.model.kind if spec.model is not None else "flowops"
+            rows.append([
+                name, kind, spec.default_users(), len(spec.flowops) or "-",
+                spec.title or "-",
+            ])
+            payload.append({
+                "name": name, "kind": kind,
+                "users": spec.default_users(),
+                "flowops": len(spec.flowops), "title": spec.title,
+            })
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(format_table(
+                ["Name", "Kind", "Users", "Flowops", "Title"], rows,
+                title="Scenario library",
+            ))
+            print("\nrun one with: repro simulate --scenario NAME "
+                  "--days 1 --out trace.txt")
+        return 0
+    if args.ref is None and args.action == "show":
+        raise ValueError("scenarios show needs a scenario name or file")
+    if args.action == "show":
+        print(load_scenario(args.ref).spec())
+        return 0
+    # validate: one reference, or the whole library when none is given
+    refs = [args.ref] if args.ref is not None else scenario_names()
+    results = []
+    for ref in refs:
+        spec = load_scenario(ref)
+        # the round-trip contract is part of "valid": canonical text
+        # must re-parse to an equal object
+        reparsed = ScenarioSpec.parse(spec.spec())
+        if reparsed != spec:
+            raise ValueError(
+                f"scenario {spec.name!r} fails the round-trip contract"
+            )
+        results.append(spec)
+    if args.json:
+        print(json.dumps(
+            [{"name": s.name, "clauses": len(s.clauses), "valid": True}
+             for s in results], indent=2,
+        ))
+    else:
+        for spec in results:
+            print(f"{spec.name}: ok ({len(spec.clauses)} clauses)")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    """Fit a scenario-spec skeleton to a trace (the synthetic twin)."""
+    from repro.scenarios import fit_scenario
+
+    with TraceReader(args.input) as reader:
+        ops, stats = pair_all(reader)
+    if not ops:
+        raise ValueError(f"no pairable operations in {args.input}")
+    spec = fit_scenario(ops, name=args.name)
+    text = spec.spec() + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote scenario {spec.name!r} ({len(spec.clauses)} clauses, "
+              f"fitted from {len(ops)} ops) to {args.out}")
+        print(f"simulate it with: repro simulate --scenario {args.out} "
+              f"--days 1 --out twin.txt")
+    else:
+        print(text, end="")
     return 0
 
 

@@ -96,3 +96,7 @@ class WorkloadConfigError(ReproError):
 
 class FaultSpecError(ReproError):
     """A fault-injection spec string or clause was invalid."""
+
+
+class ScenarioSpecError(ReproError):
+    """A workload-scenario spec string or clause was invalid."""

@@ -1,0 +1,330 @@
+"""The flowops interpreter: one generic generator for every scenario.
+
+:class:`ScenarioWorkload` turns a flowops-based
+:class:`~repro.scenarios.spec.ScenarioSpec` into the same kind of
+arrival-process machinery the hand-coded CAMPUS/EECS generators use —
+``populate`` builds the filesets, ``install`` creates the host pools
+and schedules one nonhomogeneous Poisson process per (user, flowop)
+pair, and every process draws from its own named RNG stream
+(``scenario.<name>.u<uid>.f<i>``), so a scenario's trace is a pure
+function of ``(spec, seed)`` and never perturbs any other stream.
+
+Sharding works exactly as it does for the legacy generators: the
+fileset is world-global (every group world builds the whole namespace;
+only its own users *act*), hosts are group-tagged through
+:meth:`~repro.workloads.base.WorkloadGenerator.domain`, and users keep
+their global uid/login via
+:meth:`~repro.workloads.base.WorkloadGenerator.population_indices`.
+
+Flash crowds are a *rate shape*, not extra scheduling: arrivals are
+drawn by Lewis-Shedler thinning against ``diurnal x flashcrowd``, so
+the spike needs no special casing anywhere else and composes with
+faults and sharding for free.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nfs.procedures import NfsVersion
+from repro.nfs.rpc import Transport
+from repro.simcore.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.diurnal import DiurnalModel, flat_model
+from repro.workloads.harness import TracedSystem
+from repro.workloads.users import User, UserPopulation
+
+from repro.scenarios.spec import (
+    FilesetClause,
+    FlashCrowdClause,
+    FlowopClause,
+    ScenarioSpec,
+)
+
+
+def _has_bytes(op: FlowopClause) -> bool:
+    """Whether the flowop declared an explicit ``bytes`` distribution
+    (the default ``const:0`` means "the whole file")."""
+    return not (op.bytes.kind == "const" and op.bytes.a == 0.0)
+
+
+class _ShapedRate:
+    """``diurnal x flashcrowd`` as one thinnable rate shape.
+
+    Same thinning contract as :class:`DiurnalModel`: candidates are
+    drawn at the combined peak rate and accepted in proportion to the
+    local multiplier, so overlapping crowd windows multiply and the
+    arrival process stays an exact nonhomogeneous Poisson process.
+    """
+
+    def __init__(
+        self, diurnal: DiurnalModel, crowds: tuple[FlashCrowdClause, ...]
+    ) -> None:
+        self._diurnal = diurnal
+        self._crowds = crowds
+        boost = 1.0
+        for crowd in crowds:
+            boost *= crowd.factor
+        #: candidate-rate boost over the plain diurnal peak — candidates
+        #: must be drawn at the *combined* peak or thinning would cap
+        #: the accepted rate at the diurnal ceiling and the crowd would
+        #: suppress off-window traffic instead of spiking the window
+        self._boost = boost
+        #: the largest possible multiplier (all windows open at once)
+        self.peak = diurnal.peak * boost
+
+    def multiplier(self, t: float) -> float:
+        value = self._diurnal.multiplier(t)
+        for crowd in self._crowds:
+            if crowd.active(t):
+                value *= crowd.factor
+        return value
+
+    def next_arrival(
+        self, t: float, mean_interval_at_peak: float, rng: random.Random
+    ) -> float:
+        candidate = t
+        interval = mean_interval_at_peak / self._boost
+        for _ in range(100_000):
+            candidate += rng.expovariate(1.0 / interval)
+            if rng.random() < self.multiplier(candidate) / self.peak:
+                return candidate
+        return t + SECONDS_PER_WEEK
+
+
+class _Fileset:
+    """One built fileset: the leaf directories and file paths."""
+
+    def __init__(self, clause: FilesetClause, root: str) -> None:
+        self.clause = clause
+        self.root = root
+        #: leaf directory paths, index ``d % dirs``
+        self.leaves: list[str] = []
+        for d in range(clause.dirs):
+            parts = [root] + [f"d{d:03d}"] * clause.depth
+            self.leaves.append("/".join(parts))
+        #: file path by index; file ``i`` lives in leaf ``i % dirs``
+        self.paths = [
+            f"{self.leaves[i % clause.dirs]}/"
+            f"{clause.prefix}{i:05d}.{clause.suffix}"
+            for i in range(clause.files)
+        ]
+
+    def pick(self, rng: random.Random) -> str:
+        return self.paths[rng.randrange(len(self.paths))]
+
+
+class ScenarioWorkload(WorkloadGenerator):
+    """Interprets a flowops scenario onto a :class:`TracedSystem`."""
+
+    def __init__(self, spec: ScenarioSpec, *, group=None) -> None:
+        if spec.model is not None:
+            raise ValueError(
+                f"scenario {spec.name!r} is model-backed; compile it via "
+                f"repro.scenarios.compile_workload"
+            )
+        super().__init__(spec.name, group=group)
+        self.spec = spec
+        diurnal_clause = spec.diurnal
+        if diurnal_clause.shape == "flat":
+            diurnal = flat_model()
+        else:
+            diurnal = DiurnalModel(
+                weekend_factor=diurnal_clause.weekend,
+                floor=diurnal_clause.floor,
+            )
+        self.diurnal = diurnal
+        self.rate = _ShapedRate(diurnal, tuple(spec.flashcrowds))
+        #: peak-hours rate convention shared with the legacy generators
+        self.mean_mult = (
+            sum(diurnal.hourly_profile()) / len(diurnal.hourly_profile())
+        )
+        self.population: UserPopulation | None = None
+        self.filesets: dict[str, _Fileset] = {}
+        #: per-(uid, flowop-index) churn backlog: paths awaiting unlink
+        self._live_churn: dict[tuple[int, int], list[str]] = {}
+
+    # -- setup -------------------------------------------------------------
+
+    def populate(self, system: TracedSystem) -> None:
+        """Build every fileset; sizes come from the populate stream."""
+        spec = self.spec
+        pop = spec.population
+        rng = system.rngs.stream(f"scenario.{spec.name}.populate")
+        indices = self.population_indices(pop.users)
+        self.population = UserPopulation(
+            pop.users if indices is None else len(indices), rng,
+            first_uid=pop.first_uid, gid=pop.gid,
+            login_prefix=pop.prefix, skew_alpha=pop.skew,
+            indices=indices,
+        )
+        fs = system.fs
+        for clause in spec.filesets:
+            fileset = _Fileset(clause, f"/data/{spec.name}/{clause.name}")
+            self.filesets[clause.name] = fileset
+            made = {}
+            for leaf in fileset.leaves:
+                made[leaf] = fs.makedirs(
+                    leaf, 0.0, uid=pop.first_uid, gid=pop.gid
+                )
+            for i, path in enumerate(fileset.paths):
+                leaf = fileset.leaves[i % clause.dirs]
+                name = path.rsplit("/", 1)[1]
+                node = fs.create(
+                    made[leaf].handle, name, 0.0,
+                    uid=pop.first_uid, gid=pop.gid,
+                )
+                size = int(clause.size.sample(rng))
+                if size > 0:
+                    fs.write(node.handle, 0, size, 0.0)
+
+    def install(self, system: TracedSystem) -> None:
+        """Create the host pools and start every arrival process."""
+        spec = self.spec
+        for pool in spec.hosts:
+            for i in range(pool.count):
+                system.add_client(
+                    f"{pool.name}{i}.{self.domain(spec.name)}",
+                    transport=(Transport.TCP if pool.transport == "tcp"
+                               else Transport.UDP),
+                    version=(NfsVersion.V3 if pool.version == 3
+                             else NfsVersion.V2),
+                    nfsiod_count=pool.nfsiod,
+                    cache_blocks=pool.cache_blocks,
+                    name_timeout=pool.name_timeout,
+                )
+        default_pool = spec.hosts[0].name
+        for user in self.population:
+            for i, op in enumerate(spec.flowops):
+                rng = system.rngs.stream(
+                    f"scenario.{spec.name}.u{user.uid}.f{i}"
+                )
+                rate = op.rate * user.activity
+                interval = SECONDS_PER_DAY * self.mean_mult / max(rate, 0.1)
+                pool = op.hosts or default_pool
+                self._schedule(system, user, rng, op, i, pool, interval)
+
+    def _client(self, system: TracedSystem, user: User, pool: str):
+        clause = next(h for h in self.spec.hosts if h.name == pool)
+        host = f"{pool}{user.uid % clause.count}.{self.domain(self.spec.name)}"
+        return system.clients[host]
+
+    # -- the arrival loop --------------------------------------------------
+
+    def _schedule(self, system, user, rng, op, index, pool, interval) -> None:
+        when = self.rate.next_arrival(system.clock.now, interval, rng)
+        system.loop.schedule(
+            when,
+            lambda: self._fire(system, user, rng, op, index, pool, interval),
+        )
+
+    def _fire(self, system, user, rng, op, index, pool, interval) -> None:
+        client = self._client(system, user, pool)
+        fileset = self.filesets[op.fileset]
+        action = getattr(self, f"_op_{op.op}")
+        for burst in range(op.burst):
+            if burst == 0:
+                action(system, client, user, rng, op, index, fileset)
+            else:
+                delay = max(0.0, op.think.sample(rng))
+                system.loop.schedule_in(
+                    delay * burst,
+                    lambda: action(
+                        system, client, user, rng, op, index, fileset
+                    ),
+                )
+        self.count(f"flowop.{op.op}")
+        self._schedule(system, user, rng, op, index, pool, interval)
+
+    # -- flowop kinds ------------------------------------------------------
+
+    def _op_read(self, system, client, user, rng, op, index, fileset) -> None:
+        try:
+            of = client.open(fileset.pick(rng), uid=user.uid, gid=user.gid)
+        except FileNotFoundError:
+            return
+        size = of.size
+        if size <= 0:
+            client.close(of)
+            return
+        count = int(op.bytes.sample(rng)) if _has_bytes(op) else size
+        count = max(1, min(count, size))
+        if op.pattern == "rand":
+            offset = rng.randrange(0, max(1, size - count + 1))
+        else:
+            offset = 0
+        client.read(of, offset, count)
+        client.close(of)
+
+    def _op_write(self, system, client, user, rng, op, index, fileset) -> None:
+        try:
+            of = client.open(fileset.pick(rng), uid=user.uid, gid=user.gid)
+        except FileNotFoundError:
+            return
+        size = max(of.size, 1)
+        count = int(op.bytes.sample(rng)) if _has_bytes(op) else size
+        count = max(1, count)
+        if op.pattern == "rand":
+            offset = rng.randrange(0, size)
+        else:
+            offset = 0
+        client.write(of, offset, count)
+        client.close(of)
+
+    def _op_append(self, system, client, user, rng, op, index, fileset) -> None:
+        try:
+            of = client.open(fileset.pick(rng), uid=user.uid, gid=user.gid)
+        except FileNotFoundError:
+            return
+        count = max(1, int(op.bytes.sample(rng)) or 1024)
+        client.append(of, count)
+        # cap: rotate the file back so week-long runs stay bounded
+        if op.cap and of.size > op.cap:
+            client.truncate(of, op.cap // 2)
+            self.count("flowop.append.rotations")
+        client.close(of)
+
+    def _op_churn(self, system, client, user, rng, op, index, fileset) -> None:
+        """Create a transient file, write it, unlink after ``lifetime``."""
+        leaf = fileset.leaves[rng.randrange(len(fileset.leaves))]
+        path = (f"{leaf}/{fileset.clause.prefix}-u{user.uid}"
+                f"-{rng.randrange(10**6):06d}.tmp")
+        try:
+            of = client.create(path, uid=user.uid, gid=user.gid)
+        except (FileExistsError, OSError):
+            return
+        count = int(op.bytes.sample(rng))
+        if count > 0:
+            client.write(of, 0, count)
+        client.close(of)
+        live = self._live_churn.setdefault((user.uid, index), [])
+        live.append(path)
+        lifetime = max(0.1, op.lifetime.sample(rng))
+        system.loop.schedule_in(
+            lifetime, lambda: self._reap(client, user, index, path)
+        )
+        # a cap keeps the backlog bounded if lifetimes outrun arrivals
+        if op.cap and len(live) > op.cap:
+            victim = live.pop(0)
+            client.unlink(victim, uid=user.uid)
+
+    def _reap(self, client, user, index, path) -> None:
+        live = self._live_churn.get((user.uid, index))
+        if live is None or path not in live:
+            return  # already evicted by the cap
+        live.remove(path)
+        client.unlink(path, uid=user.uid)
+        self.count("flowop.churn.reaped")
+
+    def _op_scan(self, system, client, user, rng, op, index, fileset) -> None:
+        """readdir one leaf and stat every entry: the metadata storm."""
+        leaf = fileset.leaves[rng.randrange(len(fileset.leaves))]
+        try:
+            names = client.readdir(leaf, uid=user.uid, gid=user.gid)
+        except FileNotFoundError:
+            return
+        for name in names:
+            client.stat(f"{leaf}/{name}", uid=user.uid, gid=user.gid)
+
+    def _op_stat(self, system, client, user, rng, op, index, fileset) -> None:
+        client.stat(fileset.pick(rng), uid=user.uid, gid=user.gid)

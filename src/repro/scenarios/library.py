@@ -1,0 +1,173 @@
+"""The built-in scenario library.
+
+Every entry is a spec *string* in the DSL of
+:mod:`repro.scenarios.spec` — the library is data, exactly like a
+user's scenario file, and every entry is validated by the test suite
+and the ``scenario-smoke`` CI gate (deterministic across reruns,
+shard-stable, ``repro scenarios validate`` clean).
+
+The two paper workloads (``campus``, ``eecs``) are model-backed: they
+compile to the legacy hand-coded generators and therefore produce
+traces byte-identical to the pre-DSL ``--system campus/eecs`` paths.
+The rest exercise the generic flowops interpreter:
+
+* ``fileserver`` — the filebench ``fileserver.f`` shape: a web/file
+  server's read-mostly document tree with append logs and tmp churn.
+* ``ci-build`` — a CI build farm: source-tree stat storms, compile
+  reads, object churn, log appends, flat rhythm (farms never sleep).
+* ``hpc-scratch`` — HPC scratch churn: large sequential checkpoint
+  writes and reads, short-lived staging files, weekend-heavy batch.
+* ``backup-sweep`` — a nightly backup/scan walker: directory scans and
+  whole-file sequential reads of everything, tiny catalog appends.
+* ``flash-fileserver`` — ``fileserver`` plus a ``flashcrowd`` phase
+  modifier: a Tuesday-morning 8x load spike, the phase-change stressor
+  for monitoring/alerting experiments.
+
+Use :func:`load_scenario` to resolve a CLI argument (library name,
+spec text, or a path to a spec file) into a validated spec.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ScenarioSpecError
+from repro.scenarios.spec import ScenarioSpec
+
+LIBRARY: dict[str, str] = {
+    "campus": """
+        # The paper's CAMPUS system: email over NFSv3/TCP (Section 3.2).
+        scenario(name=campus,title=CAMPUS email service)
+        model(kind=campus)
+    """,
+    "eecs": """
+        # The paper's EECS system: research home directories (Section 3.1).
+        scenario(name=eecs,title=EECS research home directories)
+        model(kind=eecs)
+    """,
+    "fileserver": """
+        # A read-mostly web/file server over a documents tree, with
+        # access logs and tmp-file churn (the filebench fileserver.f
+        # shape re-expressed in this grammar).
+        scenario(name=fileserver,title=Web and file serving)
+        population(users=24,first_uid=3000,gid=300,prefix=fs)
+        hosts(name=web,count=4,transport=tcp,version=3,cache_blocks=2048)
+        hosts(name=upload,count=1,transport=tcp,version=3)
+        fileset(name=docs,files=500,size=lognorm:16000:1.2,dirs=20,depth=2,prefix=doc,suffix=html)
+        fileset(name=logs,files=8,size=const:4096,prefix=access,suffix=log)
+        fileset(name=tmp,files=4,size=const:0,dirs=2,prefix=spool,suffix=tmp)
+        flowop(op=read,fileset=docs,rate=220,hosts=web,pattern=seq)
+        flowop(op=stat,fileset=docs,rate=120,hosts=web,burst=4,think=const:0.05)
+        flowop(op=append,fileset=logs,rate=260,hosts=web,bytes=uniform:80:400,cap=1000000)
+        flowop(op=write,fileset=docs,rate=9,hosts=upload,bytes=lognorm:16000:1.2)
+        flowop(op=churn,fileset=tmp,rate=30,hosts=upload,bytes=lognorm:9000:1,lifetime=expo:120,cap=40)
+        diurnal(shape=weekday)
+    """,
+    "ci-build": """
+        # A continuous-integration build farm: dependency stat sweeps,
+        # source reads, object-file churn, unbuffered build logs.  CI
+        # farms run around the clock, so the rhythm is flat.
+        scenario(name=ci-build,title=CI build farm)
+        population(users=12,first_uid=4000,gid=400,prefix=ci,skew=1.2)
+        hosts(name=builder,count=6,transport=tcp,version=3,nfsiod=8,cache_blocks=1024)
+        fileset(name=srcs,files=300,size=lognorm:6000:1,dirs=12,depth=3,prefix=src,suffix=c)
+        fileset(name=objs,files=6,size=const:0,dirs=6,prefix=obj,suffix=o)
+        fileset(name=buildlogs,files=6,size=const:1024,prefix=build,suffix=log)
+        flowop(op=scan,fileset=srcs,rate=160,burst=2,think=const:0.2)
+        flowop(op=read,fileset=srcs,rate=420,pattern=seq,burst=6,think=expo:0.5)
+        flowop(op=churn,fileset=objs,rate=240,bytes=lognorm:9000:0.8,lifetime=expo:420,cap=80)
+        flowop(op=append,fileset=buildlogs,rate=300,bytes=uniform:100:900,burst=8,think=const:0.3,cap=2000000)
+        diurnal(shape=flat)
+    """,
+    "hpc-scratch": """
+        # HPC scratch-space churn: multi-megabyte sequential checkpoint
+        # writes, re-reads at restart, staging files that live minutes.
+        # Batch queues drain hardest when interactive users leave, so
+        # weekends run hotter than the academic-week shape.
+        scenario(name=hpc-scratch,title=HPC scratch churn)
+        population(users=8,first_uid=5000,gid=500,prefix=hpc,skew=1.3)
+        hosts(name=node,count=8,transport=tcp,version=3,nfsiod=16,cache_blocks=4096)
+        fileset(name=ckpt,files=16,size=lognorm:2000000:0.5,dirs=4,prefix=ckpt,suffix=dat)
+        fileset(name=stage,files=4,size=const:0,dirs=4,prefix=stage,suffix=dat)
+        flowop(op=write,fileset=ckpt,rate=24,bytes=lognorm:1500000:0.4,pattern=seq)
+        flowop(op=read,fileset=ckpt,rate=10,pattern=seq)
+        flowop(op=read,fileset=ckpt,rate=30,bytes=uniform:100000:600000,pattern=rand)
+        flowop(op=churn,fileset=stage,rate=40,bytes=lognorm:400000:0.8,lifetime=expo:300,cap=24)
+        flowop(op=stat,fileset=ckpt,rate=60,burst=4,think=const:0.1)
+        diurnal(shape=weekday,weekend=0.9,floor=0.3)
+    """,
+    "backup-sweep": """
+        # A backup/virus-scan walker: stat storms over the whole tree,
+        # whole-file sequential reads, and small catalog appends.  The
+        # inverted rhythm (floor-heavy, low weekend factor barely
+        # matters) approximates a nightly window without a cron hook:
+        # the walker idles at the floor rate during the day and the
+        # flat weekday shape keeps it moving all week.
+        scenario(name=backup-sweep,title=Backup and scan sweep)
+        population(users=4,first_uid=6000,gid=600,prefix=bk,skew=1.1)
+        hosts(name=walker,count=2,transport=tcp,version=3,cache_blocks=256)
+        fileset(name=tree,files=400,size=lognorm:20000:1.5,dirs=25,depth=2,prefix=file,suffix=dat)
+        fileset(name=catalog,files=2,size=const:8192,prefix=cat,suffix=db)
+        flowop(op=scan,fileset=tree,rate=180,burst=5,think=const:0.5)
+        flowop(op=read,fileset=tree,rate=700,pattern=seq)
+        flowop(op=append,fileset=catalog,rate=250,bytes=uniform:60:300,cap=4000000)
+        diurnal(shape=flat)
+    """,
+    "flash-fileserver": """
+        # The fileserver scenario under a flash crowd: an 8x spike for
+        # two hours on Tuesday morning of the simulated week (the
+        # simulation starts on a warm-up Sunday, so Tuesday is day 2).
+        scenario(name=flash-fileserver,title=Fileserver with a flash crowd)
+        population(users=24,first_uid=3000,gid=300,prefix=fs)
+        hosts(name=web,count=4,transport=tcp,version=3,cache_blocks=2048)
+        hosts(name=upload,count=1,transport=tcp,version=3)
+        fileset(name=docs,files=500,size=lognorm:16000:1.2,dirs=20,depth=2,prefix=doc,suffix=html)
+        fileset(name=logs,files=8,size=const:4096,prefix=access,suffix=log)
+        fileset(name=tmp,files=4,size=const:0,dirs=2,prefix=spool,suffix=tmp)
+        flowop(op=read,fileset=docs,rate=220,hosts=web,pattern=seq)
+        flowop(op=stat,fileset=docs,rate=120,hosts=web,burst=4,think=const:0.05)
+        flowop(op=append,fileset=logs,rate=260,hosts=web,bytes=uniform:80:400,cap=1000000)
+        flowop(op=write,fileset=docs,rate=9,hosts=upload,bytes=lognorm:16000:1.2)
+        flowop(op=churn,fileset=tmp,rate=30,hosts=upload,bytes=lognorm:9000:1,lifetime=expo:120,cap=40)
+        diurnal(shape=weekday)
+        flashcrowd(at=208800,dur=7200,factor=8)
+    """,
+}
+
+
+def scenario_names() -> list[str]:
+    """Library entry names, stable order."""
+    return list(LIBRARY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """One library entry by name, parsed and validated."""
+    text = LIBRARY.get(name)
+    if text is None:
+        raise ScenarioSpecError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(scenario_names())}"
+        )
+    return ScenarioSpec.parse(text)
+
+
+def load_scenario(ref: "str | ScenarioSpec") -> ScenarioSpec:
+    """Resolve a CLI-style reference into a validated spec.
+
+    ``ref`` may be a :class:`ScenarioSpec`, inline spec text (anything
+    containing a ``(``), a library name, or a path to a spec file.
+    Unknown names produce a one-line error listing the library.
+    """
+    if isinstance(ref, ScenarioSpec):
+        return ref
+    if "(" in ref:
+        return ScenarioSpec.parse(ref)
+    if ref in LIBRARY:
+        return get_scenario(ref)
+    path = Path(ref)
+    if path.is_file():
+        return ScenarioSpec.parse(path.read_text())
+    raise ScenarioSpecError(
+        f"unknown scenario {ref!r} (not a library name or a spec file); "
+        f"available: {', '.join(scenario_names())}"
+    )

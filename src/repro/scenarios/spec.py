@@ -1,0 +1,665 @@
+"""The declarative workload-scenario DSL.
+
+A :class:`ScenarioSpec` is a list of clauses describing one synthetic
+workload — the filebench idea (filesets, processes, flowops) expressed
+in the same frozen/validated/round-tripping grammar style as
+:mod:`repro.faults.spec`.  Scenarios are *data*: they live in files or
+in the built-in library (:mod:`repro.scenarios.library`), and compile
+into the existing :class:`~repro.workloads.base.WorkloadGenerator`
+machinery (:mod:`repro.scenarios.compile`).
+
+Grammar::
+
+    SPEC    := clause (SEP clause)*        SEP = ';' or newline
+    clause  := name '(' key '=' value (',' key '=' value)* ')'
+    # comments run to end of line
+
+    scenario(name=web-fileserver[,title=...])
+    model(kind=campus|eecs[,PARAM=VALUE...])
+    population(users=24[,first_uid=1000][,gid=100][,prefix=u][,skew=1.8])
+    hosts(name=web,count=3[,transport=tcp|udp][,version=2|3]
+          [,nfsiod=4][,cache_blocks=65536][,name_timeout=30])
+    fileset(name=docs,files=400,size=DIST[,dirs=8][,depth=1]
+            [,prefix=f][,suffix=dat])
+    flowop(op=read|write|append|churn|scan|stat,fileset=F,rate=R
+           [,hosts=H][,bytes=DIST][,pattern=seq|rand][,burst=N]
+           [,think=DIST][,lifetime=DIST][,cap=N])
+    diurnal(shape=weekday|flat[,weekend=0.35][,floor=0.04])
+    flashcrowd(at=T,dur=D,factor=F)
+
+``DIST`` is a size/duration distribution: ``const:n``, ``uniform:a:b``,
+``lognorm:median:sigma``, or ``expo:mean``.
+
+A scenario is either **model-backed** — a single ``model()`` clause
+naming one of the hand-coded paper generators (CAMPUS email, EECS
+research), with optional parameter overrides; these compile to the
+legacy classes and therefore produce traces *byte-identical* to them —
+or **flowops-based** — ``population`` + ``hosts`` + ``fileset`` +
+``flowop`` clauses interpreted by the generic
+:class:`~repro.scenarios.generator.ScenarioWorkload`.
+
+``flowop.rate`` is events per user-day at the diurnal peak (the same
+convention the legacy generators use); ``burst``/``think`` repeat the
+flowop's action within one arrival, spaced by the think-time
+distribution.  ``flashcrowd`` multiplies every arrival rate inside its
+window — the phase modifier for load-spike scenarios.
+
+Everything raises :class:`~repro.errors.ScenarioSpecError` on invalid
+input, and ``ScenarioSpec.parse(spec.spec()) == spec`` holds for every
+valid spec (the round-trip contract, property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, fields
+
+from repro.errors import ScenarioSpecError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]{0,39}$")
+
+_DIST_KINDS = ("const", "uniform", "lognorm", "expo")
+
+_TRANSPORTS = ("tcp", "udp")
+_PATTERNS = ("seq", "rand")
+_SHAPES = ("weekday", "flat")
+_FLOWOP_KINDS = ("read", "write", "append", "churn", "scan", "stat")
+_MODEL_KINDS = ("campus", "eecs")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioSpecError(message)
+
+
+def _valid_name(name: str, what: str) -> str:
+    _require(
+        isinstance(name, str) and bool(_NAME_RE.match(name)),
+        f"{what} must match [a-z][a-z0-9_-]*, got {name!r}",
+    )
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Distributions
+
+
+@dataclass(frozen=True)
+class Dist:
+    """A size/duration distribution: ``kind:arg[:arg]`` in spec text.
+
+    ``const:n`` always yields ``n``; ``uniform:a:b`` is uniform on
+    [a, b]; ``lognorm:median:sigma`` is ``median * exp(N(0, sigma))``;
+    ``expo:mean`` is exponential with the given mean.  ``sample`` draws
+    from a caller-provided RNG stream so scenarios stay deterministic.
+    """
+
+    kind: str
+    a: float
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.kind in _DIST_KINDS,
+                 f"distribution kind must be one of {_DIST_KINDS}, "
+                 f"got {self.kind!r}")
+        _require(math.isfinite(self.a) and math.isfinite(self.b),
+                 f"distribution arguments must be finite, got {self!r}")
+        _require(self.a >= 0.0, f"{self.kind}: arguments must be >= 0")
+        if self.kind == "uniform":
+            _require(self.b >= self.a,
+                     f"uniform: upper bound {self.b:g} below lower {self.a:g}")
+        elif self.kind == "lognorm":
+            _require(self.a > 0.0, "lognorm: median must be positive")
+            _require(self.b >= 0.0, "lognorm: sigma must be >= 0")
+        elif self.kind == "expo":
+            _require(self.a > 0.0, "expo: mean must be positive")
+
+    @classmethod
+    def parse(cls, text: str) -> "Dist":
+        parts = str(text).split(":")
+        kind = parts[0]
+        _require(kind in _DIST_KINDS,
+                 f"distribution kind must be one of {_DIST_KINDS}, "
+                 f"got {kind!r}")
+        expected = 3 if kind in ("uniform", "lognorm") else 2
+        _require(len(parts) == expected,
+                 f"{kind} takes {expected - 1} argument(s), got {text!r}")
+        try:
+            args = [float(p) for p in parts[1:]]
+        except ValueError as exc:
+            raise ScenarioSpecError(f"bad distribution {text!r}") from exc
+        return cls(kind, *args)
+
+    def spec(self) -> str:
+        if self.kind in ("uniform", "lognorm"):
+            return f"{self.kind}:{self.a:g}:{self.b:g}"
+        return f"{self.kind}:{self.a:g}"
+
+    def sample(self, rng) -> float:
+        """One draw; never negative."""
+        if self.kind == "const":
+            return self.a
+        if self.kind == "uniform":
+            return rng.uniform(self.a, self.b)
+        if self.kind == "lognorm":
+            return self.a * rng.lognormvariate(0.0, self.b)
+        return rng.expovariate(1.0 / self.a)
+
+    def mean(self) -> float:
+        """The distribution mean (for rate math and reports)."""
+        if self.kind == "const":
+            return self.a
+        if self.kind == "uniform":
+            return (self.a + self.b) / 2.0
+        if self.kind == "lognorm":
+            return self.a * math.exp(self.b * self.b / 2.0)
+        return self.a
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+
+#: Keys whose values stay strings when parsing (everything else is
+#: numeric); distribution-valued keys get their own set below.
+_STRING_KEYS = {"name", "title", "kind", "transport", "pattern", "shape",
+                "prefix", "suffix", "fileset", "hosts", "op"}
+_DIST_KEYS = {"size", "bytes", "think", "lifetime"}
+
+
+@dataclass(frozen=True)
+class ScenarioClause:
+    """Base class: one ``name(key=value,...)`` clause."""
+
+    #: spec-string clause name (overridden per subclass)
+    cname = "clause"
+
+    def spec(self) -> str:
+        """Canonical spec text; non-default fields in field order."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if isinstance(value, Dist):
+                rendered = value.spec()
+            elif isinstance(value, float):
+                rendered = f"{value:g}"
+            else:
+                rendered = str(value)
+            parts.append(f"{f.name}={rendered}")
+        return f"{self.cname}({','.join(parts)})"
+
+
+@dataclass(frozen=True)
+class ScenarioDecl(ScenarioClause):
+    """``scenario(name=...)`` — identity; exactly one per spec."""
+
+    name: str = ""
+    title: str = ""
+
+    cname = "scenario"
+
+    def __post_init__(self) -> None:
+        _valid_name(self.name, "scenario: name")
+        _require(not any(c in self.title for c in ",()=;#\n"),
+                 "scenario: title must not contain , ( ) = ; # or newline")
+        _require(self.title == self.title.strip(),
+                 "scenario: title must not have surrounding whitespace")
+
+
+@dataclass(frozen=True)
+class ModelClause(ScenarioClause):
+    """``model(kind=campus)`` — a paper generator, spec-overridable.
+
+    ``overrides`` map onto the generator's params dataclass
+    (:class:`~repro.workloads.email_campus.CampusParams` /
+    :class:`~repro.workloads.research_eecs.EecsParams`); unknown keys
+    are rejected at validation time, so a scenario can never silently
+    misspell a knob.
+    """
+
+    kind: str = ""
+    overrides: tuple[tuple[str, float], ...] = ()
+
+    cname = "model"
+
+    def __post_init__(self) -> None:
+        _require(self.kind in _MODEL_KINDS,
+                 f"model: kind must be one of {_MODEL_KINDS}, "
+                 f"got {self.kind!r}")
+        seen = set()
+        for key, value in self.overrides:
+            _require(key not in seen, f"model: duplicate override {key!r}")
+            seen.add(key)
+            allowed = _model_param_fields(self.kind)
+            _require(key in allowed,
+                     f"model: {self.kind} has no parameter {key!r} "
+                     f"(known: {', '.join(sorted(allowed))})")
+            _require(isinstance(value, (int, float)) and value >= 0,
+                     f"model: {key} must be a number >= 0, got {value!r}")
+
+    def spec(self) -> str:
+        parts = [f"kind={self.kind}"]
+        parts.extend(f"{key}={value:g}" for key, value in self.overrides)
+        return f"{self.cname}({','.join(parts)})"
+
+
+def _model_param_fields(kind: str) -> set[str]:
+    """Numeric parameter names of a model's params dataclass."""
+    # deferred import: scenarios sit on top of workloads
+    from repro.workloads.email_campus import CampusParams
+    from repro.workloads.research_eecs import EecsParams
+
+    cls = CampusParams if kind == "campus" else EecsParams
+    return {
+        f.name for f in fields(cls)
+        if f.type in ("int", "float") or isinstance(f.default, (int, float))
+    }
+
+
+@dataclass(frozen=True)
+class PopulationClause(ScenarioClause):
+    """``population(users=N,...)`` — who generates the load."""
+
+    users: int = 0
+    first_uid: int = 1000
+    gid: int = 100
+    prefix: str = "u"
+    skew: float = 1.8
+
+    cname = "population"
+
+    def __post_init__(self) -> None:
+        _require(1 <= self.users <= 1_000_000,
+                 f"population: users must be in [1, 1000000], "
+                 f"got {self.users}")
+        _require(self.first_uid >= 0, "population: first_uid must be >= 0")
+        _require(self.gid >= 0, "population: gid must be >= 0")
+        _valid_name(self.prefix, "population: prefix")
+        _require(1.05 <= self.skew <= 10.0,
+                 f"population: skew must be in [1.05, 10], got {self.skew:g}")
+
+
+@dataclass(frozen=True)
+class HostsClause(ScenarioClause):
+    """``hosts(name=web,count=3,...)`` — one pool of client hosts."""
+
+    name: str = ""
+    count: int = 1
+    transport: str = "tcp"
+    version: int = 3
+    nfsiod: int = 4
+    cache_blocks: int = 65536
+    name_timeout: float = 30.0
+
+    cname = "hosts"
+
+    def __post_init__(self) -> None:
+        _valid_name(self.name, "hosts: name")
+        _require(1 <= self.count <= 4096,
+                 f"hosts: count must be in [1, 4096], got {self.count}")
+        _require(self.transport in _TRANSPORTS,
+                 f"hosts: transport must be one of {_TRANSPORTS}")
+        _require(self.version in (2, 3),
+                 f"hosts: version must be 2 or 3, got {self.version}")
+        _require(1 <= self.nfsiod <= 64,
+                 f"hosts: nfsiod must be in [1, 64], got {self.nfsiod}")
+        _require(1 <= self.cache_blocks <= 10_000_000,
+                 "hosts: cache_blocks must be in [1, 10000000]")
+        _require(self.name_timeout > 0,
+                 "hosts: name_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class FilesetClause(ScenarioClause):
+    """``fileset(name=docs,files=N,size=DIST,...)`` — pre-built files.
+
+    ``dirs`` leaf directories, each ``depth`` levels below the fileset
+    root, hold the ``files`` entries round-robin — deep trees make
+    lookups walk chains the way real namespaces do.
+    """
+
+    name: str = ""
+    files: int = 0
+    size: Dist = Dist("const", 1024.0)
+    dirs: int = 1
+    depth: int = 1
+    prefix: str = "f"
+    suffix: str = "dat"
+
+    cname = "fileset"
+
+    def __post_init__(self) -> None:
+        _valid_name(self.name, "fileset: name")
+        _require(1 <= self.files <= 1_000_000,
+                 f"fileset: files must be in [1, 1000000], got {self.files}")
+        _require(1 <= self.dirs <= 10_000,
+                 f"fileset: dirs must be in [1, 10000], got {self.dirs}")
+        _require(1 <= self.depth <= 8,
+                 f"fileset: depth must be in [1, 8], got {self.depth}")
+        _valid_name(self.prefix, "fileset: prefix")
+        _valid_name(self.suffix, "fileset: suffix")
+
+
+@dataclass(frozen=True)
+class FlowopClause(ScenarioClause):
+    """``flowop(op=read,fileset=F,rate=R,...)`` — one arrival process.
+
+    Per user: arrivals follow the diurnal rhythm at ``rate`` events per
+    user-day (peak-hours convention), each performing ``burst``
+    iterations of the action spaced by ``think`` seconds.
+
+    * ``read``/``write`` move ``bytes`` (whole file when omitted) at
+      ``pattern`` seq (offset 0) or rand positioning;
+    * ``append`` grows the victim (``cap`` truncates it back, so week
+      runs don't grow files without bound);
+    * ``churn`` creates a fresh file, writes ``bytes``, and unlinks it
+      after ``lifetime`` seconds — the create/delete churn category;
+    * ``scan`` readdirs a leaf directory and stats every entry (the
+      getattr/lookup metadata storm);
+    * ``stat`` stats ``burst`` random fileset members.
+    """
+
+    op: str = ""
+    fileset: str = ""
+    rate: float = 0.0
+    hosts: str = ""
+    bytes: Dist = Dist("const", 0.0)
+    pattern: str = "seq"
+    burst: int = 1
+    think: Dist = Dist("const", 0.0)
+    lifetime: Dist = Dist("const", 60.0)
+    cap: int = 0
+
+    cname = "flowop"
+
+    def __post_init__(self) -> None:
+        _require(self.op in _FLOWOP_KINDS,
+                 f"flowop: op must be one of {_FLOWOP_KINDS}, "
+                 f"got {self.op!r}")
+        _valid_name(self.fileset, "flowop: fileset")
+        _require(0.0 < self.rate <= 1_000_000.0,
+                 f"flowop: rate must be in (0, 1000000], got {self.rate!r}")
+        if self.hosts:
+            _valid_name(self.hosts, "flowop: hosts")
+        _require(self.pattern in _PATTERNS,
+                 f"flowop: pattern must be one of {_PATTERNS}")
+        _require(1 <= self.burst <= 10_000,
+                 f"flowop: burst must be in [1, 10000], got {self.burst}")
+        _require(self.cap >= 0, "flowop: cap must be >= 0")
+
+
+@dataclass(frozen=True)
+class DiurnalClause(ScenarioClause):
+    """``diurnal(shape=weekday|flat,...)`` — the weekly rhythm."""
+
+    shape: str = "weekday"
+    weekend: float = 0.35
+    floor: float = 0.04
+
+    cname = "diurnal"
+
+    def __post_init__(self) -> None:
+        _require(self.shape in _SHAPES,
+                 f"diurnal: shape must be one of {_SHAPES}")
+        _require(0.0 < self.weekend <= 1.0,
+                 "diurnal: weekend must be in (0, 1]")
+        _require(0.0 < self.floor <= 1.0, "diurnal: floor must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FlashCrowdClause(ScenarioClause):
+    """``flashcrowd(at=T,dur=D,factor=F)`` — a load-spike modifier.
+
+    Every flowop's arrival rate is multiplied by ``factor`` during
+    ``[at, at + dur)`` of simulated time.  Stackable; overlapping
+    windows multiply.
+    """
+
+    at: float = 0.0
+    dur: float = 0.0
+    factor: float = 1.0
+
+    cname = "flashcrowd"
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0.0, "flashcrowd: at must be >= 0")
+        _require(self.dur > 0.0, "flashcrowd: dur must be positive")
+        _require(1.0 < self.factor <= 1000.0,
+                 f"flashcrowd: factor must be in (1, 1000], "
+                 f"got {self.factor:g}")
+
+    def active(self, time: float) -> bool:
+        return self.at <= time < self.at + self.dur
+
+
+_CLAUSE_TYPES = {
+    cls.cname: cls
+    for cls in (ScenarioDecl, ModelClause, PopulationClause, HostsClause,
+                FilesetClause, FlowopClause, DiurnalClause, FlashCrowdClause)
+}
+
+_INT_KEYS = {"users", "first_uid", "gid", "count", "version", "nfsiod",
+             "cache_blocks", "files", "dirs", "depth", "burst", "cap"}
+
+_CLAUSE_RE = re.compile(r"^\s*([a-z_]+)\s*\(([^()]*)\)\s*$")
+
+
+def _parse_clause(text: str) -> ScenarioClause:
+    match = _CLAUSE_RE.match(text)
+    if match is None:
+        raise ScenarioSpecError(f"malformed scenario clause: {text!r}")
+    name, body = match.group(1), match.group(2)
+    cls = _CLAUSE_TYPES.get(name)
+    if cls is None:
+        raise ScenarioSpecError(
+            f"unknown clause {name!r}; expected one of {sorted(_CLAUSE_TYPES)}"
+        )
+    kwargs: dict[str, object] = {}
+    overrides: list[tuple[str, float]] = []
+    known = {f.name for f in fields(cls)}
+    for token in filter(None, (t.strip() for t in body.split(","))):
+        key, sep, raw = token.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if not sep or not key or not raw:
+            raise ScenarioSpecError(f"{name}: malformed argument {token!r}")
+        if key in kwargs or any(key == k for k, _ in overrides):
+            raise ScenarioSpecError(f"{name}: duplicate argument {key!r}")
+        if cls is ModelClause and key not in known:
+            # model params ride along as overrides, validated against
+            # the params dataclass in ModelClause.__post_init__
+            try:
+                overrides.append((key, float(raw)))
+            except ValueError as exc:
+                raise ScenarioSpecError(
+                    f"model: bad value in {token!r}") from exc
+            continue
+        if key not in known:
+            raise ScenarioSpecError(
+                f"{name}: unknown argument {key!r} "
+                f"(known: {', '.join(sorted(known - {'overrides'}))})"
+            )
+        if key in _DIST_KEYS:
+            kwargs[key] = Dist.parse(raw)
+        elif key in _STRING_KEYS:
+            kwargs[key] = raw
+        elif key in _INT_KEYS:
+            try:
+                kwargs[key] = int(raw)
+            except ValueError as exc:
+                raise ScenarioSpecError(
+                    f"{name}: {key} must be an integer, got {raw!r}"
+                ) from exc
+        else:
+            try:
+                kwargs[key] = float(raw)
+            except ValueError as exc:
+                raise ScenarioSpecError(
+                    f"{name}: bad value in {token!r}") from exc
+    if overrides:
+        kwargs["overrides"] = tuple(overrides)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ScenarioSpecError(f"{name}: {exc}") from exc
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("#", 1)[0] for line in text.splitlines())
+
+
+# ---------------------------------------------------------------------------
+# The spec
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """An ordered, immutable, validated scenario.
+
+    Clause order is canonicalized on construction (scenario, model,
+    population, diurnal, hosts, filesets, flowops, flashcrowds; stable
+    within each kind), so two specs that differ only in clause order
+    compare equal and serialize identically.  Flowop order is
+    load-bearing for reproducibility — flowop *i* of a user draws from
+    RNG stream ``scenario.<name>.u<uid>.f<i>`` — and is preserved.
+    """
+
+    clauses: tuple[ScenarioClause, ...] = ()
+
+    def __post_init__(self) -> None:
+        decls = self._of(ScenarioDecl)
+        _require(len(decls) == 1,
+                 f"a scenario needs exactly one scenario(name=...) clause, "
+                 f"got {len(decls)}")
+        order = {ScenarioDecl: 0, ModelClause: 1, PopulationClause: 2,
+                 DiurnalClause: 3, HostsClause: 4, FilesetClause: 5,
+                 FlowopClause: 6, FlashCrowdClause: 7}
+        canonical = tuple(sorted(
+            self.clauses, key=lambda c: order[type(c)]
+        ))
+        object.__setattr__(self, "clauses", canonical)
+        models = self._of(ModelClause)
+        _require(len(models) <= 1, "at most one model() clause is allowed")
+        if models:
+            generic = [c for c in self.clauses
+                       if isinstance(c, (PopulationClause, HostsClause,
+                                         FilesetClause, FlowopClause,
+                                         DiurnalClause, FlashCrowdClause))]
+            if generic:
+                raise ScenarioSpecError(
+                    f"model-backed scenarios take no "
+                    f"{generic[0].cname}() clause (the {models[0].kind} "
+                    f"generator owns its population, hosts, and rhythm)"
+                )
+            return
+        _require(len(self._of(PopulationClause)) == 1,
+                 "a flowops scenario needs exactly one population() clause")
+        hosts = self._of(HostsClause)
+        _require(len(hosts) >= 1, "a flowops scenario needs a hosts() clause")
+        _require(len({h.name for h in hosts}) == len(hosts),
+                 "hosts() names must be distinct")
+        filesets = self._of(FilesetClause)
+        _require(len(filesets) >= 1,
+                 "a flowops scenario needs a fileset() clause")
+        _require(len({f.name for f in filesets}) == len(filesets),
+                 "fileset() names must be distinct")
+        flowops = self._of(FlowopClause)
+        _require(len(flowops) >= 1,
+                 "a flowops scenario needs a flowop() clause")
+        _require(len(self._of(DiurnalClause)) <= 1,
+                 "at most one diurnal() clause is allowed")
+        fileset_names = {f.name for f in filesets}
+        host_names = {h.name for h in hosts}
+        for op in flowops:
+            _require(op.fileset in fileset_names,
+                     f"flowop: unknown fileset {op.fileset!r} "
+                     f"(defined: {', '.join(sorted(fileset_names))})")
+            _require(not op.hosts or op.hosts in host_names,
+                     f"flowop: unknown hosts {op.hosts!r} "
+                     f"(defined: {', '.join(sorted(host_names))})")
+
+    def _of(self, cls) -> list:
+        return [c for c in self.clauses if type(c) is cls]
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._of(ScenarioDecl)[0].name
+
+    @property
+    def title(self) -> str:
+        return self._of(ScenarioDecl)[0].title
+
+    @property
+    def model(self) -> ModelClause | None:
+        models = self._of(ModelClause)
+        return models[0] if models else None
+
+    @property
+    def population(self) -> PopulationClause | None:
+        pops = self._of(PopulationClause)
+        return pops[0] if pops else None
+
+    @property
+    def hosts(self) -> list[HostsClause]:
+        return self._of(HostsClause)
+
+    @property
+    def filesets(self) -> list[FilesetClause]:
+        return self._of(FilesetClause)
+
+    @property
+    def flowops(self) -> list[FlowopClause]:
+        return self._of(FlowopClause)
+
+    @property
+    def diurnal(self) -> DiurnalClause:
+        decls = self._of(DiurnalClause)
+        return decls[0] if decls else DiurnalClause()
+
+    @property
+    def flashcrowds(self) -> list[FlashCrowdClause]:
+        return self._of(FlashCrowdClause)
+
+    def default_users(self) -> int:
+        """The population size this spec declares (models: params default)."""
+        if self.model is not None:
+            for key, value in self.model.overrides:
+                if key == "users":
+                    return int(value)
+            from repro.workloads.email_campus import CampusParams
+            from repro.workloads.research_eecs import EecsParams
+
+            cls = CampusParams if self.model.kind == "campus" else EecsParams
+            return cls().users
+        return self.population.users
+
+    # -- parse / serialize -------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: "str | ScenarioSpec") -> "ScenarioSpec":
+        """Parse spec text (clauses split on ';' or newlines; ``#``
+        comments stripped)."""
+        if isinstance(spec, ScenarioSpec):
+            return spec
+        text = _strip_comments(spec).replace("\n", ";")
+        clauses = tuple(
+            _parse_clause(chunk)
+            for chunk in filter(None, (c.strip() for c in text.split(";")))
+        )
+        if not clauses:
+            raise ScenarioSpecError(f"empty scenario spec: {spec!r}")
+        return cls(clauses)
+
+    def spec(self) -> str:
+        """Canonical spec text, one clause per line; parses back to an
+        equal object."""
+        return "\n".join(clause.spec() for clause in self.clauses)
+
+    def __add__(self, other: "ScenarioSpec | ScenarioClause") -> "ScenarioSpec":
+        if isinstance(other, ScenarioClause):
+            return ScenarioSpec(self.clauses + (other,))
+        return ScenarioSpec(self.clauses + other.clauses)

@@ -63,9 +63,7 @@ from repro.simcore.clock import SECONDS_PER_DAY
 from repro.trace.binfmt import BinaryTraceDecoder, BinaryTraceEncoder
 from repro.trace.collector import TraceCollector
 from repro.trace.record import TraceRecord
-from repro.workloads.email_campus import CampusEmailWorkload, CampusParams
 from repro.workloads.harness import TracedSystem
-from repro.workloads.research_eecs import EecsResearchWorkload, EecsParams
 
 #: Default client-group count.  Fixed independently of ``--shards`` —
 #: this is what makes output shard-count-invariant — and clamped to
@@ -207,27 +205,28 @@ def build_group_world(
     faults: str | None = None,
     trace_sample: float = 0.0,
 ):
-    """One group's shared-nothing ``(system, workload)`` pair."""
-    if system_name == "campus":
-        params = CampusParams()
-        params.users = users
-        workload = CampusEmailWorkload(params, group=group)
-        quota = params.quota_bytes
-    elif system_name == "eecs":
-        params = EecsParams()
-        params.users = users
-        workload = EecsResearchWorkload(params, group=group)
-        quota = None
-    else:
-        raise ValueError(f"unknown system {system_name!r}")
+    """One group's shared-nothing ``(system, workload)`` pair.
+
+    ``system_name`` is any scenario reference the registry accepts —
+    a library name (``campus``, ``fileserver``, ...), inline spec
+    text, or a spec-file path — dispatched through
+    :func:`repro.scenarios.compile_workload`.  Workers receive
+    canonical spec text (see :func:`run_sharded`), so a group world
+    never depends on the worker seeing the parent's files.
+    """
+    # deferred import: repro.scenarios sits on top of the workload
+    # submodules this package initializes before sharding
+    from repro.scenarios import compile_workload
+
+    compiled = compile_workload(system_name, users=users, group=group)
     system = TracedSystem.for_group(
         seed, group,
-        quota_bytes=quota,
+        quota_bytes=compiled.quota_bytes,
         mirror_bandwidth=mirror_bandwidth,
         faults=faults,
         trace_sample=trace_sample,
     )
-    return system, workload
+    return system, compiled.workload
 
 
 def _run_group(task: ShardTask, gid: int, *, inline: bool = False) -> GroupOutcome:
@@ -476,10 +475,17 @@ def run_sharded(
     merged stream and the tallies, mirroring ``repro simulate``'s
     warm-up-Sunday convention.
     """
+    from repro.scenarios import load_scenario
+
     if shards < 1:
         raise ValueError(f"--shards must be >= 1, got {shards}")
     if days <= 0:
         raise ValueError(f"need a positive number of days, got {days}")
+    # resolve the scenario reference (library name, spec text, or file
+    # path) in the parent: a bad reference fails fast with one clean
+    # error, and workers receive self-contained canonical spec text
+    # instead of a name they would have to resolve against local files
+    system_name = load_scenario(system_name).spec()
     sample_threshold(trace_sample)  # validate the rate before forking
     if faults is not None:
         # parse in the parent so a bad spec fails fast with one clean

@@ -22,15 +22,9 @@ import pytest
 from repro.analysis.pairing import PairingStats, StreamPairer, pair_records
 from repro.analysis.parallel import parallel_pair
 from repro.cli import main
+from repro.scenarios import compile_workload
 from repro.simcore.clock import SECONDS_PER_DAY
 from repro.trace.record import record_to_line
-from repro.workloads import (
-    CampusEmailWorkload,
-    CampusParams,
-    EecsParams,
-    EecsResearchWorkload,
-    TracedSystem,
-)
 
 SEED = 11
 SIM_SECONDS = SECONDS_PER_DAY  # EECS is diurnal and only wakes mid-day
@@ -50,21 +44,26 @@ SCHEDULES = {
     ),
 }
 
-SYSTEMS = ("campus", "eecs")
+#: The matrix columns: the two paper systems plus a flowops library
+#: scenario, all dispatched through the scenario registry — the fault
+#: guarantees must hold for the generic interpreter too.
+SYSTEMS = ("campus", "eecs", "fileserver")
+
+#: Small populations keep a cell's simulated day tractable.
+USERS = {"campus": 3, "eecs": 2, "fileserver": 3}
 
 CELLS = [(system, name) for system in SYSTEMS for name in SCHEDULES]
 
 
 def _simulate(system_name, spec):
     """One faulted simulated day; returns everything the tests inspect."""
-    if system_name == "campus":
-        system = TracedSystem(
-            seed=SEED, quota_bytes=50 * 1024 * 1024, faults=spec
-        )
-        CampusEmailWorkload(CampusParams(users=3)).attach(system)
-    else:
-        system = TracedSystem(seed=SEED, faults=spec)
-        EecsResearchWorkload(EecsParams(users=2)).attach(system)
+    from repro.workloads import TracedSystem
+
+    compiled = compile_workload(system_name, users=USERS[system_name])
+    system = TracedSystem(
+        seed=SEED, quota_bytes=compiled.quota_bytes, faults=spec
+    )
+    compiled.workload.attach(system)
     system.run(SIM_SECONDS)
     records = system.records()
     text = "\n".join(record_to_line(r) for r in records) + "\n"

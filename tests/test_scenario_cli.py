@@ -1,0 +1,159 @@
+"""The scenario-facing CLI surface: ``repro scenarios``, the
+``--scenario`` registry dispatch on simulate, and ``repro
+characterize``'s synthetic-twin output."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.scenarios import scenario_names
+
+INLINE = (
+    "scenario(name=inline-smoke);population(users=2);"
+    "diurnal(shape=flat);hosts(name=h);"
+    "fileset(name=d,files=10,size=const:4096);"
+    "flowop(op=read,fileset=d,rate=120)"
+)
+
+
+class TestScenariosCommand:
+    def test_list_shows_every_library_entry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        assert "campus" in out and "fileserver" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload}
+        assert names == set(scenario_names())
+        by_name = {e["name"]: e for e in payload}
+        assert by_name["campus"]["kind"] == "campus"
+        assert by_name["fileserver"]["kind"] == "flowops"
+        assert by_name["fileserver"]["flowops"] > 0
+
+    def test_show_prints_canonical_spec(self, capsys):
+        assert main(["scenarios", "show", "fileserver"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scenario(name=fileserver")
+        assert "flowop(" in out
+
+    def test_show_accepts_inline_text(self, capsys):
+        assert main(["scenarios", "show", INLINE]) == 0
+        assert "inline-smoke" in capsys.readouterr().out
+
+    def test_show_without_ref_is_an_error(self, capsys):
+        assert main(["scenarios", "show"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_whole_library(self, capsys):
+        assert main(["scenarios", "validate"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert f"{name}: ok" in out
+
+    def test_validate_json(self, capsys):
+        assert main(["scenarios", "validate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(entry["valid"] for entry in payload)
+        assert {e["name"] for e in payload} == set(scenario_names())
+
+    def test_validate_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "mine.scn"
+        path.write_text(INLINE.replace(";", "\n") + "\n")
+        assert main(["scenarios", "validate", str(path)]) == 0
+        assert "inline-smoke: ok" in capsys.readouterr().out
+
+    def test_validate_rejects_broken_spec(self, tmp_path, capsys):
+        path = tmp_path / "broken.scn"
+        path.write_text("scenario(name=x)\nflowop(op=read)\n")
+        assert main(["scenarios", "validate", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRegistryDispatch:
+    def test_unknown_scenario_exits_2_listing_library(self, tmp_path, capsys):
+        code = main([
+            "simulate", "--scenario", "no-such-thing", "--days", "0.1",
+            "--out", str(tmp_path / "x.trace"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one clean line, no traceback
+        for name in ("campus", "eecs", "fileserver"):
+            assert name in err
+
+    def test_simulate_accepts_library_name(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        code = main([
+            "simulate", "--scenario", "fileserver", "--users", "3",
+            "--days", "0.1", "--seed", "3", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().count("\n") > 10
+
+    def test_simulate_accepts_spec_file_and_matches_name(
+        self, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "mine.scn"
+        spec_path.write_text(INLINE + "\n")
+        by_file = tmp_path / "file.trace"
+        by_text = tmp_path / "text.trace"
+        for ref, out in ((str(spec_path), by_file), (INLINE, by_text)):
+            code = main([
+                "simulate", "--scenario", ref, "--days", "0.1",
+                "--seed", "3", "--out", str(out),
+            ])
+            assert code == 0
+        # same spec, same seed -> same trace, however it was referenced
+        assert by_file.read_text() == by_text.read_text()
+
+    def test_system_alias_still_works(self, tmp_path, capsys):
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        for flag, out in (("--system", a), ("--scenario", b)):
+            code = main([
+                "simulate", flag, "campus", "--users", "2",
+                "--days", "0.1", "--seed", "9", "--out", str(out),
+            ])
+            assert code == 0
+        assert a.read_text() == b.read_text()
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("char") / "source.trace"
+        code = main([
+            "simulate", "--scenario", "fileserver", "--users", "4",
+            "--days", "0.2", "--seed", "5", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_emits_valid_spec_to_stdout(self, trace, capsys):
+        assert main(["characterize", "--in", str(trace)]) == 0
+        out = capsys.readouterr().out
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec.parse(out)
+        assert spec.name == "fitted"
+        assert spec.flowops  # the twin actually does something
+
+    def test_twin_file_validates_and_simulates(self, trace, tmp_path, capsys):
+        twin = tmp_path / "twin.scn"
+        code = main([
+            "characterize", "--in", str(trace), "--name", "twin",
+            "--out", str(twin),
+        ])
+        assert code == 0
+        assert main(["scenarios", "validate", str(twin)]) == 0
+        out = tmp_path / "twin.trace"
+        code = main([
+            "simulate", "--scenario", str(twin), "--days", "0.1",
+            "--seed", "5", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().count("\n") > 0

@@ -1,0 +1,341 @@
+"""The scenario DSL's two contracts, property-tested.
+
+* **Round-trip** — for every valid spec, ``ScenarioSpec.parse(s.spec())``
+  is equal to ``s`` (hypothesis generates the specs; clause order,
+  float rendering, and default elision all have to survive the trip).
+* **Validation** — hostile input never constructs a half-valid object:
+  every malformed clause, dangling reference, out-of-range knob, or
+  model/flowops mixture raises :class:`ScenarioSpecError` (and nothing
+  else).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScenarioSpecError
+from repro.scenarios import (
+    DiurnalClause,
+    Dist,
+    FilesetClause,
+    FlashCrowdClause,
+    FlowopClause,
+    HostsClause,
+    ModelClause,
+    PopulationClause,
+    ScenarioDecl,
+    ScenarioSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+
+NAMES = st.from_regex(r"[a-z][a-z0-9_-]{0,12}", fullmatch=True)
+
+TITLES = st.text(
+    alphabet="abcXYZ 0189._-", min_size=0, max_size=24
+).map(str.strip)
+
+
+def gfloat(lo, hi):
+    """Floats that survive the %g rendering the spec() format uses."""
+    return st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    ).map(lambda x: float(f"{x:g}"))
+
+
+def _dist():
+    pair = st.tuples(gfloat(0.0, 1e8), gfloat(0.0, 1e8)).map(sorted)
+    return st.one_of(
+        st.builds(Dist, st.just("const"), gfloat(0.0, 1e8)),
+        pair.map(lambda ab: Dist("uniform", ab[0], ab[1])),
+        st.builds(Dist, st.just("lognorm"), gfloat(0.001, 1e8),
+                  gfloat(0.0, 4.0)),
+        st.builds(Dist, st.just("expo"), gfloat(0.001, 1e8)),
+    )
+
+
+DISTS = _dist()
+
+POPULATIONS = st.builds(
+    PopulationClause,
+    users=st.integers(1, 10_000),
+    first_uid=st.integers(0, 100_000),
+    gid=st.integers(0, 100_000),
+    prefix=NAMES,
+    skew=gfloat(1.05, 10.0),
+)
+
+HOSTS = st.builds(
+    HostsClause,
+    name=NAMES,
+    count=st.integers(1, 64),
+    transport=st.sampled_from(("tcp", "udp")),
+    version=st.sampled_from((2, 3)),
+    nfsiod=st.integers(1, 64),
+    cache_blocks=st.integers(1, 1_000_000),
+    name_timeout=gfloat(0.001, 600.0),
+)
+
+FILESETS = st.builds(
+    FilesetClause,
+    name=NAMES,
+    files=st.integers(1, 100_000),
+    size=DISTS,
+    dirs=st.integers(1, 100),
+    depth=st.integers(1, 8),
+    prefix=NAMES,
+    suffix=NAMES,
+)
+
+DIURNALS = st.builds(
+    DiurnalClause,
+    shape=st.sampled_from(("weekday", "flat")),
+    weekend=gfloat(0.01, 1.0),
+    floor=gfloat(0.01, 1.0),
+)
+
+FLASHCROWDS = st.builds(
+    FlashCrowdClause,
+    at=gfloat(0.0, 1e6),
+    dur=gfloat(0.001, 1e6),
+    factor=gfloat(1.001, 1000.0),
+)
+
+
+def _flowop(fileset_names, host_names):
+    return st.builds(
+        FlowopClause,
+        op=st.sampled_from(("read", "write", "append", "churn",
+                            "scan", "stat")),
+        fileset=st.sampled_from(fileset_names),
+        rate=gfloat(0.001, 1e5),
+        hosts=st.sampled_from([""] + host_names),
+        bytes=DISTS,
+        pattern=st.sampled_from(("seq", "rand")),
+        burst=st.integers(1, 100),
+        think=DISTS,
+        lifetime=DISTS,
+        cap=st.integers(0, 10_000),
+    )
+
+
+@st.composite
+def generic_specs(draw):
+    decl = ScenarioDecl(name=draw(NAMES), title=draw(TITLES))
+    hosts = draw(st.lists(HOSTS, min_size=1, max_size=3,
+                          unique_by=lambda h: h.name))
+    filesets = draw(st.lists(FILESETS, min_size=1, max_size=3,
+                             unique_by=lambda f: f.name))
+    flowops = draw(st.lists(
+        _flowop([f.name for f in filesets], [h.name for h in hosts]),
+        min_size=1, max_size=4,
+    ))
+    clauses = [decl, draw(POPULATIONS), *hosts, *filesets, *flowops]
+    if draw(st.booleans()):
+        clauses.append(draw(DIURNALS))
+    clauses.extend(draw(st.lists(FLASHCROWDS, max_size=2)))
+    return ScenarioSpec(tuple(clauses))
+
+
+@st.composite
+def model_specs(draw):
+    from repro.scenarios.spec import _model_param_fields
+
+    kind = draw(st.sampled_from(("campus", "eecs")))
+    keys = draw(st.lists(
+        st.sampled_from(sorted(_model_param_fields(kind))),
+        max_size=3, unique=True,
+    ))
+    overrides = tuple((k, float(draw(st.integers(1, 500)))) for k in keys)
+    return ScenarioSpec((
+        ScenarioDecl(name=draw(NAMES), title=draw(TITLES)),
+        ModelClause(kind=kind, overrides=overrides),
+    ))
+
+
+SPECS = st.one_of(generic_specs(), model_specs())
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(SPECS)
+    def test_parse_spec_is_identity(self, spec):
+        text = spec.spec()
+        again = ScenarioSpec.parse(text)
+        assert again == spec
+        assert again.spec() == text
+
+    @settings(max_examples=120, deadline=None)
+    @given(DISTS)
+    def test_dist_round_trip(self, dist):
+        assert Dist.parse(dist.spec()) == dist
+
+    @settings(max_examples=60, deadline=None)
+    @given(generic_specs(), st.randoms(use_true_random=False))
+    def test_clause_kind_order_is_canonical(self, spec, rnd):
+        # within-kind order is load-bearing (flowop i -> RNG stream
+        # ...f<i>) and preserved; *kind* order is canonicalized away
+        groups = {}
+        for clause in spec.clauses:
+            groups.setdefault(type(clause), []).append(clause)
+        kinds = list(groups)
+        rnd.shuffle(kinds)
+        mixed = tuple(c for kind in kinds for c in groups[kind])
+        assert ScenarioSpec(mixed) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(SPECS)
+    def test_parse_tolerates_comments_and_layout(self, spec):
+        lines = spec.spec().splitlines()
+        noisy = "# a header comment\n" + "\n".join(
+            f"  {line}  # trailing note" for line in lines
+        ) + "\n\n"
+        assert ScenarioSpec.parse(noisy) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(SPECS)
+    def test_semicolons_equal_newlines(self, spec):
+        assert ScenarioSpec.parse(spec.spec().replace("\n", ";")) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(DISTS)
+    def test_dist_mean_is_finite_nonnegative(self, dist):
+        assert dist.mean() >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Validation of hostile input
+
+GOOD_GENERIC = (
+    "scenario(name=ok)\n"
+    "population(users=4)\n"
+    "hosts(name=web,count=2)\n"
+    "fileset(name=docs,files=10)\n"
+    "flowop(op=read,fileset=docs,rate=50)"
+)
+
+HOSTILE = [
+    "",
+    "   \n  # only a comment\n",
+    "scenario",
+    "scenario(name=x",                      # unbalanced parens
+    "scenario(name=(x))",                   # nested parens
+    "frobnicate(x=1)",                      # unknown clause
+    "scenario(name=x,name=y)",              # duplicate argument
+    "scenario(name=x,bogus=1)",             # unknown argument
+    "scenario(name=X)",                     # uppercase name
+    "scenario(name=9x)",                    # digit-led name
+    "scenario(name=x,title=a;b)",           # separator inside title
+    "scenario(name=x);scenario(name=y)",    # two declarations
+    "scenario(name=x)",                     # no model, no clauses
+    "scenario(name=x);model(kind=vax)",     # unknown model kind
+    "scenario(name=x);model(kind=campus,nosuch_knob=3)",
+    "scenario(name=x);model(kind=campus);model(kind=eecs)",
+    # model-backed specs take no generic clauses
+    "scenario(name=x);model(kind=campus);population(users=3)",
+    GOOD_GENERIC + ";model(kind=campus)",
+    # missing/duplicated structural clauses
+    GOOD_GENERIC.replace("population(users=4)\n", ""),
+    GOOD_GENERIC.replace("hosts(name=web,count=2)\n", ""),
+    GOOD_GENERIC.replace("fileset(name=docs,files=10)\n", ""),
+    "scenario(name=x);population(users=4);hosts(name=w);fileset(name=d,files=1)",
+    GOOD_GENERIC + ";fileset(name=docs,files=9)",     # duplicate name
+    GOOD_GENERIC + ";hosts(name=web)",                # duplicate name
+    GOOD_GENERIC + ";diurnal(shape=flat);diurnal()",  # two rhythms
+    # dangling references
+    GOOD_GENERIC.replace("fileset=docs", "fileset=nope"),
+    GOOD_GENERIC.replace("rate=50", "rate=50,hosts=nope"),
+    # out-of-range values
+    "scenario(name=x);population(users=0);hosts(name=w);"
+    "fileset(name=d,files=1);flowop(op=read,fileset=d,rate=1)",
+    GOOD_GENERIC.replace("users=4", "users=2000000"),
+    GOOD_GENERIC.replace("users=4", "users=3.5"),     # int key, float value
+    GOOD_GENERIC.replace("users=4", "users=four"),
+    GOOD_GENERIC.replace("rate=50", "rate=0"),
+    GOOD_GENERIC.replace("rate=50", "rate=-2"),
+    GOOD_GENERIC.replace("op=read", "op=explode"),
+    GOOD_GENERIC.replace("rate=50", "rate=50,pattern=zigzag"),
+    GOOD_GENERIC.replace("count=2", "count=0"),
+    GOOD_GENERIC.replace("count=2", "transport=carrier-pigeon"),
+    GOOD_GENERIC.replace("count=2", "version=4"),
+    GOOD_GENERIC + ";flashcrowd(at=0,dur=0,factor=2)",
+    GOOD_GENERIC + ";flashcrowd(at=0,dur=60,factor=1)",
+    GOOD_GENERIC + ";flashcrowd(at=-5,dur=60,factor=2)",
+    # malformed distributions
+    GOOD_GENERIC.replace("files=10", "files=10,size=gauss:3"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=const"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=uniform:9:1"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=lognorm:0:1"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=expo:0"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=const:nan"),
+    GOOD_GENERIC.replace("files=10", "files=10,size=const:inf"),
+    # malformed tokens
+    GOOD_GENERIC.replace("rate=50", "rate=50,burst"),
+    GOOD_GENERIC.replace("rate=50", "rate=50,=7"),
+    GOOD_GENERIC.replace("rate=50", "rate="),
+]
+
+
+class TestHostileInput:
+    @pytest.mark.parametrize("text", HOSTILE)
+    def test_rejected_with_spec_error(self, text):
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec.parse(text)
+
+    def test_good_generic_baseline_is_valid(self):
+        # the template the hostile mutations start from must itself parse
+        spec = ScenarioSpec.parse(GOOD_GENERIC)
+        assert spec.name == "ok"
+        assert len(spec.flowops) == 1
+
+    def test_error_lists_known_clauses(self):
+        with pytest.raises(ScenarioSpecError, match="flowop"):
+            ScenarioSpec.parse("frobnicate(x=1)")
+
+    def test_unknown_model_knob_names_alternatives(self):
+        with pytest.raises(ScenarioSpecError, match="users"):
+            ScenarioSpec.parse(
+                "scenario(name=x);model(kind=campus,userz=3)"
+            )
+
+    def test_direct_construction_is_validated_too(self):
+        with pytest.raises(ScenarioSpecError):
+            FlowopClause(op="read", fileset="d", rate=0.0)
+        with pytest.raises(ScenarioSpecError):
+            Dist("uniform", 9.0, 1.0)
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec(())
+
+
+# ---------------------------------------------------------------------------
+# Small API surface
+
+
+class TestSpecApi:
+    def test_default_diurnal_when_absent(self):
+        spec = ScenarioSpec.parse(GOOD_GENERIC)
+        assert spec.diurnal == DiurnalClause()
+
+    def test_add_clause_and_specs(self):
+        spec = ScenarioSpec.parse(GOOD_GENERIC)
+        crowd = FlashCrowdClause(at=3600.0, dur=600.0, factor=4.0)
+        assert (spec + crowd).flashcrowds == [crowd]
+        assert spec.flashcrowds == []      # original untouched
+
+    def test_default_users(self):
+        assert ScenarioSpec.parse(GOOD_GENERIC).default_users() == 4
+        model = ScenarioSpec.parse(
+            "scenario(name=m);model(kind=campus,users=9)"
+        )
+        assert model.default_users() == 9
+
+    def test_model_default_users_comes_from_params(self):
+        from repro.workloads.email_campus import CampusParams
+
+        spec = ScenarioSpec.parse("scenario(name=m);model(kind=campus)")
+        assert spec.default_users() == CampusParams().users
