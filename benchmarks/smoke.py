@@ -27,6 +27,7 @@ Usage::
     python benchmarks/smoke.py --speedup-gate     # CI parallel/encode gate
     python benchmarks/smoke.py --shard-smoke      # CI sharded-simulator gate
     python benchmarks/smoke.py --scenario-smoke   # CI scenario-library gate
+    python benchmarks/smoke.py --ingest-smoke     # CI foreign-trace ingest gate
 
 ``--chaos-smoke`` is the fault-injection counterpart: one faulted
 CAMPUS day run twice, gating on byte-identical reruns and on the fault
@@ -707,6 +708,102 @@ def run_shard_smoke(out_path: str | None = None) -> int:
     return 0
 
 
+def run_ingest_smoke(out_path: str | None = None) -> int:
+    """CI gate for the foreign-trace ingest pipeline.
+
+    Every golden fixture in ``tests/fixtures/ingest/`` (discovered
+    from the adapter registry, not a hand-kept list) must: ingest
+    twice to byte-identical ``.rtb.gz`` (determinism gate), pair and
+    summarize cleanly, and characterize into a scenario spec that
+    validates (round-trips) and re-simulates.  Whole gate under 60 s;
+    per-adapter ingest MB/s lands in ``BENCH_ingest.json``.
+    """
+    import tempfile
+
+    from repro.analysis.pairing import pair_all
+    from repro.analysis.summary import summarize_trace
+    from repro.ingest import REGISTRY, ingest
+    from repro.scenarios import ScenarioSpec, compile_workload, fit_scenario
+    from repro.trace.reader import read_trace
+    from repro.workloads import TracedSystem
+
+    fixtures_dir = (
+        Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "ingest"
+    )
+    started = time.perf_counter()
+    failures = []
+    rates = {}
+    for name in REGISTRY.names():
+        matches = [
+            p for p in fixtures_dir.glob(f"{name}.*") if p.suffix != ".json"
+        ]
+        if len(matches) != 1:
+            failures.append(f"{name}: expected one golden fixture, "
+                            f"found {len(matches)}")
+            continue
+        fixture = matches[0]
+        source_mb = fixture.stat().st_size / 1e6
+        with tempfile.TemporaryDirectory() as tmp:
+            outs = []
+            ingest_wall = None
+            for run in ("a", "b"):
+                out = Path(tmp) / f"{run}.rtb.gz"
+                t0 = time.perf_counter()
+                stats = ingest(str(fixture), str(out), fmt=name)
+                wall = time.perf_counter() - t0
+                ingest_wall = wall if ingest_wall is None else min(
+                    ingest_wall, wall)
+                outs.append(out.read_bytes())
+            if outs[0] != outs[1]:
+                failures.append(f"{name}: two ingest runs diverged")
+                continue
+            rates[name] = round(source_mb / ingest_wall, 2)
+            records = read_trace(Path(tmp) / "a.rtb.gz")
+            ops, _ = pair_all(records)
+            summary = summarize_trace(
+                ops, records[0].time, records[-1].time + 1.0)
+            if summary.total_ops == 0:
+                failures.append(f"{name}: summary saw zero ops")
+                continue
+            spec = fit_scenario(ops, name=f"twin-{name}")
+            if ScenarioSpec.parse(spec.spec()) != spec:
+                failures.append(f"{name}: twin spec failed validation "
+                                "round-trip")
+                continue
+            # the fixtures are sparse (tens of ops over hours), so the
+            # twin needs a few simulated hours to show traffic
+            compiled = compile_workload(spec.spec(), users=4)
+            system = TracedSystem(seed=7, quota_bytes=compiled.quota_bytes)
+            compiled.workload.attach(system)
+            system.run(6 * 3600.0)
+            if not system.records():
+                failures.append(f"{name}: twin simulated no traffic")
+                continue
+            print(f"ingest-smoke: {name}: {stats.records} records "
+                  f"({stats.skipped} skipped), {summary.total_ops} ops, "
+                  f"twin re-simulates ({len(system.records())} records), "
+                  f"{rates[name]} MB/s")
+
+    wall = time.perf_counter() - started
+    print(f"ingest-smoke: wall {wall:.1f}s")
+    if wall > 60.0:
+        failures.append(f"wall {wall:.1f}s exceeds the 60s budget")
+    if out_path:
+        result = {
+            "bench": "ingest-smoke",
+            "adapters": sorted(rates),
+            "ingest_mb_per_s": rates,
+            "wall_seconds": round(wall, 3),
+        }
+        Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    if failures:
+        print("ingest-smoke REGRESSION: " + "; ".join(failures))
+        return 1
+    print("ingest-smoke gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(BENCH_DIR / "BENCH_smoke.json"))
@@ -727,7 +824,12 @@ def main(argv=None) -> int:
     parser.add_argument("--scenario-smoke", action="store_true",
                         help="run only the scenario-library gate "
                              "(validation, determinism, legacy parity)")
+    parser.add_argument("--ingest-smoke", action="store_true",
+                        help="run only the foreign-trace ingest gate "
+                             "(determinism, characterize loop, MB/s)")
     args = parser.parse_args(argv)
+    if args.ingest_smoke:
+        return run_ingest_smoke(str(BENCH_DIR / "BENCH_ingest.json"))
     if args.scenario_smoke:
         return run_scenario_smoke()
     if args.stream_smoke:

@@ -82,6 +82,15 @@ class AnonymizationError(ReproError):
     """The anonymizer was configured or used inconsistently."""
 
 
+class IngestError(ReproError):
+    """A foreign-trace adapter or the ingest pipeline failed.
+
+    Raised for unreadable input streams and, under the ``fail`` error
+    policy, for any malformed source line (the ``skip`` policy counts
+    and drops them instead — see :mod:`repro.ingest`).
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis was run on input it cannot interpret."""
 

@@ -1,0 +1,29 @@
+"""The built-in foreign-trace adapters.
+
+One module per dialect; :func:`register_builtin` installs them all
+into a registry in a stable order (the order the docs table uses).
+"""
+
+from __future__ import annotations
+
+from repro.ingest.adapters.nfsdump import NfsdumpAdapter
+from repro.ingest.adapters.snia_nfs import SniaNfsAdapter
+from repro.ingest.adapters.tracetracker import TraceTrackerBlkAdapter
+from repro.ingest.adapters.wta import WtaParquetLiteAdapter
+
+
+def register_builtin(registry) -> None:
+    """Install the four built-in adapters into ``registry``."""
+    registry.register(NfsdumpAdapter())
+    registry.register(SniaNfsAdapter())
+    registry.register(WtaParquetLiteAdapter())
+    registry.register(TraceTrackerBlkAdapter())
+
+
+__all__ = [
+    "NfsdumpAdapter",
+    "SniaNfsAdapter",
+    "WtaParquetLiteAdapter",
+    "TraceTrackerBlkAdapter",
+    "register_builtin",
+]

@@ -1,0 +1,157 @@
+"""Adapter for TraceTracker-style block I/O CSV traces.
+
+Block traces record device-level transfers, one per line::
+
+    ts,host,dev,op,offset,bytes[,latency_us]
+    1004562602.021187,host12,sda,R,40960,4096,180
+
+``ts`` is epoch seconds (fractional), ``op`` is ``R``/``W`` (or the
+spelled-out ``Read``/``Write``), ``offset`` and ``bytes`` are decimal
+byte positions/counts, and the optional ``latency_us`` is the request's
+completion latency.  A leading header row naming the columns is
+tolerated and skipped.
+
+**Block -> NFS-op projection** (documented in docs/INGEST.md): a block
+device has no files, so each ``(host, dev)`` pair maps to one
+deterministic BLAKE2b *pseudo-handle* — the whole device behaves as a
+single large file.  Each transfer becomes a READ or WRITE call at
+``ts`` with the recorded offset/bytes, paired with an OK reply at
+``ts + latency`` (default 100 microseconds when the column is absent).
+Sequentiality, inter-arrival, and read/write-mix analyses then apply
+unchanged; name-space analyses see one "file" per device, which is
+exactly what a block trace can support.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Iterator, Sequence
+
+from repro.ingest.base import (
+    AdapterEvent,
+    BadLine,
+    TraceAdapter,
+    XidSynth,
+    data_lines,
+    synth_handle,
+)
+from repro.nfs.messages import NfsStatus
+from repro.nfs.procedures import NfsProc
+from repro.trace.record import Direction, TraceRecord
+
+#: Reply latency (seconds) when the trace has no latency column.
+DEFAULT_LATENCY = 0.0001
+
+#: The one server all projected ops target.
+SERVER = "blkdev"
+
+_READS = frozenset({"r", "read"})
+_WRITES = frozenset({"w", "write"})
+
+
+class TraceTrackerBlkAdapter(TraceAdapter):
+    """TraceTracker block CSV: per-device pseudo-handles, R/W pairs."""
+
+    name = "tracetracker-blk"
+    description = (
+        "TraceTracker-style block I/O CSV (ts,host,dev,op,offset,bytes"
+        "[,latency_us]) projected onto READ/WRITE ops against "
+        "per-device pseudo-handles"
+    )
+    field_coverage = frozenset({
+        "time", "direction", "xid", "client", "server", "proc", "version",
+        "status", "fh", "offset", "count", "attr_ftype",
+    })
+
+    def sniff_lines(self, lines: Sequence[str]) -> float:
+        sample = data_lines(lines)
+        if not sample:
+            return 0.0
+        hits = 0
+        for line in sample:
+            cells = next(csv.reader([line]), [])
+            if len(cells) in (6, 7) and _is_data_row(cells):
+                hits += 1
+        if hits == 0 and _is_header(sample[0]):
+            # a header-only sample is still unmistakably this dialect
+            return 1.0 / len(sample)
+        if hits and _is_header(sample[0]):
+            hits += 1
+        return min(1.0, hits / len(sample))
+
+    def records(self, lines: Iterable[str]) -> Iterator[AdapterEvent]:
+        xids = XidSynth()
+        first = True
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if first:
+                first = False
+                if _is_header(line):
+                    continue
+            cells = next(csv.reader([line]), [])
+            event = self._parse(cells, line, lineno, xids)
+            if isinstance(event, BadLine):
+                yield event
+            else:
+                yield from event
+
+    def _parse(self, cells, line, lineno, xids):
+        if len(cells) not in (6, 7):
+            return BadLine("short-line", line, lineno)
+        ts_s, host, dev, op, offset_s, bytes_s = cells[:6]
+        proc_name = op.strip().lower()
+        if proc_name in _READS:
+            proc = NfsProc.READ
+        elif proc_name in _WRITES:
+            proc = NfsProc.WRITE
+        else:
+            return BadLine("bad-op", line, lineno)
+        try:
+            time = float(ts_s)
+            offset = int(offset_s)
+            count = int(bytes_s)
+            latency = (
+                int(cells[6]) / 1e6 if len(cells) == 7 and cells[6].strip()
+                else DEFAULT_LATENCY
+            )
+        except ValueError:
+            return BadLine("bad-value", line, lineno)
+        host = host.strip()
+        dev = dev.strip()
+        if not host or not dev or count < 0 or offset < 0 or latency < 0:
+            return BadLine("bad-value", line, lineno)
+        fh = synth_handle("blk", host, dev)
+        xid = xids.take(host)
+        call = TraceRecord(
+            time=time, direction=Direction.CALL, xid=xid, client=host,
+            server=SERVER, proc=proc, fh=fh, offset=offset, count=count,
+        )
+        reply = TraceRecord(
+            time=time + latency, direction=Direction.REPLY, xid=xid,
+            client=host, server=SERVER, proc=proc, status=NfsStatus.OK,
+            fh=fh, count=count, attr_ftype="REG",
+        )
+        return (call, reply)
+
+
+def _is_data_row(cells: list) -> bool:
+    if len(cells) < 6:
+        return False
+    try:
+        float(cells[0])
+        int(cells[4])
+        int(cells[5])
+    except ValueError:
+        return False
+    return cells[3].strip().lower() in (_READS | _WRITES)
+
+
+def _is_header(line_or_cells) -> bool:
+    if isinstance(line_or_cells, str):
+        cells = next(csv.reader([line_or_cells]), [])
+    else:
+        cells = line_or_cells
+    lowered = [c.strip().lower() for c in cells]
+    return len(lowered) >= 6 and lowered[0] == "ts" and "dev" in lowered

@@ -1,0 +1,238 @@
+"""Adapter for Workflow Trace Archive / WorkflowHub task tables.
+
+The WTA and WorkflowHub publish workflow executions as *task tables*
+(one row per task: submit time, runtime, user, parent tasks, I/O
+volumes) — parquet in the archives, but every column used here is
+scalar, so this adapter reads the two universal light carriers and
+needs no parquet dependency (hence ``-lite``):
+
+* **JSON lines** — one task object per line;
+* **CSV** — a header row naming the columns, then one row per task
+  (``parents`` is a space-separated id list inside its cell).
+
+Columns used: ``id``, ``workflow_id``, ``ts_submit`` (milliseconds,
+per the WTA schema) are required; ``runtime`` (ms), ``user_id``,
+``parents``, ``read_bytes``, ``write_bytes`` (falling back to
+``disk_space_requested``) are optional.  Unknown columns are ignored.
+
+**Task -> NFS-op projection** (documented in docs/INGEST.md): each
+task behaves like an NFS client materializing its inputs and output
+in a per-workflow directory,
+
+1. at ``t0 = ts_submit/1000``, a CREATE of ``task-<id>`` in the
+   workflow's directory (call + OK reply carrying the new handle);
+2. at ``t0``, one READ per parent task of that parent's output file
+   (``read_bytes`` split evenly across parents);
+3. at ``t1 = t0 + runtime/1000``, a WRITE of ``write_bytes`` to the
+   task's own file (offset 0 — task outputs are whole-file writes).
+
+Handles are deterministic BLAKE2b pseudo-handles of the
+``(workflow, task)`` identity, clients are ``wta.u<user_id>``, XIDs
+are synthesized per client — so the projected stream pairs, analyzes,
+and characterizes exactly like a captured NFS trace.  Rows may be
+listed in any order and a task's WRITE lands ``runtime`` later than
+its submit, far beyond any bounded reorder window, so this adapter
+materializes and time-sorts its projected ops before yielding (task
+tables are rows-per-task, orders of magnitude smaller than
+packet-per-op captures — the memory cost is negligible).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Iterator, Sequence
+
+from repro.ingest.base import (
+    AdapterEvent,
+    BadLine,
+    TraceAdapter,
+    XidSynth,
+    data_lines,
+    synth_handle,
+)
+from repro.nfs.messages import NfsStatus
+from repro.nfs.procedures import NfsProc
+from repro.trace.record import Direction, TraceRecord
+
+#: Reply latency for synthesized call/reply pairs (seconds).  Purely
+#: conventional — the archives carry no per-op wire latency.
+REPLY_LATENCY = 0.0005
+
+#: Defaults when a table lacks I/O volume columns.
+DEFAULT_READ_BYTES = 65536
+DEFAULT_WRITE_BYTES = 1048576
+
+#: The one server all projected ops target.
+SERVER = "wta.archive"
+
+_REQUIRED = ("id", "workflow_id", "ts_submit")
+
+
+class WtaParquetLiteAdapter(TraceAdapter):
+    """WTA/WorkflowHub task tables over JSON-lines or CSV carriers."""
+
+    name = "wta-parquet-lite"
+    description = (
+        "Workflow Trace Archive / WorkflowHub task tables (JSON-lines "
+        "or CSV carrier) projected onto create/read/write NFS ops"
+    )
+    field_coverage = frozenset({
+        "time", "direction", "xid", "client", "server", "proc", "version",
+        "status", "uid", "fh", "name", "offset", "count", "eof",
+        "attr_ftype", "attr_size",
+    })
+
+    def sniff_lines(self, lines: Sequence[str]) -> float:
+        sample = data_lines(lines)
+        if not sample:
+            return 0.0
+        first = sample[0]
+        if first.startswith("{"):
+            hits = 0
+            for line in sample:
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(row, dict) and all(
+                    key in row for key in _REQUIRED
+                ):
+                    hits += 1
+            return hits / len(sample)
+        header = next(csv.reader([first]), [])
+        if all(column in header for column in _REQUIRED):
+            return 1.0
+        return 0.0
+
+    def records(self, lines: Iterable[str]) -> Iterator[AdapterEvent]:
+        events: list[AdapterEvent] = []
+        ops: list[tuple[float, int, TraceRecord]] = []
+        xids = XidSynth()
+        seq = 0
+
+        def emit(record: TraceRecord) -> None:
+            nonlocal seq
+            ops.append((record.time, seq, record))
+            seq += 1
+
+        header: list[str] | None = None
+        json_mode: bool | None = None
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if json_mode is None:
+                json_mode = line.startswith("{")
+            if json_mode:
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    events.append(BadLine("bad-json", line, lineno))
+                    continue
+                if not isinstance(row, dict):
+                    events.append(BadLine("bad-json", line, lineno))
+                    continue
+            else:
+                cells = next(csv.reader([line]), [])
+                if header is None:
+                    header = cells
+                    if not all(c in header for c in _REQUIRED):
+                        events.append(BadLine("bad-header", line, lineno))
+                        header = None
+                    continue
+                row = dict(zip(header, cells))
+            bad = self._project(row, line, lineno, xids, emit)
+            if bad is not None:
+                events.append(bad)
+        # deterministic global time order; seq breaks ties stably
+        ops.sort(key=lambda entry: (entry[0], entry[1]))
+        yield from events
+        for _time, _seq, record in ops:
+            yield record
+
+    def _project(self, row, line, lineno, xids, emit) -> BadLine | None:
+        try:
+            task_id = str(row["id"])
+            workflow = str(row["workflow_id"])
+            t0 = float(row["ts_submit"]) / 1000.0
+        except (KeyError, TypeError, ValueError):
+            return BadLine("bad-task-row", line, lineno)
+        if not task_id or not workflow:
+            return BadLine("bad-task-row", line, lineno)
+        try:
+            runtime = float(row.get("runtime") or 0.0) / 1000.0
+            uid = int(row.get("user_id") or 0)
+            read_bytes = int(row.get("read_bytes") or DEFAULT_READ_BYTES)
+            write_bytes = int(
+                row.get("write_bytes")
+                or row.get("disk_space_requested")
+                or DEFAULT_WRITE_BYTES
+            )
+        except (TypeError, ValueError):
+            return BadLine("bad-value", line, lineno)
+        if runtime < 0:
+            return BadLine("bad-value", line, lineno)
+        parents = row.get("parents") or []
+        if isinstance(parents, str):
+            parents = parents.split()
+        client = f"wta.u{uid}"
+        dir_fh = synth_handle("wta-dir", workflow)
+        task_fh = synth_handle("wta", workflow, task_id)
+
+        def pair(call: TraceRecord, reply: TraceRecord) -> None:
+            emit(call)
+            emit(reply)
+
+        # 1. CREATE task-<id> in the workflow directory
+        xid = xids.take(client)
+        pair(
+            TraceRecord(
+                time=t0, direction=Direction.CALL, xid=xid, client=client,
+                server=SERVER, proc=NfsProc.CREATE, uid=uid, fh=dir_fh,
+                name=f"task-{task_id}",
+            ),
+            TraceRecord(
+                time=t0 + REPLY_LATENCY, direction=Direction.REPLY, xid=xid,
+                client=client, server=SERVER, proc=NfsProc.CREATE,
+                status=NfsStatus.OK, fh=task_fh, attr_ftype="REG",
+                attr_size=0,
+            ),
+        )
+        # 2. one READ per parent output
+        if parents:
+            per_parent = max(1, read_bytes // len(parents))
+            for parent in parents:
+                parent_fh = synth_handle("wta", workflow, str(parent))
+                xid = xids.take(client)
+                pair(
+                    TraceRecord(
+                        time=t0, direction=Direction.CALL, xid=xid,
+                        client=client, server=SERVER, proc=NfsProc.READ,
+                        uid=uid, fh=parent_fh, offset=0, count=per_parent,
+                    ),
+                    TraceRecord(
+                        time=t0 + REPLY_LATENCY, direction=Direction.REPLY,
+                        xid=xid, client=client, server=SERVER,
+                        proc=NfsProc.READ, status=NfsStatus.OK,
+                        fh=parent_fh, count=per_parent, eof=True,
+                        attr_ftype="REG", attr_size=per_parent,
+                    ),
+                )
+        # 3. WRITE the task's own output when it finishes
+        t1 = t0 + runtime
+        xid = xids.take(client)
+        pair(
+            TraceRecord(
+                time=t1, direction=Direction.CALL, xid=xid, client=client,
+                server=SERVER, proc=NfsProc.WRITE, uid=uid, fh=task_fh,
+                offset=0, count=write_bytes,
+            ),
+            TraceRecord(
+                time=t1 + REPLY_LATENCY, direction=Direction.REPLY, xid=xid,
+                client=client, server=SERVER, proc=NfsProc.WRITE,
+                status=NfsStatus.OK, fh=task_fh, count=write_bytes,
+                attr_ftype="REG", attr_size=write_bytes,
+            ),
+        )
+        return None

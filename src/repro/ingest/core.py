@@ -1,0 +1,323 @@
+"""The shared ingest pipeline: adapter events -> normalized ``.rtb``.
+
+Every adapter streams through this one core, so every dialect gets the
+same guarantees:
+
+* **one error policy** — malformed source units surface as
+  :class:`~repro.ingest.base.BadLine`; ``skip`` counts them (the
+  ``ingest.skipped{adapter,reason}`` metric) and drops them, ``fail``
+  raises :class:`~repro.errors.IngestError` with the line diagnostic;
+* **monotonic wire time** — foreign captures jitter, so records pass
+  through a bounded reorder window that reuses
+  :class:`~repro.analysis.reorder.StreamReorderer` (the stream-exact
+  window sort the analyses already trust): each record is wrapped in a
+  shim whose sort key is ``(time, arrival)``, which turns the
+  reorderer's per-client lowest-XID-within-window pass into a bounded
+  stable time sort.  Records still regressing after the window are a
+  ``time-regression`` handled by the same error policy, so the emitted
+  stream is always non-decreasing in time;
+* **string interning** — client/server/handle/name strings repeat
+  enormously in real traces; one intern table keeps a single copy of
+  each while records are in flight (the binary encoder then interns
+  again on disk);
+* **deterministic output** — no wall clock, no randomness: the same
+  input lines produce byte-identical ``.rtb``/``.rtb.gz`` whether they
+  came from a file or were streamed over stdin.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import itertools
+import sys
+import zlib
+from collections import Counter, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.reorder import StreamReorderer
+from repro.errors import IngestError
+from repro.ingest.base import BadLine, TraceAdapter
+from repro.obs.metrics import MetricsRegistry
+from repro.trace.record import TraceRecord
+from repro.trace.writer import TraceWriter
+
+#: Default bounded reorder window (seconds) for monotonic-time repair.
+#: Five seconds matches the TraceWriter's native capture window: the
+#: paper's nfsiod delays top out at 1 s, and foreign captures we have
+#: seen jitter far less than this.
+DEFAULT_REORDER_WINDOW = 5.0
+
+#: Errors a line source can raise mid-iteration (truncated gzip,
+#: binary garbage opened as text, ...) — folded into IngestError so
+#: the CLI's one-line exit-2 contract holds for unreadable input.
+_SOURCE_ERRORS = (UnicodeDecodeError, EOFError, OSError, zlib.error)
+
+
+@dataclass
+class IngestStats:
+    """What one ingest run saw."""
+
+    adapter: str = ""
+    lines: int = 0  # source units the adapter consumed
+    records: int = 0  # normalized records emitted
+    skipped: int = 0  # BadLine units dropped (skip policy)
+    out_of_order: int = 0  # records that arrived behind the max time
+    reasons: Counter = field(default_factory=Counter)
+
+
+@contextmanager
+def open_lines(source):
+    """Line iterator over a path, ``-`` (stdin), or an open iterable.
+
+    Paths ending ``.gz`` are gzip text; undecodable bytes are replaced
+    rather than fatal (the adapters will yield ``BadLine`` for the
+    mangled lines, so the error policy decides).  ``-`` wraps
+    ``sys.stdin`` without closing it.  Any other iterable is passed
+    through untouched (library callers hand in line lists directly).
+    """
+    if source == "-":
+        yield iter(sys.stdin)
+        return
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.suffix == ".gz":
+            handle = io.TextIOWrapper(
+                gzip.open(path, "rb"), encoding="utf-8", errors="replace"
+            )
+        else:
+            handle = open(path, "r", encoding="utf-8", errors="replace")
+        try:
+            yield handle
+        finally:
+            handle.close()
+        return
+    yield iter(source)
+
+
+class _TimeSlot:
+    """Shim wrapping a record for :class:`StreamReorderer` reuse.
+
+    The reorderer sorts each client's stream by XID within a bounded
+    look-ahead window.  Giving every slot the same pseudo-client and
+    ``(time, arrival)`` as the XID makes that pass a stable bounded
+    time sort over the whole stream — exactly monotonic-time repair.
+    """
+
+    __slots__ = ("time", "client", "xid", "record")
+
+    def __init__(self, time: float, seq: int, record: TraceRecord) -> None:
+        self.time = time
+        self.client = ""
+        self.xid = (time, seq)
+        self.record = record
+
+
+class _Interner:
+    """One string-intern table shared across a run's record fields."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[str, str] = {}
+
+    def __call__(self, value):
+        if value is None:
+            return None
+        interned = self._table.get(value)
+        if interned is None:
+            interned = self._table[value] = sys.intern(value)
+        return interned
+
+
+def _count_lines(lines: Iterable[str], stats: IngestStats) -> Iterator[str]:
+    for line in lines:
+        stats.lines += 1
+        yield line
+
+
+def normalize(
+    events,
+    *,
+    adapter: str,
+    on_error: str = "skip",
+    window: float = DEFAULT_REORDER_WINDOW,
+    stats: IngestStats | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> Iterator[TraceRecord]:
+    """Normalize an adapter's event stream into sorted records.
+
+    ``events`` yields :class:`TraceRecord` and :class:`BadLine` (what
+    :meth:`TraceAdapter.records` produces).  The output stream is
+    non-decreasing in ``time`` and deterministic for a fixed input.
+
+    Raises:
+        IngestError: under the ``fail`` policy, on the first bad line
+            or residual time regression; always, for an invalid
+            ``on_error`` value.
+    """
+    if on_error not in ("skip", "fail"):
+        raise IngestError(
+            f"unknown error policy {on_error!r} (use 'skip' or 'fail')"
+        )
+    if stats is None:
+        stats = IngestStats(adapter=adapter)
+    skip_counter = (
+        metrics.counter if metrics is not None else None
+    )
+
+    def bad(reason: str, detail: str) -> None:
+        if on_error == "fail":
+            raise IngestError(f"{adapter}: {detail}")
+        stats.skipped += 1
+        stats.reasons[reason] += 1
+        if skip_counter is not None:
+            skip_counter("ingest.skipped", adapter=adapter, reason=reason).inc()
+
+    ready: deque[_TimeSlot] = deque()
+    reorderer = StreamReorderer(window, ready.append)
+    seq = 0
+    max_time = float("-inf")
+    last_emitted = float("-inf")
+
+    def emit() -> Iterator[TraceRecord]:
+        nonlocal last_emitted
+        while ready:
+            slot = ready.popleft()
+            record = slot.record
+            if record.time < last_emitted:
+                # more disorder than the window could repair
+                bad(
+                    "time-regression",
+                    f"record at {record.time:.6f} arrived more than "
+                    f"{window:g}s late (last emitted {last_emitted:.6f}); "
+                    f"raise the reorder window",
+                )
+                continue
+            last_emitted = record.time
+            stats.records += 1
+            yield record
+
+    for event in events:
+        if type(event) is BadLine:
+            bad(event.reason, str(event))
+            continue
+        if event.time < max_time:
+            stats.out_of_order += 1
+        else:
+            max_time = event.time
+        reorderer.push(_TimeSlot(event.time, seq, event))
+        seq += 1
+        if ready:
+            yield from emit()
+    reorderer.close()
+    yield from emit()
+    if metrics is not None:
+        metrics.counter("ingest.records", adapter=adapter).inc(stats.records)
+        metrics.counter("ingest.lines", adapter=adapter).inc(stats.lines)
+
+
+def _intern_records(
+    records: Iterable[TraceRecord],
+) -> Iterator[TraceRecord]:
+    intern = _Interner()
+    for record in records:
+        record.client = intern(record.client)
+        record.server = intern(record.server)
+        record.fh = intern(record.fh)
+        record.name = intern(record.name)
+        record.target_fh = intern(record.target_fh)
+        record.target_name = intern(record.target_name)
+        record.attr_ftype = intern(record.attr_ftype)
+        yield record
+
+
+def resolve_adapter(registry, source, fmt: str = "auto") -> TraceAdapter:
+    """The adapter for ``source``: by name, or sniffed for ``auto``.
+
+    For streamed stdin the caller must buffer the head itself (see
+    :func:`ingest`); this helper reads the head from a path.
+    """
+    if fmt != "auto":
+        return registry.get(fmt)
+    from repro.ingest.base import SNIFF_LINES
+
+    with open_lines(source) as lines:
+        head = list(itertools.islice(lines, SNIFF_LINES))
+    return registry.sniff(head)
+
+
+def ingest(
+    source,
+    out,
+    *,
+    registry=None,
+    fmt: str = "auto",
+    on_error: str = "skip",
+    window: float = DEFAULT_REORDER_WINDOW,
+    metrics: MetricsRegistry | None = None,
+) -> IngestStats:
+    """Convert a foreign archive at ``source`` into a trace at ``out``.
+
+    ``source`` may be a path (gzip by suffix), ``-`` for stdin, or any
+    iterable of lines.  ``out`` picks the container by suffix exactly
+    like :class:`~repro.trace.writer.TraceWriter` (``.rtb``/``.rtb.gz``
+    binary, anything else text).  On any failure the partial output is
+    unlinked, so a failed ingest leaves nothing behind.
+
+    Raises:
+        IngestError: unreadable input, bad policy, or (under ``fail``)
+            the first malformed line.
+        ValueError: unknown/ambiguous format, or zero records ingested
+            (an empty archive converts to nothing useful).
+    """
+    if registry is None:
+        from repro.ingest import REGISTRY
+
+        registry = REGISTRY
+    stats = IngestStats()
+    try:
+        try:
+            with open_lines(source) as lines:
+                lines = _count_lines(lines, stats)
+                if fmt == "auto":
+                    from repro.ingest.base import SNIFF_LINES
+
+                    head = list(itertools.islice(lines, SNIFF_LINES))
+                    adapter = registry.sniff(head)
+                    lines = itertools.chain(head, lines)
+                else:
+                    adapter = registry.get(fmt)
+                stats.adapter = adapter.name
+                normalized = _intern_records(
+                    normalize(
+                        adapter.records(lines),
+                        adapter=adapter.name,
+                        on_error=on_error,
+                        window=window,
+                        stats=stats,
+                        metrics=metrics,
+                    )
+                )
+                # sorted already: writer's own window is pure pass-through
+                with TraceWriter(
+                    out, sort_window=0.0, metrics=metrics
+                ) as writer:
+                    for record in normalized:
+                        writer.write(record)
+        except _SOURCE_ERRORS as exc:
+            if isinstance(exc, FileNotFoundError):
+                raise  # the CLI's not-found message is clearer unwrapped
+            raise IngestError(f"unreadable input {source!r}: {exc}") from exc
+        if stats.records == 0:
+            raise ValueError(
+                f"no records ingested from {source!r} "
+                f"(adapter {adapter.name}, {stats.skipped} lines skipped)"
+            )
+    except BaseException:
+        Path(out).unlink(missing_ok=True)  # no partial output
+        raise
+    return stats

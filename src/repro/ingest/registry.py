@@ -1,0 +1,98 @@
+"""The adapter registry: name -> adapter, plus ``auto`` sniffing.
+
+One process-wide registry (built in :mod:`repro.ingest`) serves the
+CLI, the library API, and the conformance harness — which discovers
+its parametrization from :func:`AdapterRegistry.names`, so a fifth
+adapter registered here is automatically under test with zero new
+harness code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ingest.base import SNIFF_LINES, TraceAdapter
+
+
+class AdapterRegistry:
+    """Holds the known :class:`~repro.ingest.base.TraceAdapter`\\ s."""
+
+    def __init__(self) -> None:
+        self._adapters: dict[str, TraceAdapter] = {}
+
+    def register(self, adapter: TraceAdapter) -> TraceAdapter:
+        """Add an adapter; its ``name`` becomes the ``--format`` token."""
+        if not adapter.name:
+            raise ValueError("adapter must declare a non-empty name")
+        if adapter.name in self._adapters:
+            raise ValueError(f"adapter {adapter.name!r} already registered")
+        unknown = adapter.field_coverage - _record_fields()
+        if unknown:
+            raise ValueError(
+                f"adapter {adapter.name!r} declares coverage of unknown "
+                f"record fields: {sorted(unknown)}"
+            )
+        self._adapters[adapter.name] = adapter
+        return adapter
+
+    def names(self) -> list[str]:
+        """Registered format names, in registration order."""
+        return list(self._adapters)
+
+    def adapters(self) -> list[TraceAdapter]:
+        """Registered adapters, in registration order."""
+        return list(self._adapters.values())
+
+    def get(self, name: str) -> TraceAdapter:
+        """The adapter for ``name``.
+
+        Raises:
+            ValueError: unknown name; the message lists the registry,
+                which is the ``repro ingest --format`` error contract.
+        """
+        adapter = self._adapters.get(name)
+        if adapter is None:
+            known = ", ".join(self.names())
+            raise ValueError(
+                f"unknown trace format {name!r} (registered adapters: {known})"
+            )
+        return adapter
+
+    def sniff(self, head: Sequence[str]) -> TraceAdapter:
+        """Pick the adapter for a sample of input lines (``auto`` mode).
+
+        Every adapter scores the sample; the unique best scorer wins.
+
+        Raises:
+            ValueError: when no adapter recognizes the sample, or when
+                two adapters tie for best — the message names the tied
+                candidates so the caller can pass ``--format`` instead.
+        """
+        head = list(head[:SNIFF_LINES])
+        scores = [
+            (adapter.sniff_lines(head), adapter)
+            for adapter in self._adapters.values()
+        ]
+        best = max((score for score, _ in scores), default=0.0)
+        if best <= 0.0:
+            known = ", ".join(self.names())
+            raise ValueError(
+                "could not sniff the trace format (no adapter matched; "
+                f"registered adapters: {known})"
+            )
+        winners = [
+            adapter for score, adapter in scores if score >= best - 1e-9
+        ]
+        if len(winners) > 1:
+            tied = " and ".join(a.name for a in winners)
+            raise ValueError(
+                f"ambiguous trace format: {tied} match equally well "
+                f"(confidence {best:.2f}); pass --format explicitly"
+            )
+        return winners[0]
+
+
+def _record_fields() -> frozenset:
+    from repro.ingest.base import RECORD_FIELDS
+
+    return RECORD_FIELDS

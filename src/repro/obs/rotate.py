@@ -20,10 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from repro.obs.eventlog import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.record import TraceRecord
-from repro.trace.writer import TraceWriter
+
+if TYPE_CHECKING:  # deferred: trace.writer -> binfmt -> obs is a cycle
+    from repro.trace.writer import TraceWriter
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,8 @@ class RotatingTraceWriter(_RotatingBase):
         """Write one record, cutting a new segment when the policy says."""
         writer = self._writer
         if writer is None:
+            from repro.trace.writer import TraceWriter
+
             # block_records=1: rotation reads bytes_written after every
             # record, so the writer must not hold records in a block.
             writer = TraceWriter(self._next_path(), block_records=1)

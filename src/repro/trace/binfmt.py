@@ -147,11 +147,32 @@ def is_binary_trace_path(path: str | Path) -> bool:
     return name.endswith(".rtb") or name.endswith(".rtb.gz")
 
 
+class DeterministicGzipWriter(gzip.GzipFile):
+    """A gzip writer whose output depends only on the bytes written.
+
+    ``mtime=0`` pins the header timestamp and ``filename=""`` omits
+    the FNAME field, so the same records always produce byte-identical
+    ``.gz`` output regardless of when or where it was written —
+    determinism gates diff the files directly.  (GzipFile does not
+    close a caller-supplied fileobj, so this owns and closes it.)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._raw = open(path, "wb")
+        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
 def open_binary_for_write(path: str | Path) -> IO[bytes]:
     """Open ``path`` for binary-container writing (gzip by suffix)."""
     path = Path(path)
     if path.suffix == ".gz":
-        return gzip.open(path, "wb")
+        return DeterministicGzipWriter(path)
     return open(path, "wb")
 
 

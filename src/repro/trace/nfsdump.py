@@ -247,20 +247,19 @@ def iter_nfsdump(
 
 
 def convert_nfsdump(src: str | Path, dst: str | Path) -> ConversionStats:
-    """Convert an nfsdump file into the library's trace format."""
-    import gzip
-    import io
+    """Convert an nfsdump file into the library's trace format.
 
+    Kept as the historical entry point; the work now runs through the
+    shared ingest pipeline (:func:`repro.ingest.ingest` with the
+    ``nfsdump`` adapter), so conversion gets the same monotonic-time
+    repair, skip accounting, and partial-output cleanup as every other
+    foreign dialect.
+    """
+    from repro.ingest import ingest
+
+    result = ingest(src, dst, fmt="nfsdump", on_error="skip")
     stats = ConversionStats()
-    path = Path(src)
-    if path.suffix == ".gz":
-        handle: IO[str] = io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
-    else:
-        handle = open(path, "r", encoding="utf-8")
-    try:
-        with TraceWriter(dst) as writer:
-            for record in iter_nfsdump(handle, stats):
-                writer.write(record)
-    finally:
-        handle.close()
+    stats.lines = result.lines
+    stats.converted = result.records
+    stats.skipped = result.skipped
     return stats

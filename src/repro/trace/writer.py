@@ -11,7 +11,6 @@ and our simulated capture does the same.
 
 from __future__ import annotations
 
-import gzip
 import heapq
 import io
 from bisect import bisect_right
@@ -24,6 +23,7 @@ from repro.obs.gcpause import paused_gc
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.binfmt import (
     BinaryTraceEncoder,
+    DeterministicGzipWriter,
     is_binary_trace_path,
     open_binary_for_write,
 )
@@ -36,7 +36,11 @@ _TIME_KEY = attrgetter("time")
 def _open_for_write(path: str | Path) -> IO[str]:
     path = Path(path)
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+        # deterministic header (mtime=0, no FNAME): rewrites of the
+        # same records are byte-identical
+        return io.TextIOWrapper(
+            DeterministicGzipWriter(path), encoding="utf-8"
+        )
     return open(path, "w", encoding="utf-8")
 
 

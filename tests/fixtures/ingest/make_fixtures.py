@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Regenerate the golden ingest fixtures (committed, deterministic).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/ingest/make_fixtures.py
+
+One fixture per registered adapter, named ``<adapter-name>.<ext>`` so
+the conformance harness can discover them from the registry alone.
+Each spans a few hours of activity, includes a sprinkling of malformed
+lines (the skip policy must absorb them), and is small enough to diff.
+``expected_summary.json`` pins what the full ingest -> pair -> summary
+pipeline computes for each fixture; the harness recomputes and
+compares (floats rounded to 6 decimals).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+#: Monday 2001-10-22 00:00 UTC — the paper's trace week.
+T0 = 1003708800.0
+
+
+def _nfsdump(rng: random.Random) -> str:
+    """The paper's native capture format (hex values, U/T transport)."""
+    client, server = "30.0801", "31.03f2"
+    lines = ["# nfsdump fixture: three hours, one client, mixed ops"]
+    fhs = [f"{rng.getrandbits(64):016x}" for _ in range(8)]
+    t = T0
+    xid = 0xFA090000
+    for i in range(60):
+        t += rng.uniform(20.0, 340.0)  # ~3 h span over 60 ops
+        xid += rng.randrange(1, 5)
+        fh = rng.choice(fhs)
+        lat = rng.uniform(0.0003, 0.004)
+        kind = rng.randrange(6)
+        if kind < 2:  # lookup
+            lines.append(
+                f"{t:.6f} {client} {server} U C3 {xid:x} 3 lookup "
+                f'fh {fh} name "f{i}.dat" con = 130 len = 110'
+            )
+            lines.append(
+                f"{t + lat:.6f} {server} {client} U R3 {xid:x} 3 lookup OK "
+                f"ftype 1 fh {rng.choice(fhs)} size {rng.randrange(0x100, 0x20000):x} "
+                f"fileid {rng.getrandbits(24):x} con = 130 len = 140"
+            )
+        elif kind < 3:  # getattr
+            lines.append(
+                f"{t:.6f} {client} {server} U C3 {xid:x} 1 getattr "
+                f"fh {fh} con = 98 len = 90"
+            )
+            lines.append(
+                f"{t + lat:.6f} {server} {client} U R3 {xid:x} 1 getattr OK "
+                f"ftype 1 size {rng.randrange(0x100, 0x20000):x} "
+                f"fileid {rng.getrandbits(24):x} con = 98 len = 120"
+            )
+        elif kind < 5:  # read
+            count = rng.choice((0x1000, 0x2000, 0x8000))
+            lines.append(
+                f"{t:.6f} {client} {server} U C3 {xid:x} 6 read "
+                f"fh {fh} off {rng.randrange(0, 0x40000, 0x1000):x} "
+                f"count {count:x} con = 120 len = 98"
+            )
+            lines.append(
+                f"{t + lat:.6f} {server} {client} U R3 {xid:x} 6 read OK "
+                f"ftype 1 size {count:x} eof 1 count {count:x} con = 120 len = 1200"
+            )
+        else:  # write
+            count = rng.choice((0x1000, 0x2000))
+            lines.append(
+                f"{t:.6f} {client} {server} U C3 {xid:x} 7 write "
+                f"fh {fh} off {rng.randrange(0, 0x40000, 0x1000):x} "
+                f"count {count:x} con = 1200 len = 1300"
+            )
+            lines.append(
+                f"{t + lat:.6f} {server} {client} U R3 {xid:x} 7 write OK "
+                f"ftype 1 size {count:x} count {count:x} con = 120 len = 140"
+            )
+    lines.insert(30, "truncated garbage that is not a record")
+    lines.insert(60, f"{T0 + 5000:.6f} {client} {server} U C3 9999 99 "
+                     "frobnicate con = 1 len = 1")
+    return "\n".join(lines) + "\n"
+
+
+def _snia(rng: random.Random) -> str:
+    """The SNIA-style flattened dialect (decimal values, key=value)."""
+    client, server = "nfs2.304", "anon.2049"
+    lines = ["# snia-nfs fixture: two clients, two hours"]
+    fhs = [f"{rng.getrandbits(48):012x}" for _ in range(6)]
+    t = T0 + 3600.0
+    xid = 0x10C40000
+    for i in range(55):
+        t += rng.uniform(15.0, 240.0)  # ~2 h span
+        xid += rng.randrange(1, 4)
+        cl = client if i % 3 else "nfs7.118"
+        fh = rng.choice(fhs)
+        lat = rng.uniform(0.0002, 0.003)
+        kind = rng.randrange(6)
+        if kind < 2:
+            lines.append(f"{t:.6f} C3 {cl} {server} {xid:x} lookup "
+                         f"fh={fh} name=log.{i}")
+            lines.append(f"{t + lat:.6f} R3 {cl} {server} {xid:x} lookup OK "
+                         f"ftype=REG fh={rng.choice(fhs)} "
+                         f"size={rng.randrange(256, 131072)} "
+                         f"fileid={rng.getrandbits(24)}")
+        elif kind < 3:
+            lines.append(f"{t:.6f} C3 {cl} {server} {xid:x} access fh={fh}")
+            lines.append(f"{t + lat:.6f} R3 {cl} {server} {xid:x} access "
+                         f"NFS3ERR_ACCES")
+        elif kind < 5:
+            count = rng.choice((4096, 8192, 32768))
+            lines.append(f"{t:.6f} C3 {cl} {server} {xid:x} read fh={fh} "
+                         f"off={rng.randrange(0, 262144, 4096)} count={count}")
+            lines.append(f"{t + lat:.6f} R3 {cl} {server} {xid:x} read OK "
+                         f"count={count} eof=1 ftype=REG size={count}")
+        else:
+            count = rng.choice((4096, 8192))
+            lines.append(f"{t:.6f} C3 {cl} {server} {xid:x} write fh={fh} "
+                         f"off={rng.randrange(0, 262144, 4096)} count={count}")
+            lines.append(f"{t + lat:.6f} R3 {cl} {server} {xid:x} write OK "
+                         f"count={count} ftype=REG size={count}")
+    lines.insert(25, "not a trace line at all")
+    return "\n".join(lines) + "\n"
+
+
+def _wta(rng: random.Random) -> str:
+    """A WTA-style task table as JSON lines (ms timestamps)."""
+    rows = []
+    for wf in ("wf-genome", "wf-montage"):
+        done: list[int] = []
+        base_ms = (T0 + 7200.0) * 1000.0
+        for i in range(20):
+            task_id = len(rows) + 1
+            parents = (
+                rng.sample(done, k=min(len(done), rng.randrange(0, 3)))
+                if done else []
+            )
+            rows.append({
+                "id": task_id,
+                "workflow_id": wf,
+                "ts_submit": int(base_ms + i * rng.uniform(120.0, 600.0) * 1000),
+                "runtime": int(rng.uniform(5.0, 400.0) * 1000),
+                "user_id": 1000 + (0 if wf == "wf-genome" else 7),
+                "parents": parents,
+                "read_bytes": rng.randrange(4096, 1 << 22),
+                "write_bytes": rng.randrange(4096, 1 << 23),
+            })
+            done.append(task_id)
+    lines = ["# wta-parquet-lite fixture: two workflows, 40 tasks"]
+    lines += [json.dumps(row, sort_keys=True) for row in rows]
+    lines.insert(12, '{"id": 99, "workflow_id": "", "ts_submit": "soon"}')
+    lines.insert(20, "{broken json")
+    return "\n".join(lines) + "\n"
+
+
+def _tracetracker(rng: random.Random) -> str:
+    """A TraceTracker-style block CSV (two hosts, two devices)."""
+    lines = [
+        "# tracetracker-blk fixture: sequential runs and random probes",
+        "ts,host,dev,op,offset,bytes,latency_us",
+    ]
+    t = T0 + 10800.0
+    for _ in range(30):  # 30 bursts over ~2.5 h
+        t += rng.uniform(60.0, 540.0)
+        host = rng.choice(("db1", "db2"))
+        dev = rng.choice(("sda", "sdb"))
+        op = "R" if rng.random() < 0.7 else "W"
+        offset = rng.randrange(0, 1 << 30, 4096)
+        bt = t
+        for _ in range(rng.randrange(2, 6)):  # sequential run
+            size = rng.choice((4096, 8192, 65536))
+            lines.append(f"{bt:.6f},{host},{dev},{op},{offset},{size},"
+                         f"{rng.randrange(80, 900)}")
+            offset += size
+            bt += rng.uniform(0.0005, 0.01)
+    lines.insert(40, "1.0,db1,sda,FLUSH,0,0,1")
+    lines.insert(70, "garbage,row,here")
+    return "\n".join(lines) + "\n"
+
+
+def _expectations() -> dict:
+    """Run the real pipeline over each fixture and pin the numbers."""
+    from repro.analysis.pairing import pair_all
+    from repro.analysis.summary import summarize_trace
+    from repro.ingest import REGISTRY, ingest
+    from repro.trace.reader import read_trace
+
+    import tempfile
+
+    expected = {}
+    for fixture in sorted(HERE.iterdir()):
+        adapter = _adapter_for(fixture)
+        if adapter is None:
+            continue
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "out.rtb"
+            stats = ingest(str(fixture), str(out), fmt=adapter)
+            records = read_trace(out)
+            ops, pair_stats = pair_all(records)
+            start = records[0].time
+            end = records[-1].time + 1.0
+            summary = summarize_trace(ops, start, end)
+        expected[adapter] = {
+            "fixture": fixture.name,
+            "lines": stats.lines,
+            "records": stats.records,
+            "skipped": stats.skipped,
+            "paired_ops": len(ops),
+            "orphan_replies": pair_stats.orphan_replies,
+            "total_ops": summary.total_ops,
+            "read_ops": summary.read_ops,
+            "write_ops": summary.write_ops,
+            "bytes_read": summary.bytes_read,
+            "bytes_written": summary.bytes_written,
+            "metadata_fraction": round(summary.metadata_fraction, 6),
+            "span_seconds": round(end - 1.0 - start, 6),
+        }
+    assert set(expected) == set(REGISTRY.names()), (
+        "one fixture per registered adapter", expected.keys())
+    return expected
+
+
+def _adapter_for(path: Path):
+    from repro.ingest import REGISTRY
+
+    if path.name.startswith(("make_", "expected_")):
+        return None
+    stem = path.name.split(".")[0]
+    return stem if stem in REGISTRY.names() else None
+
+
+def main() -> None:
+    writers = {
+        "nfsdump.txt": _nfsdump,
+        "snia-nfs.txt": _snia,
+        "wta-parquet-lite.jsonl": _wta,
+        "tracetracker-blk.csv": _tracetracker,
+    }
+    for name, build in writers.items():
+        # one independent stream per fixture: editing one never
+        # reshuffles the others
+        (HERE / name).write_text(build(random.Random(f"ingest:{name}")))
+        print(f"wrote {name}")
+    expected = _expectations()
+    (HERE / "expected_summary.json").write_text(
+        json.dumps(expected, indent=2, sort_keys=True) + "\n"
+    )
+    print("wrote expected_summary.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""The adapter conformance harness.
+
+Every test here is parametrized over the adapters *discovered from the
+registry* and their golden fixtures in ``tests/fixtures/ingest/`` —
+there is no hand-maintained adapter list.  Registering a fifth adapter
+(plus committing its ``<name>.<ext>`` fixture and regenerating
+``expected_summary.json`` with ``make_fixtures.py``) makes it subject
+to every check below with zero new harness code.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+from repro.ingest import REGISTRY, SNIFF_LINES, ingest
+from repro.trace.reader import TraceReader
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ingest"
+
+ADAPTERS = REGISTRY.names()
+
+
+def fixture_for(name: str) -> Path:
+    matches = [
+        p for p in FIXTURES.glob(f"{name}.*") if p.suffix != ".json"
+    ]
+    assert len(matches) == 1, (
+        f"expected exactly one golden fixture {name}.* "
+        f"(found {[p.name for p in matches]})"
+    )
+    return matches[0]
+
+
+def head_lines(path: Path) -> list:
+    with open(path, encoding="utf-8") as handle:
+        return [next(handle) for _ in range(min(SNIFF_LINES, 20))]
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    return json.loads((FIXTURES / "expected_summary.json").read_text())
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+class TestSniff:
+    def test_fixture_exists(self, name):
+        assert fixture_for(name).is_file()
+
+    def test_sniff_self_identifies(self, name):
+        adapter = REGISTRY.get(name)
+        assert adapter.sniff(fixture_for(name)) > 0.5
+
+    def test_registry_sniff_is_unambiguous(self, name):
+        chosen = REGISTRY.sniff(head_lines(fixture_for(name)))
+        assert chosen.name == name
+
+    def test_rejects_other_fixtures(self, name):
+        adapter = REGISTRY.get(name)
+        for other in ADAPTERS:
+            if other == name:
+                continue
+            confidence = adapter.sniff(fixture_for(other))
+            assert confidence < 0.5, (
+                f"{name} claims {other}'s fixture at {confidence}"
+            )
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+class TestDeterminism:
+    def test_byte_identical_across_runs(self, name, tmp_path):
+        fixture = fixture_for(name)
+        outs = []
+        for run in ("a", "b"):
+            out = tmp_path / f"{run}.rtb.gz"
+            ingest(str(fixture), str(out), fmt=name)
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_stdin_matches_file(self, name, tmp_path, monkeypatch):
+        fixture = fixture_for(name)
+        from_file = tmp_path / "file.rtb.gz"
+        assert main([
+            "ingest", "--in", str(fixture), "--format", name,
+            "--out", str(from_file),
+        ]) == 0
+        from_stdin = tmp_path / "stdin.rtb.gz"
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(fixture.read_text())
+        )
+        assert main([
+            "ingest", "--in", "-", "--format", name,
+            "--out", str(from_stdin),
+        ]) == 0
+        assert from_file.read_bytes() == from_stdin.read_bytes()
+
+    def test_auto_sniff_matches_explicit_format(self, name, tmp_path):
+        fixture = fixture_for(name)
+        explicit = tmp_path / "explicit.rtb"
+        sniffed = tmp_path / "sniffed.rtb"
+        ingest(str(fixture), str(explicit), fmt=name)
+        ingest(str(fixture), str(sniffed))
+        assert explicit.read_bytes() == sniffed.read_bytes()
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+class TestOutputContract:
+    def test_roundtrips_sorted_within_coverage(self, name, tmp_path, expected):
+        """One ingest, three invariants: the output re-reads cleanly
+        (zero TraceFormatError — the reader raises on any), wire time
+        never decreases, and no adapter populates a field missing from
+        its declared coverage manifest."""
+        adapter = REGISTRY.get(name)
+        out = tmp_path / "out.rtb.gz"
+        stats = ingest(str(fixture_for(name)), str(out), fmt=name)
+        assert stats.records == expected[name]["records"]
+        count = 0
+        last = float("-inf")
+        with TraceReader(out) as reader:
+            for record in reader:
+                count += 1
+                assert record.time >= last
+                last = record.time
+                for field in ("uid", "gid", "fh", "name", "target_fh",
+                              "target_name", "offset", "count", "size",
+                              "eof", "status", "attr_ftype", "attr_size",
+                              "attr_mtime", "attr_fileid", "attr_uid",
+                              "attr_gid"):
+                    if getattr(record, field) is not None:
+                        assert field in adapter.field_coverage, (
+                            f"{name} populated {field} outside its "
+                            f"field_coverage manifest"
+                        )
+        assert count == stats.records
+
+    def test_summary_matches_expectation(self, name, tmp_path, expected):
+        from repro.analysis.pairing import pair_all
+        from repro.analysis.summary import summarize_trace
+        from repro.trace.reader import read_trace
+
+        out = tmp_path / "out.rtb"
+        stats = ingest(str(fixture_for(name)), str(out), fmt=name)
+        records = read_trace(out)
+        ops, pair_stats = pair_all(records)
+        summary = summarize_trace(
+            ops, records[0].time, records[-1].time + 1.0
+        )
+        want = expected[name]
+        assert stats.lines == want["lines"]
+        assert stats.skipped == want["skipped"]
+        assert len(ops) == want["paired_ops"]
+        assert pair_stats.orphan_replies == want["orphan_replies"]
+        assert summary.total_ops == want["total_ops"]
+        assert summary.read_ops == want["read_ops"]
+        assert summary.write_ops == want["write_ops"]
+        assert summary.bytes_read == want["bytes_read"]
+        assert summary.bytes_written == want["bytes_written"]
+        assert round(summary.metadata_fraction, 6) == pytest.approx(
+            want["metadata_fraction"], abs=1e-6
+        )
+
+    def test_fixture_spans_hours(self, name, expected):
+        """The goldens must exercise real time scales, not toy seconds."""
+        assert expected[name]["span_seconds"] > 3600
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+def test_analyze_paths_agree(name, tmp_path, capsys):
+    """Batch, --stream, and --jobs analysis agree on an ingested trace
+    (summary and runs sections; --stream swaps the characterization
+    section for streaming extras by design)."""
+    trace = tmp_path / "in.rtb.gz"
+    ingest(str(fixture_for(name)), str(trace), fmt=name)
+
+    def sections(*extra):
+        assert main(["analyze", "--in", str(trace), *extra]) == 0
+        return capsys.readouterr().out.split("\n\n")
+
+    batch = sections()
+    stream = sections("--stream")
+    jobs = sections("--jobs", "2")
+    assert batch == jobs
+    assert stream[0] == batch[0]
+    assert stream[1] == batch[1]
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+def test_characterize_loop(name, tmp_path):
+    """ingest -> characterize -> validate: the synthetic-twin loop
+    closes for every foreign dialect."""
+    trace = tmp_path / "in.rtb"
+    ingest(str(fixture_for(name)), str(trace), fmt=name)
+    spec = tmp_path / "twin.scn"
+    assert main([
+        "characterize", "--in", str(trace),
+        "--name", f"twin-{name}", "--out", str(spec),
+    ]) == 0
+    assert main(["scenarios", "validate", str(spec)]) == 0
+
+
+def test_manifest_fields_are_real():
+    """Coverage manifests may only name actual TraceRecord fields."""
+    from repro.ingest import RECORD_FIELDS
+
+    for adapter in REGISTRY.adapters():
+        unknown = set(adapter.field_coverage) - set(RECORD_FIELDS)
+        assert not unknown, (adapter.name, unknown)

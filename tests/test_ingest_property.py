@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the ingest normalization core.
+
+The core's contract: for ANY interleaving of valid, out-of-order,
+duplicate, and garbage source lines, the ``skip`` policy never raises
+and always emits a time-sorted, deterministic stream; the ``fail``
+policy raises :class:`IngestError` exactly when something is wrong.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import REGISTRY, IngestStats, normalize
+from repro.ingest.base import BadLine
+from repro.nfs.procedures import NfsProc
+from repro.trace.record import Direction, TraceRecord
+
+
+def _record(time: float, xid: int) -> TraceRecord:
+    return TraceRecord(
+        time=time, direction=Direction.CALL, xid=xid,
+        client="c", server="s", proc=NfsProc.GETATTR,
+    )
+
+
+# an adapter event stream: records with arbitrary (bounded) times
+# interleaved with BadLine garbage; duplicates arise naturally from
+# the narrow time/xid ranges
+events_strategy = st.lists(
+    st.one_of(
+        st.builds(
+            _record,
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+            st.integers(min_value=1, max_value=5),
+        ),
+        st.builds(
+            BadLine,
+            st.sampled_from(["unparseable", "bad-value", "short-line"]),
+            st.text(max_size=20),
+            st.integers(min_value=1, max_value=99),
+        ),
+    ),
+    max_size=60,
+)
+
+
+@given(events_strategy, st.floats(min_value=0.1, max_value=40.0))
+@settings(max_examples=200)
+def test_skip_never_raises_and_sorts(events, window):
+    """skip: any interleaving normalizes to a non-decreasing stream."""
+    stats = IngestStats(adapter="x")
+    out = list(
+        normalize(iter(events), adapter="x", on_error="skip",
+                  window=window, stats=stats)
+    )
+    times = [r.time for r in out]
+    assert times == sorted(times)
+    garbage = sum(1 for e in events if isinstance(e, BadLine))
+    records = len(events) - garbage
+    # every record is either emitted or counted as skipped, never lost
+    assert stats.records == len(out)
+    assert stats.records + (stats.skipped - garbage) == records
+    assert stats.skipped >= garbage
+
+
+@given(events_strategy, st.floats(min_value=0.1, max_value=40.0))
+@settings(max_examples=100)
+def test_skip_is_deterministic(events, window):
+    """The same event stream always normalizes identically."""
+    runs = [
+        list(normalize(iter(events), adapter="x", on_error="skip",
+                       window=window))
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+@given(events_strategy)
+@settings(max_examples=100)
+def test_fail_raises_iff_garbage_or_regression(events):
+    """fail: IngestError exactly when skip would have skipped."""
+    stats = IngestStats(adapter="x")
+    list(normalize(iter(events), adapter="x", on_error="skip",
+                   window=1.0, stats=stats))
+    if stats.skipped == 0:
+        out = list(normalize(iter(events), adapter="x", on_error="fail",
+                             window=1.0))
+        assert len(out) == stats.records
+    else:
+        with pytest.raises(IngestError):
+            list(normalize(iter(events), adapter="x", on_error="fail",
+                           window=1.0))
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100)
+def test_adapters_never_raise_on_garbage_text(text):
+    """records() yields BadLine for garbage; it never raises."""
+    lines = text.splitlines()
+    for adapter in REGISTRY.adapters():
+        for event in adapter.records(lines):
+            assert isinstance(event, (TraceRecord, BadLine))
+
+
+def test_bad_policy_raises():
+    with pytest.raises(IngestError, match="error policy"):
+        list(normalize(iter([]), adapter="x", on_error="abort"))
